@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Ablation: regression-family selection for the thermal models
+ * (paper Section 5.1). The paper evaluated random forests, MLPs,
+ * linear, polynomial, and piecewise polynomial regressions and chose
+ * piecewise polynomial: MAE < 1C, fast, compact, and able to
+ * generalize below the training range (forests cannot).
+ *
+ * This bench fits each implemented family to the same noisy inlet
+ * observations and scores in-range accuracy, extrapolation accuracy,
+ * and fit/predict cost.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "dcsim/layout.hh"
+#include "dcsim/thermal.hh"
+#include "telemetry/regression.hh"
+
+using namespace tapas;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Ablation: thermal regression model selection");
+
+    LayoutConfig layout_cfg;
+    layout_cfg.aisleCount = 1;
+    layout_cfg.rowsPerAisle = 2;
+    layout_cfg.racksPerRow = 3;
+    layout_cfg.serversPerRack = 4;
+    DatacenterLayout dc(layout_cfg);
+    ThermalModel thermal(dc, ThermalConfig{}, 42);
+    const ServerId sid(5);
+
+    // The paper's GPU-temperature regression (Eq. 2). Production
+    // telemetry only covers a busy fleet: inlets 18-30C, GPU power
+    // 180-400W. The extrapolation question is the one operators
+    // actually ask — what happens at LIGHT load (60-150W), i.e.
+    // temperatures below anything in the training set.
+    Rng rng(9);
+    std::vector<std::vector<double>> X;
+    std::vector<double> y;
+    for (int i = 0; i < 4000; ++i) {
+        const double inlet = rng.uniform(18.0, 30.0);
+        const double watts = rng.uniform(180.0, 400.0);
+        X.push_back({inlet, watts});
+        y.push_back(thermal
+                        .gpuTemperature(sid, 0, Celsius(inlet),
+                                        Watts(watts))
+                        .value() +
+                    rng.gaussian(0.0, 0.3));
+    }
+
+    auto truth = [&](double inlet, double watts) {
+        return thermal
+            .gpuTemperature(sid, 0, Celsius(inlet), Watts(watts))
+            .value();
+    };
+    auto score = [&](auto predict, double lo, double hi) {
+        std::vector<double> t;
+        std::vector<double> p;
+        for (double watts = lo; watts <= hi; watts += 10.0) {
+            for (double inlet : {19.0, 22.0, 26.0, 29.0}) {
+                t.push_back(truth(inlet, watts));
+                p.push_back(predict(inlet, watts));
+            }
+        }
+        return meanAbsoluteError(t, p);
+    };
+
+    using Clock = std::chrono::steady_clock;
+
+    ConsoleTable table({"family", "in-range MAE (C)",
+                        "extrapolation MAE (C)", "fit ms",
+                        "paper verdict"});
+
+    {
+        const auto t0 = Clock::now();
+        LinearRegression model;
+        model.fit(X, y);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      t0)
+                .count();
+        auto predict = [&](double o, double l) {
+            return model.predict({o, l});
+        };
+        table.addRow({"linear (chosen for Eq. 2)",
+                      ConsoleTable::num(score(predict, 180, 400), 3),
+                      ConsoleTable::num(score(predict, 60, 150), 3),
+                      ConsoleTable::num(ms, 1),
+                      "exact: truth is linear"});
+    }
+    {
+        const auto t0 = Clock::now();
+        // Polynomial on outside temp (degree 3) + linear load term
+        // via the piecewise machinery with no knots on feature 0
+        // is equivalent to plain linear; use a cubic single-feature
+        // fit at fixed load bands instead (the family's idiom).
+        // Cubic on power with the inlet term removed (truth adds
+        // inlet linearly with unit slope).
+        PolynomialRegression model(3);
+        std::vector<double> xs;
+        std::vector<double> ys;
+        for (std::size_t i = 0; i < X.size(); ++i) {
+            xs.push_back(X[i][1]);
+            ys.push_back(y[i] - X[i][0]);
+        }
+        model.fit(xs, ys);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      t0)
+                .count();
+        auto predict = [&](double o, double l) {
+            return model.predict(l) + o;
+        };
+        table.addRow({"polynomial (deg 3)",
+                      ConsoleTable::num(score(predict, 180, 400), 3),
+                      ConsoleTable::num(score(predict, 60, 150), 3),
+                      ConsoleTable::num(ms, 1),
+                      "ok in-range, drifts outside"});
+    }
+    {
+        const auto t0 = Clock::now();
+        PiecewiseLinearModel model({250.0, 330.0}, 1);
+        // Feature 0 = power (knots there), feature 1 = inlet.
+        std::vector<std::vector<double>> swapped;
+        swapped.reserve(X.size());
+        for (const auto &row : X)
+            swapped.push_back({row[1], row[0]});
+        model.fit(swapped, y);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      t0)
+                .count();
+        auto predict = [&](double o, double l) {
+            return model.predict({l, o});
+        };
+        table.addRow({"piecewise polynomial",
+                      ConsoleTable::num(score(predict, 180, 400), 3),
+                      ConsoleTable::num(score(predict, 60, 150), 3),
+                      ConsoleTable::num(ms, 1),
+                      "CHOSEN for Eq. 1: MAE < 1C, generalizes"});
+    }
+    {
+        const auto t0 = Clock::now();
+        RandomForest model(30, 8, 5, 7);
+        model.fit(X, y);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      t0)
+                .count();
+        auto predict = [&](double o, double l) {
+            return model.predict({o, l});
+        };
+        table.addRow(
+            {"random forest",
+             ConsoleTable::num(score(predict, 180, 400), 3),
+             ConsoleTable::num(score(predict, 60, 150), 3),
+             ConsoleTable::num(ms, 1),
+             "overfits; cannot predict below training range"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nPaper: piecewise polynomial achieved MAE < 1 C with "
+           "fast computation, efficient\nstorage, and effective "
+           "generalization for unseen values; random forests tend "
+           "to\noverfit and struggle to predict temperatures lower "
+           "than those in the training set.\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Figures 2-3: inlet temperature versus outside temperature.
+ *
+ * Paper shape: inlet tracks outside; below ~15C outside the cooling
+ * holds an ~18C humidity floor; between 15-25C inlet rises linearly;
+ * above 25C the slope compresses. One of three co-aisle servers runs
+ * consistently ~2C warmer than its peers.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "dcsim/layout.hh"
+#include "dcsim/thermal.hh"
+#include "telemetry/regression.hh"
+#include "workload/weather.hh"
+
+using namespace tapas;
+
+int
+main()
+{
+    printBanner(std::cout, "Fig. 2+3: inlet vs outside temperature");
+
+    LayoutConfig layout_cfg;
+    layout_cfg.aisleCount = 1;
+    layout_cfg.rowsPerAisle = 2;
+    layout_cfg.racksPerRow = 10;
+    layout_cfg.serversPerRack = 4;
+    DatacenterLayout dc(layout_cfg);
+    ThermalModel thermal(dc, ThermalConfig{}, 42);
+
+    // Three months spanning the warm season and its cool nights,
+    // matching the paper's June-October window.
+    WeatherConfig weather_cfg;
+    weather_cfg.climate = Climate::Temperate;
+    weather_cfg.horizon = 90 * kDay;
+    WeatherModel weather(weather_cfg, 42);
+
+    // Three servers in the same aisle (the paper's Fig. 2 setup):
+    // the coolest, warmest, and a middle server, so the persistent
+    // warm-server gap of Fig. 2 is visible.
+    ServerId s1(0);
+    ServerId s2(0);
+    ServerId s3(1);
+    for (const Server &server : dc.servers()) {
+        if (thermal.spatialOffset(server.id) <
+            thermal.spatialOffset(s1)) {
+            s1 = server.id;
+        }
+        if (thermal.spatialOffset(server.id) >
+            thermal.spatialOffset(s2)) {
+            s2 = server.id;
+        }
+    }
+
+    Rng noise(7);
+    std::cout << "Warm-season sample (afternoons), three months:\n\n";
+    ConsoleTable timeline({"day", "outside", "srv1", "srv2", "srv3"});
+    for (int day = 0; day < 90; day += 11) {
+        const SimTime t = day * kDay + 15 * kHour;
+        const Celsius outside = weather.outsideAt(t);
+        timeline.addRow(
+            {std::to_string(day + 1),
+             ConsoleTable::num(outside.value(), 1),
+             ConsoleTable::num(
+                 thermal.inletTemperature(s1, outside, 0.6, 0.0)
+                     .value(), 1),
+             ConsoleTable::num(
+                 thermal.inletTemperature(s2, outside, 0.6, 0.0)
+                     .value(), 1),
+             ConsoleTable::num(
+                 thermal.inletTemperature(s3, outside, 0.6, 0.0)
+                     .value(), 1)});
+    }
+    timeline.print(std::cout);
+
+    // Regression across the outside range (Fig. 3): measure slopes
+    // in each regime from noisy observations.
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (SimTime t = 0; t < weather_cfg.horizon; t += 10 * kMinute) {
+        const Celsius outside = weather.outsideAt(t);
+        xs.push_back({outside.value()});
+        ys.push_back(thermal
+                         .inletTemperature(s3, outside, 0.6, 0.0,
+                                           &noise)
+                         .value());
+    }
+    PiecewiseLinearModel fit({15.0, 25.0}, 0);
+    fit.fit(xs, ys);
+
+    const double below = (fit.predict({12.0}) - fit.predict({6.0})) /
+        6.0;
+    const double mid = (fit.predict({24.0}) - fit.predict({16.0})) /
+        8.0;
+    const double above = (fit.predict({34.0}) - fit.predict({27.0})) /
+        7.0;
+
+    std::cout << "\nFitted inlet response of server 3 "
+              << "(degC inlet per degC outside):\n";
+    ConsoleTable slopes({"regime", "paper shape", "measured"});
+    slopes.addRow({"outside < 15C", "~flat (humidity floor ~18C)",
+                   ConsoleTable::num(below, 2)});
+    slopes.addRow({"15-25C", "linear rise",
+                   ConsoleTable::num(mid, 2)});
+    slopes.addRow({"> 25C", "compressed slope",
+                   ConsoleTable::num(above, 2)});
+    slopes.print(std::cout);
+
+    std::cout << "\nFloor level at 10C outside: "
+              << ConsoleTable::num(fit.predict({10.0}), 1)
+              << " C (paper: ~18 C)\n";
+
+    // Persistent warm server (Fig. 2's Server 2 runs ~2C hotter).
+    const double gap =
+        thermal.inletTemperature(s2, Celsius(22.0), 0.6, 0.0)
+            .value() -
+        thermal.inletTemperature(s1, Celsius(22.0), 0.6, 0.0)
+            .value();
+    std::cout << "Server 2 vs server 1 persistent offset: "
+              << ConsoleTable::num(gap, 2)
+              << " C (paper: ~2 C for its warm server)\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figures 6-7: GPU temperature versus inlet temperature and GPU
+ * power, and the fitted regression quality.
+ *
+ * Paper shape: GPU temperature is well explained by a regression on
+ * inlet temperature and GPU load with MAE below 1C; the model also
+ * underlies every TAPAS projection.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "dcsim/layout.hh"
+#include "dcsim/power.hh"
+#include "dcsim/thermal.hh"
+#include "telemetry/profiles.hh"
+#include "telemetry/regression.hh"
+
+using namespace tapas;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 6+7: GPU temperature regression (Eq. 2)");
+
+    LayoutConfig cfg;
+    cfg.aisleCount = 2;
+    cfg.rowsPerAisle = 2;
+    cfg.racksPerRow = 10;
+    cfg.serversPerRack = 4;
+    DatacenterLayout dc(cfg);
+    ThermalModel thermal(dc, ThermalConfig{}, 42);
+    PowerModel power{PowerConfig{}};
+
+    // Example server: GPU temp at varying inlet/power (Fig. 7).
+    const ServerId sid(12);
+    ConsoleTable table({"inlet C", "gpu @100W", "gpu @250W",
+                        "gpu @400W", "mem @400W decode"});
+    for (double inlet : {18.0, 22.0, 26.0, 30.0}) {
+        table.addRow(
+            {ConsoleTable::num(inlet, 0),
+             ConsoleTable::num(
+                 thermal.gpuTemperature(sid, 0, Celsius(inlet),
+                                        Watts(100)).value(), 1),
+             ConsoleTable::num(
+                 thermal.gpuTemperature(sid, 0, Celsius(inlet),
+                                        Watts(250)).value(), 1),
+             ConsoleTable::num(
+                 thermal.gpuTemperature(sid, 0, Celsius(inlet),
+                                        Watts(400)).value(), 1),
+             ConsoleTable::num(
+                 thermal.memTemperature(sid, 0, Celsius(inlet),
+                                        Watts(400), 0.85).value(),
+                 1)});
+    }
+    table.print(std::cout);
+
+    // Offline-profiled fit accuracy across the whole fleet.
+    ProfileBank bank(dc);
+    bank.offlineProfile(thermal, power, 7);
+
+    std::vector<double> truth;
+    std::vector<double> pred;
+    for (const Server &server : dc.servers()) {
+        for (int g = 0; g < 8; ++g) {
+            for (double inlet : {19.0, 23.5, 28.0}) {
+                for (double watts : {80.0, 210.0, 380.0}) {
+                    truth.push_back(
+                        thermal
+                            .gpuTemperature(server.id, g,
+                                            Celsius(inlet),
+                                            Watts(watts))
+                            .value());
+                    pred.push_back(bank.predictGpuTempC(
+                        server.id, g, inlet, watts));
+                }
+            }
+        }
+    }
+    const double mae = meanAbsoluteError(truth, pred);
+    std::cout << "\nFleet-wide fitted-model MAE: "
+              << ConsoleTable::num(mae, 3)
+              << " C  (paper: < 1 C)  "
+              << (mae < 1.0 ? "[OK]" : "[MISS]") << "\n";
+    return 0;
+}

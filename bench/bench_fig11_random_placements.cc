@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Figure 11: distribution of aisle peak GPU temperature and row
+ * power across 100K random VM placements of 80 VMs on two rows.
+ *
+ * Paper shape: worst placements exceed 85C while typical ones sit
+ * near 72C; worst-case peak power is ~27% above the best; maximum
+ * temperature and peak power are uncorrelated across placements, so
+ * placement must consider both.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "dcsim/layout.hh"
+#include "dcsim/power.hh"
+#include "dcsim/thermal.hh"
+
+using namespace tapas;
+
+int
+main()
+{
+    printBanner(std::cout, "Fig. 11: 100K random placements");
+
+    LayoutConfig cfg;
+    cfg.aisleCount = 1;
+    cfg.rowsPerAisle = 2;
+    cfg.racksPerRow = 10;
+    cfg.serversPerRack = 4;
+    DatacenterLayout dc(cfg); // 80 servers, 2 rows
+    ThermalModel thermal(dc, ThermalConfig{}, 42);
+    PowerModel power{PowerConfig{}};
+
+    // 60 VMs with heterogeneous peak loads onto 80 servers.
+    const int vm_count = 60;
+    Rng rng(99);
+    std::vector<double> vm_loads;
+    for (int i = 0; i < vm_count; ++i)
+        vm_loads.push_back(rng.uniform(0.35, 1.0));
+
+    // Worst-case planning conditions: a hot afternoon at high
+    // datacenter load (the regime provisioning must survive).
+    const Celsius outside(33.0);
+    QuantileSample max_temps;
+    QuantileSample peak_powers;
+    std::vector<double> temp_series;
+    std::vector<double> power_series;
+
+    std::vector<int> slots(dc.serverCount());
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        slots[i] = static_cast<int>(i);
+
+    const int trials = 100000;
+    for (int trial = 0; trial < trials; ++trial) {
+        // Fisher-Yates prefix shuffle: first vm_count slots.
+        for (int i = 0; i < vm_count; ++i) {
+            const auto j = static_cast<std::size_t>(rng.uniformInt(
+                i, static_cast<std::int64_t>(slots.size()) - 1));
+            std::swap(slots[static_cast<std::size_t>(i)], slots[j]);
+        }
+
+        double hottest = 0.0;
+        double row_power[2] = {0.0, 0.0};
+        for (int i = 0; i < vm_count; ++i) {
+            const ServerId sid(
+                static_cast<std::uint32_t>(slots[i]));
+            const double load = vm_loads[static_cast<std::size_t>(i)];
+            const Server &server = dc.server(sid);
+            const ServerSpec &spec = dc.specOf(sid);
+            const Watts gpu_w = power.gpuPower(spec, load);
+            const double inlet =
+                thermal.inletTemperature(sid, outside, 0.9, 0.0)
+                    .value();
+            // Hottest GPU on the server (odd positions + tails).
+            for (int g = 0; g < spec.gpusPerServer; ++g) {
+                hottest = std::max(
+                    hottest,
+                    thermal.gpuTemperature(sid, g, Celsius(inlet),
+                                           gpu_w).value());
+            }
+            row_power[server.row.index] +=
+                power.serverPowerAtLoad(spec, load).value();
+        }
+        const double peak_row = std::max(row_power[0], row_power[1]);
+        max_temps.add(hottest);
+        peak_powers.add(peak_row);
+        if (trial % 10 == 0) {
+            temp_series.push_back(hottest);
+            power_series.push_back(peak_row);
+        }
+    }
+
+    ConsoleTable table({"metric", "paper shape", "measured"});
+    table.addRow({"typical max temp", "~72 C",
+                  ConsoleTable::num(max_temps.p50(), 1) + " C"});
+    table.addRow({"worst max temp", "> 85 C",
+                  ConsoleTable::num(max_temps.quantile(1.0), 1) +
+                      " C"});
+    const double power_span =
+        peak_powers.quantile(1.0) / peak_powers.quantile(0.0) - 1.0;
+    table.addRow({"worst/best peak power", "+27%",
+                  ConsoleTable::pct(power_span)});
+    const double corr =
+        pearsonCorrelation(temp_series, power_series);
+    table.addRow({"temp-power correlation", "~0 (uncorrelated)",
+                  ConsoleTable::num(corr, 3)});
+    table.print(std::cout);
+
+    std::cout << "\nP99 max temp: "
+              << ConsoleTable::num(max_temps.p99(), 1)
+              << " C; P99 peak row power: "
+              << ConsoleTable::num(peak_powers.p99() / 1000.0, 1)
+              << " kW\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Figure 16: normalized temperature/power versus goodput across the
+ * full configuration space, with Pareto frontiers.
+ *
+ * Paper shape: each model size forms a band; per-model Pareto
+ * frontiers trade goodput against temperature/power; model size
+ * dominates the quality dimension.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hh"
+#include "llm/perf.hh"
+
+using namespace tapas;
+
+int
+main()
+{
+    printBanner(std::cout, "Fig. 16: config space Pareto frontier");
+
+    const PerfModel perf = PerfModel::withReferenceSlo(
+        ServerSpec::a100(), PerfParams::forSku(GpuSku::A100));
+    const auto profiles = perf.allProfiles();
+
+    // Normalizers: the reference config's saturated numbers.
+    const ConfigProfile ref = perf.profile(referenceConfig());
+    const double max_goodput = [&] {
+        double best = 0.0;
+        for (const ConfigProfile &p : profiles)
+            best = std::max(best, p.goodputTps);
+        return best;
+    }();
+    const double ref_power =
+        perf.estimateServerPower(ref, 1.0).value();
+    const double ref_gpu_w = ref.prefill.gpuPower.value();
+
+    std::cout << "Config space: " << profiles.size()
+              << " feasible configurations\n\n";
+
+    // Per-model-size envelope (Fig. 16 highlights model size).
+    ConsoleTable bands({"model", "goodput range (norm)",
+                        "power range (norm)",
+                        "hottest-gpu power range (norm)"});
+    for (ModelSize size :
+         {ModelSize::B70, ModelSize::B13, ModelSize::B7}) {
+        double glo = 1e18;
+        double ghi = 0.0;
+        double plo = 1e18;
+        double phi = 0.0;
+        double tlo = 1e18;
+        double thi = 0.0;
+        for (const ConfigProfile &p : profiles) {
+            if (p.config.model != size || p.goodputTps <= 0.0)
+                continue;
+            glo = std::min(glo, p.goodputTps / max_goodput);
+            ghi = std::max(ghi, p.goodputTps / max_goodput);
+            const double power =
+                perf.estimateServerPower(p, 1.0).value() /
+                ref_power;
+            plo = std::min(plo, power);
+            phi = std::max(phi, power);
+            const double gpu =
+                p.prefill.gpuPower.value() / ref_gpu_w;
+            tlo = std::min(tlo, gpu);
+            thi = std::max(thi, gpu);
+        }
+        bands.addRow({modelSizeName(size),
+                      ConsoleTable::num(glo, 2) + " - " +
+                          ConsoleTable::num(ghi, 2),
+                      ConsoleTable::num(plo, 2) + " - " +
+                          ConsoleTable::num(phi, 2),
+                      ConsoleTable::num(tlo, 2) + " - " +
+                          ConsoleTable::num(thi, 2)});
+    }
+    bands.print(std::cout);
+
+    // Pareto frontier on the power metric.
+    for (bool use_power : {true, false}) {
+        const auto frontier =
+            PerfModel::paretoFrontier(profiles, use_power);
+        std::cout << "\nPareto frontier ("
+                  << (use_power ? "server power"
+                                : "hottest-GPU temperature proxy")
+                  << "): " << frontier.size() << " points\n";
+        ConsoleTable table({"config", "goodput (norm)",
+                            "metric (norm)", "quality"});
+        // Print up to 12 evenly spaced points.
+        const std::size_t stride =
+            std::max<std::size_t>(1, frontier.size() / 12);
+        for (std::size_t i = 0; i < frontier.size(); i += stride) {
+            const ConfigProfile &p = frontier[i];
+            const double metric = use_power
+                ? perf.estimateServerPower(p, 1.0).value() /
+                    ref_power
+                : p.prefill.gpuPower.value() / ref_gpu_w;
+            table.addRow({p.config.label(),
+                          ConsoleTable::num(
+                              p.goodputTps / max_goodput, 2),
+                          ConsoleTable::num(metric, 2),
+                          ConsoleTable::num(p.quality, 2)});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nPaper: per-model Pareto frontiers minimize "
+                 "temperature/power at minimal goodput cost;\n"
+                 "model size drives the quality axis.\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 19: week-long large-scale simulation (~1000 servers).
+ *
+ * Paper shape: across the week, TAPAS's maximum temperature and peak
+ * row power run below Baseline's (paper: -15% max temperature, -24%
+ * peak power), with no quality impact.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/cluster.hh"
+#include "sim/scenario.hh"
+
+using namespace tapas;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 19: 1-week large-scale simulation");
+
+    const SimConfig cfg = largeScaleScenario(7);
+
+    ClusterSim baseline(cfg.asBaseline());
+    baseline.run();
+    ClusterSim tapas(cfg.asTapas());
+    tapas.run();
+
+    const SimMetrics &bm = baseline.metrics();
+    const SimMetrics &tm = tapas.metrics();
+
+    // Daily-noon samples of both series.
+    std::cout << "Max temperature (C) and peak row power "
+                 "(fraction of provision), daily at noon:\n";
+    ConsoleTable timeline({"day", "temp base", "temp tapas",
+                           "power base", "power tapas"});
+    for (int day = 0; day < 7; ++day) {
+        const SimTime t = day * kDay + 12 * kHour;
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < bm.maxGpuTempC.size(); ++i) {
+            if (bm.maxGpuTempC.timeAt(i) == t)
+                idx = i;
+        }
+        timeline.addRow(
+            {std::to_string(day + 1),
+             ConsoleTable::num(bm.maxGpuTempC.valueAt(idx), 1),
+             ConsoleTable::num(tm.maxGpuTempC.valueAt(idx), 1),
+             ConsoleTable::num(bm.peakRowPowerFrac.valueAt(idx), 3),
+             ConsoleTable::num(tm.peakRowPowerFrac.valueAt(idx),
+                               3)});
+    }
+    timeline.print(std::cout);
+
+    const double temp_red_peak =
+        1.0 - tm.maxGpuTempC.maxValue() / bm.maxGpuTempC.maxValue();
+    const double temp_red_mean =
+        1.0 - tm.maxGpuTempC.mean() / bm.maxGpuTempC.mean();
+    const double power_red_peak = 1.0 -
+        tm.peakRowPowerFrac.maxValue() /
+            bm.peakRowPowerFrac.maxValue();
+    const double power_red_mean = 1.0 -
+        tm.peakRowPowerFrac.mean() / bm.peakRowPowerFrac.mean();
+
+    std::cout << "\nSummary:\n";
+    ConsoleTable summary({"metric", "baseline", "tapas", "reduction",
+                          "paper"});
+    summary.addRow({"max temperature (week max, C)",
+                    ConsoleTable::num(bm.maxGpuTempC.maxValue(), 1),
+                    ConsoleTable::num(tm.maxGpuTempC.maxValue(), 1),
+                    ConsoleTable::pct(temp_red_peak), "-15%"});
+    summary.addRow({"max temperature (series mean, C)",
+                    ConsoleTable::num(bm.maxGpuTempC.mean(), 1),
+                    ConsoleTable::num(tm.maxGpuTempC.mean(), 1),
+                    ConsoleTable::pct(temp_red_mean), "-"});
+    summary.addRow({"peak row power (week max)",
+                    ConsoleTable::num(
+                        bm.peakRowPowerFrac.maxValue(), 3),
+                    ConsoleTable::num(
+                        tm.peakRowPowerFrac.maxValue(), 3),
+                    ConsoleTable::pct(power_red_peak), "-24%"});
+    summary.addRow({"peak row power (series mean)",
+                    ConsoleTable::num(bm.peakRowPowerFrac.mean(), 3),
+                    ConsoleTable::num(tm.peakRowPowerFrac.mean(), 3),
+                    ConsoleTable::pct(power_red_mean), "-"});
+    summary.addRow({"thermal throttle time",
+                    ConsoleTable::pct(bm.thermalCappedFraction()),
+                    ConsoleTable::pct(tm.thermalCappedFraction()),
+                    "-", "reduced to ~0"});
+    summary.addRow({"mean quality",
+                    ConsoleTable::num(bm.meanQuality(), 3),
+                    ConsoleTable::num(tm.meanQuality(), 3), "-",
+                    "no quality impact"});
+    summary.addRow({"SLO attainment",
+                    ConsoleTable::pct(bm.sloAttainment()),
+                    ConsoleTable::pct(tm.sloAttainment()), "-",
+                    "no violations"});
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the TAPAS decision
+ * components: placement, routing, risk refresh, configuration
+ * choice, and the ground-truth model evaluations. These bound the
+ * control-plane overheads the paper's Section 4.5 claims are
+ * lightweight.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/allocator.hh"
+#include "core/configurator.hh"
+#include "core/risk.hh"
+#include "core/router.hh"
+#include "dcsim/layout.hh"
+#include "dcsim/power.hh"
+#include "dcsim/thermal.hh"
+#include "llm/engine.hh"
+#include "telemetry/profiles.hh"
+
+namespace {
+
+using namespace tapas;
+
+/** Shared medium-size fixture (480 servers). */
+struct World
+{
+    World()
+        : dc(makeLayout()), thermal(dc, ThermalConfig{}, 42),
+          power(PowerConfig{}), cooling(dc, thermal),
+          hierarchy(dc, power), bank(dc),
+          perf(PerfModel::withReferenceSlo(
+              ServerSpec::a100(), PerfParams::forSku(GpuSku::A100)))
+    {
+        bank.offlineProfile(thermal, power, 7);
+        view.layout = &dc;
+        view.cooling = &cooling;
+        view.power = &hierarchy;
+        view.profiles = &bank;
+        view.outsideC = 26.0;
+        view.dcLoadFrac = 0.6;
+        view.serverLoads.assign(dc.serverCount(), 0.5);
+        view.occupied.assign(dc.serverCount(), false);
+        Rng rng(3);
+        for (std::size_t s = 0; s < dc.serverCount(); s += 2) {
+            PlacedVmView vm;
+            vm.id = VmId(static_cast<std::uint32_t>(s));
+            vm.kind = s % 4 == 0 ? VmKind::IaaS : VmKind::SaaS;
+            vm.server = ServerId(static_cast<std::uint32_t>(s));
+            vm.predictedPeakLoad = rng.uniform(0.4, 1.0);
+            vm.currentLoad = rng.uniform(0.2, 0.9);
+            view.vms.push_back(vm);
+            view.occupied[s] = true;
+        }
+        gpuPower.assign(dc.serverCount() * 8, 200.0);
+    }
+
+    static LayoutConfig
+    makeLayout()
+    {
+        LayoutConfig cfg;
+        cfg.aisleCount = 6;
+        cfg.rowsPerAisle = 2;
+        cfg.racksPerRow = 10;
+        cfg.serversPerRack = 4;
+        return cfg;
+    }
+
+    DatacenterLayout dc;
+    ThermalModel thermal;
+    PowerModel power;
+    CoolingPlant cooling;
+    PowerHierarchy hierarchy;
+    ProfileBank bank;
+    PerfModel perf;
+    ClusterView view;
+    std::vector<double> gpuPower;
+};
+
+World &
+world()
+{
+    static World instance;
+    return instance;
+}
+
+void
+BM_TapasPlacement(benchmark::State &state)
+{
+    World &w = world();
+    TapasAllocator alloc{TapasPolicyConfig{}};
+    PlacementRequest request;
+    request.kind = VmKind::IaaS;
+    request.predictedPeakLoad = 0.9;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(alloc.place(request, w.view));
+    }
+}
+BENCHMARK(BM_TapasPlacement);
+
+void
+BM_BaselinePlacement(benchmark::State &state)
+{
+    World &w = world();
+    BaselineAllocator alloc;
+    PlacementRequest request;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(alloc.place(request, w.view));
+    }
+}
+BENCHMARK(BM_BaselinePlacement);
+
+void
+BM_RiskRefresh(benchmark::State &state)
+{
+    World &w = world();
+    RiskAssessor assessor{TapasPolicyConfig{}};
+    for (auto _ : state) {
+        assessor.refresh(w.view, w.gpuPower);
+        benchmark::DoNotOptimize(assessor.flaggedCount());
+    }
+}
+BENCHMARK(BM_RiskRefresh);
+
+void
+BM_RouterDecision(benchmark::State &state)
+{
+    World &w = world();
+    TapasRouter router{TapasPolicyConfig{}};
+    const ConfigProfile profile =
+        w.perf.profile(referenceConfig());
+    std::vector<std::unique_ptr<InferenceEngine>> engines;
+    std::vector<RouteCandidate> candidates;
+    for (std::uint32_t i = 0; i < 50; ++i) {
+        engines.push_back(std::make_unique<InferenceEngine>(
+            profile, w.perf.slo()));
+        candidates.push_back(
+            {VmId(i), ServerId(i * 2), engines.back().get()});
+    }
+    Request request;
+    request.customer = CustomerId(7);
+    request.promptTokens = 512;
+    request.outputTokens = 128;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            router.route(request, candidates, nullptr));
+    }
+}
+BENCHMARK(BM_RouterDecision);
+
+void
+BM_ConfiguratorChoice(benchmark::State &state)
+{
+    World &w = world();
+    InstanceConfigurator configurator(w.perf, TapasPolicyConfig{});
+    const ConfigProfile current =
+        w.perf.profile(referenceConfig());
+    InstanceLimits limits;
+    limits.maxServerPowerW = 5200.0;
+    limits.maxGpuTempC = 77.0;
+    limits.maxAirflowCfm = 1000.0;
+    limits.inletC = 26.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(configurator.choose(
+            ServerId(3), w.bank, limits, 2500.0, 0.999, current));
+    }
+}
+BENCHMARK(BM_ConfiguratorChoice);
+
+void
+BM_InletModelEval(benchmark::State &state)
+{
+    World &w = world();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            w.thermal.inletTemperature(ServerId(5), Celsius(28.0),
+                                       0.7, 0.02));
+    }
+}
+BENCHMARK(BM_InletModelEval);
+
+void
+BM_FittedInletPrediction(benchmark::State &state)
+{
+    World &w = world();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            w.bank.predictInletC(ServerId(5), 28.0, 0.7));
+    }
+}
+BENCHMARK(BM_FittedInletPrediction);
+
+void
+BM_EngineStepBusy(benchmark::State &state)
+{
+    World &w = world();
+    const ConfigProfile profile =
+        w.perf.profile(referenceConfig());
+    for (auto _ : state) {
+        state.PauseTiming();
+        InferenceEngine engine(profile, w.perf.slo());
+        Request request;
+        request.promptTokens = 512;
+        request.outputTokens = 128;
+        for (std::uint32_t i = 0; i < 32; ++i) {
+            request.id = RequestId(i);
+            engine.enqueue(request);
+        }
+        state.ResumeTiming();
+        engine.step(0.0, 60.0);
+        benchmark::DoNotOptimize(engine.stats().completed);
+    }
+}
+BENCHMARK(BM_EngineStepBusy);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Table 2: behavior under power (UPS, budgets to 75%) and thermal
+ * (AHU, airflow to 90%) emergencies during a peak-load period.
+ *
+ * Paper shape (Baseline vs TAPAS):
+ *   Power emergency: Baseline IaaS -35% / SaaS -28% performance at
+ *   zero quality cost (uniform frequency caps); TAPAS holds IaaS at
+ *   ~0%, improves SaaS throughput (+16%) and pays up to -12%
+ *   quality by steering work to smaller/quantized models.
+ *   Thermal emergency: Baseline -22%/-19%; TAPAS 0%/+10% at -6%
+ *   quality.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/cluster.hh"
+#include "sim/scenario.hh"
+
+using namespace tapas;
+
+namespace {
+
+struct EmergencyResult
+{
+    /** Mean IaaS frequency-cap deficit during the emergency. */
+    double iaasPerf;
+    /** SaaS served tokens during emergency vs the pre-window. */
+    double saasPerfDelta;
+    /** Mean SaaS quality during the emergency. */
+    double quality;
+};
+
+/** Mean of a series over [from, to). */
+double
+windowMean(const TimeSeries &series, SimTime from, SimTime to)
+{
+    double total = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const SimTime t = series.timeAt(i);
+        if (t >= from && t < to) {
+            total += series.valueAt(i);
+            ++n;
+        }
+    }
+    return n ? total / n : 0.0;
+}
+
+EmergencyResult
+run(SimConfig cfg, bool thermal)
+{
+    // One day; the emergency covers the demand peak hours. SaaS
+    // performance is normalized against an identical run WITHOUT
+    // the failure (removing the diurnal trend from the comparison).
+    cfg.horizon = kDay;
+    FailureEvent event;
+    event.at = 12 * kHour;
+    event.until = 16 * kHour;
+    event.thermal = thermal;
+    event.remainingFrac = thermal ? 0.90 : 0.75;
+
+    ClusterSim control(cfg);
+    control.run();
+
+    SimConfig failed_cfg = cfg;
+    failed_cfg.failures.push_back(event);
+    ClusterSim sim(failed_cfg);
+    sim.run();
+
+    const SimTime from = event.at + 30 * kMinute;
+    const SimTime to = event.until;
+    const double served =
+        windowMean(sim.metrics().saasServedTps, from, to);
+    const double served_control =
+        windowMean(control.metrics().saasServedTps, from, to);
+
+    EmergencyResult out{};
+    out.saasPerfDelta = served_control > 0.0
+        ? served / served_control - 1.0
+        : 0.0;
+    out.quality =
+        windowMean(sim.metrics().saasQuality, from, to);
+    out.iaasPerf =
+        -windowMean(sim.metrics().iaasPerfPenalty, from, to);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout, "Table 2: emergency management");
+
+    const SimConfig cfg = largeScaleScenario(7);
+
+    ConsoleTable table({"emergency", "policy", "IaaS perf",
+                        "SaaS perf", "SaaS quality", "paper"});
+    for (bool thermal : {false, true}) {
+        const char *kind = thermal ? "Thermal (AHU, 90%)"
+                                   : "Power (UPS, 75%)";
+        const EmergencyResult base =
+            run(cfg.asBaseline(), thermal);
+        const EmergencyResult tapas = run(cfg.asTapas(), thermal);
+        table.addRow(
+            {kind, "Baseline", ConsoleTable::pct(base.iaasPerf),
+             ConsoleTable::pct(base.saasPerfDelta),
+             ConsoleTable::num(base.quality, 3),
+             thermal ? "-22%/-19%, qual 0%" : "-35%/-28%, qual 0%"});
+        table.addRow(
+            {kind, "TAPAS", ConsoleTable::pct(tapas.iaasPerf),
+             ConsoleTable::pct(tapas.saasPerfDelta),
+             ConsoleTable::num(tapas.quality, 3),
+             thermal ? "0%/+10%, qual -6%" : "0%/+16%, qual -12%"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nIaaS perf = mean frequency-cap deficit during the "
+           "emergency (0% = never capped).\n"
+        << "SaaS perf = served token rate versus the pre-emergency "
+           "peak window.\n"
+        << "Paper shape: Baseline takes uniform frequency caps "
+           "(both columns negative, quality\n"
+        << "untouched); TAPAS spares IaaS, maintains or improves "
+           "SaaS throughput, and pays a\n"
+        << "bounded quality cost by shifting load to smaller/"
+           "quantized models.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Failure drill: inject a UPS failure (power budgets drop to 75%)
+ * and then an AHU failure (airflow to 90%) during the daily peak,
+ * and watch TAPAS react minute by minute — rerouting, reconfiguring
+ * SaaS instances toward cheaper configurations, and sparing IaaS
+ * from frequency caps (paper Sections 4.4 and 5.4).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/cluster.hh"
+#include "sim/scenario.hh"
+
+using namespace tapas;
+
+namespace {
+
+void
+drill(const SimConfig &base, bool thermal, const char *label)
+{
+    SimConfig cfg = base;
+    cfg.horizon = kDay;
+    FailureEvent event;
+    event.at = 12 * kHour;
+    event.until = 15 * kHour;
+    event.thermal = thermal;
+    event.remainingFrac = thermal ? 0.90 : 0.75;
+    cfg.failures.push_back(event);
+
+    ClusterSim sim(cfg.asTapas());
+    std::cout << "\n--- " << label << " (12:00 - 15:00) ---\n";
+    ConsoleTable table({"time", "emergency", "peak row frac",
+                        "saas served tps", "quality",
+                        "iaas cap deficit", "reconfigs"});
+
+    std::uint64_t last_reconfigs = 0;
+    while (!sim.finished()) {
+        sim.runSteps(12); // advance one hour (5-minute steps)
+        const SimMetrics &m = sim.metrics();
+        const std::size_t i = m.peakRowPowerFrac.size() - 1;
+        const SimTime t = m.peakRowPowerFrac.timeAt(i);
+        if (t < 10 * kHour || t > 17 * kHour)
+            continue;
+        const char *state =
+            sim.failures().active() == EmergencyKind::None
+            ? "-"
+            : (thermal ? "THERMAL" : "POWER");
+        table.addRow(
+            {std::to_string(t / kHour) + ":00", state,
+             ConsoleTable::num(m.peakRowPowerFrac.valueAt(i), 3),
+             ConsoleTable::num(m.saasServedTps.valueAt(i), 0),
+             ConsoleTable::num(m.saasQuality.valueAt(i), 3),
+             ConsoleTable::pct(m.iaasPerfPenalty.valueAt(i)),
+             std::to_string(m.reconfigs - last_reconfigs)});
+        last_reconfigs = m.reconfigs;
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "TAPAS failure drill: UPS and AHU emergencies at "
+                 "daily peak\n";
+    const SimConfig cfg = largeScaleScenario(47);
+
+    drill(cfg, /*thermal=*/false,
+          "UPS failure: row power budgets -> 75%");
+    drill(cfg, /*thermal=*/true,
+          "AHU failure: aisle airflow -> 90%");
+
+    std::cout
+        << "\nWhat to look for (paper Table 2): during the window "
+           "the quality dips (smaller/\n"
+        << "quantized models absorb the cut), SaaS served rate "
+           "holds, and the IaaS cap\n"
+        << "deficit stays near zero because TAPAS absorbs the "
+           "emergency in the SaaS fleet.\n";
+    return 0;
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Placement explorer: compare random, packing (baseline), and TAPAS
+ * placement for the same VM population on the same hardware — the
+ * Fig. 11 experiment turned into a tool. Prints the peak-temperature
+ * and row-power distributions each policy induces.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/allocator.hh"
+#include "dcsim/layout.hh"
+#include "dcsim/power.hh"
+#include "dcsim/thermal.hh"
+#include "telemetry/profiles.hh"
+
+using namespace tapas;
+
+namespace {
+
+struct Workload
+{
+    VmKind kind;
+    double peakLoad;
+};
+
+struct Outcome
+{
+    double hottestGpuC;
+    double peakRowKw;
+};
+
+/** Evaluate a placement: peak GPU temp and peak row power. */
+Outcome
+evaluate(const DatacenterLayout &dc, const ThermalModel &thermal,
+         const PowerModel &power,
+         const std::vector<std::pair<ServerId, Workload>> &placed)
+{
+    const Celsius outside(31.0);
+    std::vector<double> row_w(dc.rowCount(), 0.0);
+    // Idle servers still draw power.
+    std::vector<bool> used(dc.serverCount(), false);
+    double hottest = 0.0;
+    for (const auto &[sid, vm] : placed) {
+        used[sid.index] = true;
+        const ServerSpec &spec = dc.specOf(sid);
+        const Watts gpu_w = power.gpuPower(spec, vm.peakLoad);
+        const double inlet =
+            thermal.inletTemperature(sid, outside, 0.85, 0.0)
+                .value();
+        for (int g = 0; g < spec.gpusPerServer; ++g) {
+            hottest = std::max(
+                hottest, thermal.gpuTemperature(sid, g,
+                                                Celsius(inlet),
+                                                gpu_w).value());
+        }
+        row_w[dc.server(sid).row.index] +=
+            power.serverPowerAtLoad(spec, vm.peakLoad).value();
+    }
+    for (const Server &server : dc.servers()) {
+        if (!used[server.id.index]) {
+            row_w[server.row.index] +=
+                power.serverPowerAtLoad(dc.specOf(server.id), 0.0)
+                    .value();
+        }
+    }
+    return {hottest,
+            *std::max_element(row_w.begin(), row_w.end()) / 1000.0};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "TAPAS placement explorer: 60 VMs on an 80-server "
+                 "two-row cluster\n\n";
+
+    LayoutConfig layout_cfg;
+    layout_cfg.aisleCount = 1;
+    layout_cfg.rowsPerAisle = 2;
+    layout_cfg.racksPerRow = 10;
+    layout_cfg.serversPerRack = 4;
+    DatacenterLayout dc(layout_cfg);
+    ThermalModel thermal(dc, ThermalConfig{}, 5);
+    PowerModel power{PowerConfig{}};
+    CoolingPlant cooling(dc, thermal);
+    PowerHierarchy hierarchy(dc, power);
+    ProfileBank bank(dc);
+    bank.offlineProfile(thermal, power, 5);
+
+    // The workload: 60 VMs with mixed kinds and peaks.
+    Rng rng(7);
+    std::vector<Workload> vms;
+    for (int i = 0; i < 60; ++i) {
+        vms.push_back({rng.bernoulli(0.5) ? VmKind::SaaS
+                                          : VmKind::IaaS,
+                       rng.uniform(0.35, 1.0)});
+    }
+
+    auto run_policy = [&](VmAllocator &alloc) {
+        ClusterView view;
+        view.layout = &dc;
+        view.cooling = &cooling;
+        view.power = &hierarchy;
+        view.profiles = &bank;
+        view.outsideC = 31.0;
+        view.dcLoadFrac = 0.8;
+        view.serverLoads.assign(dc.serverCount(), 0.0);
+        view.occupied.assign(dc.serverCount(), false);
+        std::vector<std::pair<ServerId, Workload>> placed;
+        for (std::size_t i = 0; i < vms.size(); ++i) {
+            PlacementRequest request;
+            request.id = VmId(static_cast<std::uint32_t>(i));
+            request.kind = vms[i].kind;
+            request.predictedPeakLoad = vms[i].peakLoad;
+            const auto pick = alloc.place(request, view);
+            if (!pick.has_value())
+                continue;
+            placed.emplace_back(*pick, vms[i]);
+            view.occupied[pick->index] = true;
+            PlacedVmView pv;
+            pv.id = request.id;
+            pv.kind = request.kind;
+            pv.server = *pick;
+            pv.predictedPeakLoad = vms[i].peakLoad;
+            view.vms.push_back(pv);
+        }
+        return evaluate(dc, thermal, power, placed);
+    };
+
+    // Random placement envelope (1000 shuffles).
+    QuantileSample random_temp;
+    QuantileSample random_power;
+    std::vector<int> slots(dc.serverCount());
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        slots[i] = static_cast<int>(i);
+    for (int trial = 0; trial < 1000; ++trial) {
+        for (std::size_t i = 0; i < vms.size(); ++i) {
+            const auto j = static_cast<std::size_t>(rng.uniformInt(
+                static_cast<std::int64_t>(i),
+                static_cast<std::int64_t>(slots.size()) - 1));
+            std::swap(slots[i], slots[j]);
+        }
+        std::vector<std::pair<ServerId, Workload>> placed;
+        for (std::size_t i = 0; i < vms.size(); ++i) {
+            placed.emplace_back(
+                ServerId(static_cast<std::uint32_t>(slots[i])),
+                vms[i]);
+        }
+        const Outcome out = evaluate(dc, thermal, power, placed);
+        random_temp.add(out.hottestGpuC);
+        random_power.add(out.peakRowKw);
+    }
+
+    BaselineAllocator packing;
+    TapasAllocator tapas{TapasPolicyConfig{}};
+    const Outcome packed = run_policy(packing);
+    const Outcome aware = run_policy(tapas);
+
+    ConsoleTable table({"placement", "hottest GPU (C)",
+                        "peak row power (kW)"});
+    table.addRow({"random (median of 1000)",
+                  ConsoleTable::num(random_temp.p50(), 1),
+                  ConsoleTable::num(random_power.p50(), 1)});
+    table.addRow({"random (worst of 1000)",
+                  ConsoleTable::num(random_temp.quantile(1.0), 1),
+                  ConsoleTable::num(random_power.quantile(1.0),
+                                    1)});
+    table.addRow({"packing (baseline)",
+                  ConsoleTable::num(packed.hottestGpuC, 1),
+                  ConsoleTable::num(packed.peakRowKw, 1)});
+    table.addRow({"TAPAS placement",
+                  ConsoleTable::num(aware.hottestGpuC, 1),
+                  ConsoleTable::num(aware.peakRowKw, 1)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper Fig. 11: bad placements can exceed 85 C "
+                 "and draw 27% more peak power than\ngood ones; "
+                 "TAPAS's validator + preference rules land near "
+                 "the good tail on both axes.\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: build a small GPU cluster, run one simulated day under
+ * full TAPAS, and print the headline thermal/power/service metrics.
+ *
+ * This walks the core public API end to end:
+ *   SimConfig -> ClusterSim -> SimMetrics.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/cluster.hh"
+#include "sim/scenario.hh"
+
+using namespace tapas;
+
+int
+main()
+{
+    std::cout << "TAPAS quickstart: 48 servers, one day, "
+                 "full TAPAS vs baseline\n";
+
+    // 1. Start from a canned scenario and customize it.
+    SimConfig cfg = smallTestScenario(/* seed = */ 2026);
+    cfg.vmTrace.saasFraction = 0.5; // half SaaS, half IaaS
+    cfg.weather.climate = Climate::Temperate;
+
+    // 2. Run the baseline (thermal/power-oblivious placement,
+    //    least-loaded routing, no reconfiguration).
+    ClusterSim baseline(cfg.asBaseline());
+    baseline.run();
+
+    // 3. Run full TAPAS: aware placement + risk-filtered routing +
+    //    instance configuration.
+    ClusterSim tapas(cfg.asTapas());
+    tapas.run();
+
+    // 4. Compare.
+    const SimMetrics &bm = baseline.metrics();
+    const SimMetrics &tm = tapas.metrics();
+    ConsoleTable table({"metric", "baseline", "tapas"});
+    table.addRow({"peak row power (frac of provision)",
+                  ConsoleTable::num(bm.peakRowPowerFrac.maxValue(),
+                                    3),
+                  ConsoleTable::num(tm.peakRowPowerFrac.maxValue(),
+                                    3)});
+    table.addRow({"max GPU temperature (C)",
+                  ConsoleTable::num(bm.maxGpuTempC.maxValue(), 1),
+                  ConsoleTable::num(tm.maxGpuTempC.maxValue(), 1)});
+    table.addRow({"mean datacenter power (kW)",
+                  ConsoleTable::num(
+                      bm.datacenterPowerW.mean() / 1000.0, 0),
+                  ConsoleTable::num(
+                      tm.datacenterPowerW.mean() / 1000.0, 0)});
+    table.addRow({"SLO attainment",
+                  ConsoleTable::pct(bm.sloAttainment()),
+                  ConsoleTable::pct(tm.sloAttainment())});
+    table.addRow({"mean result quality",
+                  ConsoleTable::num(bm.meanQuality(), 3),
+                  ConsoleTable::num(tm.meanQuality(), 3)});
+    table.addRow({"instance reconfigurations",
+                  std::to_string(bm.reconfigs),
+                  std::to_string(tm.reconfigs)});
+    table.print(std::cout);
+
+    std::cout << "\nTAPAS trims thermal/power peaks and energy "
+                 "while holding SLOs and quality.\n"
+                 "Next: examples/capacity_planning.cpp, "
+                 "examples/failure_drill.cpp,\n"
+                 "examples/placement_explorer.cpp\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+#include "common/csv.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+    : filePath(path), out(path), columns(header.size())
+{
+    if (!out.is_open())
+        fatal("cannot open CSV output file '%s'", path.c_str());
+    writeRow(header);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    tapas_assert(cells.size() == columns,
+                 "CSV row width %zu != header width %zu",
+                 cells.size(), columns);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out << ',';
+        out << escape(cells[i]);
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream ss;
+        ss << v;
+        text.push_back(ss.str());
+    }
+    writeRow(text);
+}
+
+} // namespace tapas

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal CSV writer for exporting benchmark series (figure data) to
+ * files that plotting scripts can consume.
+ */
+
+#ifndef TAPAS_COMMON_CSV_HH
+#define TAPAS_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tapas {
+
+/** Streams rows to a CSV file; quotes cells containing separators. */
+class CsvWriter
+{
+  public:
+    /** Opens path for writing; fatal() if the file cannot be opened. */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &header);
+
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Convenience for all-numeric rows. */
+    void writeRow(const std::vector<double> &cells);
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::string filePath;
+    std::ofstream out;
+    std::size_t columns;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_COMMON_CSV_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for unrecoverable
+ * user/configuration errors, warn()/inform() report conditions the
+ * caller should know about without stopping execution.
+ */
+
+#ifndef TAPAS_COMMON_LOGGING_HH
+#define TAPAS_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tapas {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent, Error, Warn, Info, Debug };
+
+/** Set the global log verbosity. Defaults to Warn. */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use only for conditions that indicate a bug in this library.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report developer-facing detail, shown only at Debug verbosity. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an invariant with a formatted message; panics on failure.
+ * Enabled in all build types: the simulator is cheap enough that
+ * invariant checking is always worth it.
+ */
+#define tapas_assert(cond, fmt, ...)                                     \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::tapas::panic("assertion '%s' failed at %s:%d: " fmt,       \
+                           #cond, __FILE__, __LINE__, ##__VA_ARGS__);    \
+        }                                                                \
+    } while (0)
+
+} // namespace tapas
+
+#endif // TAPAS_COMMON_LOGGING_HH

@@ -1,0 +1,200 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t state = a ^ (b * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);
+    splitMix64(state);
+    return splitMix64(state);
+}
+
+namespace {
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 mantissa bits of uniformity.
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    tapas_assert(lo <= hi, "empty integer range [%lld, %lld]",
+                 static_cast<long long>(lo), static_cast<long long>(hi));
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian) {
+        hasCachedGaussian = false;
+        return cachedGaussian;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian = r * std::sin(theta);
+    hasCachedGaussian = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Rng::exponential(double rate)
+{
+    tapas_assert(rate > 0.0, "exponential rate must be positive");
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 1e-300);
+    return -std::log(u) / rate;
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+double
+Rng::pareto(double x_m, double alpha)
+{
+    tapas_assert(x_m > 0.0 && alpha > 0.0, "invalid pareto parameters");
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 1e-300);
+    return x_m / std::pow(u, 1.0 / alpha);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+int
+Rng::poisson(double mean)
+{
+    tapas_assert(mean >= 0.0, "poisson mean must be non-negative");
+    if (mean <= 0.0)
+        return 0;
+    if (mean > 60.0) {
+        // Normal approximation keeps large-rate sampling O(1).
+        const double v = gaussian(mean, std::sqrt(mean));
+        return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+    }
+    // Knuth's method.
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    int count = 0;
+    while (prod > limit) {
+        prod *= uniform();
+        ++count;
+    }
+    return count;
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        tapas_assert(w >= 0.0, "negative sampling weight");
+        total += w;
+    }
+    tapas_assert(total > 0.0, "all sampling weights are zero");
+    double pick = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        pick -= weights[i];
+        if (pick < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+int
+Rng::zipf(int n, double s)
+{
+    tapas_assert(n >= 1, "zipf needs at least one rank");
+    double norm = 0.0;
+    for (int k = 1; k <= n; ++k)
+        norm += 1.0 / std::pow(k, s);
+    double pick = uniform() * norm;
+    for (int k = 1; k <= n; ++k) {
+        pick -= 1.0 / std::pow(k, s);
+        if (pick < 0.0)
+            return k;
+    }
+    return n;
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id)
+{
+    return Rng(mixSeed(next(), stream_id));
+}
+
+} // namespace tapas

@@ -1,0 +1,83 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+    tapas_assert(!headers.empty(), "table needs at least one column");
+}
+
+void
+ConsoleTable::addRow(std::vector<std::string> cells)
+{
+    tapas_assert(cells.size() == headers.size(),
+                 "row has %zu cells, table has %zu columns",
+                 cells.size(), headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+ConsoleTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+ConsoleTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+void
+ConsoleTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size()) {
+                for (std::size_t pad = cells[c].size();
+                     pad < widths[c] + 2; ++pad) {
+                    os << ' ';
+                }
+            }
+        }
+        os << '\n';
+    };
+
+    print_row(headers);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    for (std::size_t i = 0; i < rule; ++i)
+        os << '-';
+    os << '\n';
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n== " << title << " ==\n";
+}
+
+} // namespace tapas

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Console table formatting for benchmark and example output.
+ *
+ * The benchmark harnesses print paper-figure data as aligned text
+ * tables; this keeps them dependency-free and diffable.
+ */
+
+#ifndef TAPAS_COMMON_TABLE_HH
+#define TAPAS_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tapas {
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class ConsoleTable
+{
+  public:
+    explicit ConsoleTable(std::vector<std::string> headers);
+
+    /** Add a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format as a percentage, e.g. 0.231 -> "23.1%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with a rule under the header. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a section banner ("== title ==") used between bench stages. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace tapas
+
+#endif // TAPAS_COMMON_TABLE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Core identifier and simulation-time types shared across modules.
+ */
+
+#ifndef TAPAS_COMMON_TYPES_HH
+#define TAPAS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace tapas {
+
+/**
+ * Simulation time in seconds since the start of the run.
+ * A plain signed integer: all schedulers in this library operate on
+ * second granularity or coarser, and signed arithmetic keeps interval
+ * math (t - dt) safe.
+ */
+using SimTime = std::int64_t;
+
+/** Common durations, in seconds. */
+constexpr SimTime kSecond = 1;
+constexpr SimTime kMinute = 60;
+constexpr SimTime kHour = 3600;
+constexpr SimTime kDay = 24 * kHour;
+constexpr SimTime kWeek = 7 * kDay;
+
+/**
+ * Strongly typed integer id. The Tag parameter makes ServerId,
+ * RowId, etc. mutually unassignable while keeping the full
+ * convenience of an integer key.
+ */
+template <typename Tag>
+struct Id
+{
+    /** Sentinel for "no entity". */
+    static constexpr std::uint32_t invalidIndex = 0xffffffff;
+
+    std::uint32_t index = invalidIndex;
+
+    constexpr Id() = default;
+    constexpr explicit Id(std::uint32_t idx) : index(idx) {}
+
+    constexpr bool valid() const { return index != invalidIndex; }
+
+    constexpr bool operator==(const Id &) const = default;
+    constexpr bool operator<(const Id &o) const { return index < o.index; }
+};
+
+struct ServerTag {};
+struct RackTag {};
+struct RowTag {};
+struct AisleTag {};
+struct UpsTag {};
+struct PduTag {};
+struct VmTag {};
+struct EndpointTag {};
+struct CustomerTag {};
+struct RequestTag {};
+
+using ServerId = Id<ServerTag>;
+using RackId = Id<RackTag>;
+using RowId = Id<RowTag>;
+using AisleId = Id<AisleTag>;
+using UpsId = Id<UpsTag>;
+using PduId = Id<PduTag>;
+using VmId = Id<VmTag>;
+using EndpointId = Id<EndpointTag>;
+using CustomerId = Id<CustomerTag>;
+using RequestId = Id<RequestTag>;
+
+} // namespace tapas
+
+namespace std {
+
+template <typename Tag>
+struct hash<tapas::Id<Tag>>
+{
+    size_t
+    operator()(const tapas::Id<Tag> &id) const noexcept
+    {
+        return std::hash<std::uint32_t>{}(id.index);
+    }
+};
+
+} // namespace std
+
+#endif // TAPAS_COMMON_TYPES_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Physical unit helpers.
+ *
+ * Temperatures, powers, and airflows travel together through most of
+ * the thermal/power code; mixing them up is the classic bug. Each unit
+ * is a thin strong type over double with explicit construction and an
+ * explicit value() accessor, plus the arithmetic that is physically
+ * meaningful (adding two temperatures is intentionally awkward; adding
+ * a temperature delta is not).
+ */
+
+#ifndef TAPAS_COMMON_UNITS_HH
+#define TAPAS_COMMON_UNITS_HH
+
+#include <compare>
+
+namespace tapas {
+
+/** Temperature in degrees Celsius. */
+struct Celsius
+{
+    double degrees = 0.0;
+
+    constexpr Celsius() = default;
+    constexpr explicit Celsius(double c) : degrees(c) {}
+
+    constexpr double value() const { return degrees; }
+
+    constexpr auto operator<=>(const Celsius &) const = default;
+
+    /** Temperature shifted by a delta (in kelvin == celsius degrees). */
+    constexpr Celsius operator+(double delta) const
+    { return Celsius(degrees + delta); }
+    constexpr Celsius operator-(double delta) const
+    { return Celsius(degrees - delta); }
+    /** Difference between two temperatures, as a plain delta. */
+    constexpr double operator-(const Celsius &o) const
+    { return degrees - o.degrees; }
+
+    constexpr Celsius &
+    operator+=(double delta)
+    {
+        degrees += delta;
+        return *this;
+    }
+};
+
+/** Electrical power in watts. */
+struct Watts
+{
+    double watts = 0.0;
+
+    constexpr Watts() = default;
+    constexpr explicit Watts(double w) : watts(w) {}
+
+    constexpr double value() const { return watts; }
+    constexpr double kilo() const { return watts / 1000.0; }
+
+    constexpr auto operator<=>(const Watts &) const = default;
+
+    constexpr Watts operator+(const Watts &o) const
+    { return Watts(watts + o.watts); }
+    constexpr Watts operator-(const Watts &o) const
+    { return Watts(watts - o.watts); }
+    constexpr Watts operator*(double k) const { return Watts(watts * k); }
+    constexpr double operator/(const Watts &o) const
+    { return watts / o.watts; }
+
+    constexpr Watts &
+    operator+=(const Watts &o)
+    {
+        watts += o.watts;
+        return *this;
+    }
+};
+
+/** Convenience literal-style constructor for kilowatts. */
+constexpr Watts
+kilowatts(double kw)
+{
+    return Watts(kw * 1000.0);
+}
+
+/** Volumetric airflow in cubic feet per minute. */
+struct Cfm
+{
+    double cfm = 0.0;
+
+    constexpr Cfm() = default;
+    constexpr explicit Cfm(double c) : cfm(c) {}
+
+    constexpr double value() const { return cfm; }
+
+    constexpr auto operator<=>(const Cfm &) const = default;
+
+    constexpr Cfm operator+(const Cfm &o) const { return Cfm(cfm + o.cfm); }
+    constexpr Cfm operator-(const Cfm &o) const { return Cfm(cfm - o.cfm); }
+    constexpr Cfm operator*(double k) const { return Cfm(cfm * k); }
+    constexpr double operator/(const Cfm &o) const { return cfm / o.cfm; }
+
+    constexpr Cfm &
+    operator+=(const Cfm &o)
+    {
+        cfm += o.cfm;
+        return *this;
+    }
+};
+
+} // namespace tapas
+
+#endif // TAPAS_COMMON_UNITS_HH

@@ -1,0 +1,244 @@
+#include "core/allocator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+std::optional<ServerId>
+BaselineAllocator::place(const PlacementRequest &request,
+                         const ClusterView &view)
+{
+    (void)request;
+    const DatacenterLayout &layout = *view.layout;
+
+    // Protean-style packing: prefer the emptiest tail of the most
+    // utilized racks so VMs concentrate, leaving whole racks free.
+    std::optional<ServerId> best;
+    int best_score = -1;
+    for (const Server &server : layout.servers()) {
+        if (view.occupied[server.id.index])
+            continue;
+        int occupied_in_rack = 0;
+        for (ServerId sibling : layout.rack(server.rack).servers) {
+            if (view.occupied[sibling.index])
+                ++occupied_in_rack;
+        }
+        if (occupied_in_rack > best_score) {
+            best_score = occupied_in_rack;
+            best = server.id;
+        }
+    }
+    return best;
+}
+
+namespace {
+
+/**
+ * Heat/load level the configurator can always push a SaaS instance
+ * down to; budget validators count SaaS at this controllable floor
+ * because TAPAS reclaims that slack at runtime (Section 4.4:
+ * oversubscription leverages the slack TAPAS creates).
+ */
+constexpr double kSaasControllableLoad = 0.45;
+
+/** Per-server predicted peak load map from the placed VM views. */
+std::vector<double>
+peakLoadByServer(const ClusterView &view)
+{
+    std::vector<double> peaks(view.layout->serverCount(), 0.0);
+    for (const PlacedVmView &vm : view.vms) {
+        double peak = vm.predictedPeakLoad;
+        if (vm.kind == VmKind::SaaS)
+            peak = std::min(peak, kSaasControllableLoad);
+        peaks[vm.server.index] = peak;
+    }
+    return peaks;
+}
+
+} // namespace
+
+double
+TapasAllocator::predictedAisleAirflow(const ClusterView &view,
+                                      AisleId aisle,
+                                      ServerId extra_server,
+                                      double extra_peak_load)
+{
+    tapas_assert(view.profiles, "TAPAS allocator needs profiles");
+    const std::vector<double> peaks = peakLoadByServer(view);
+    double total = 0.0;
+    for (ServerId sid : view.layout->aisle(aisle).servers) {
+        double load = peaks[sid.index];
+        if (extra_server.valid() && sid == extra_server)
+            load = std::max(load, extra_peak_load);
+        total += view.profiles->predictServerAirflowCfm(sid, load);
+    }
+    return total;
+}
+
+double
+TapasAllocator::predictedRowPower(const ClusterView &view, RowId row,
+                                  ServerId extra_server,
+                                  double extra_peak_load)
+{
+    tapas_assert(view.profiles, "TAPAS allocator needs profiles");
+    const std::vector<double> peaks = peakLoadByServer(view);
+    double total = 0.0;
+    for (ServerId sid : view.layout->row(row).servers) {
+        double load = peaks[sid.index];
+        const bool is_occupied = view.occupied[sid.index];
+        if (extra_server.valid() && sid == extra_server)
+            load = std::max(load, extra_peak_load);
+        else if (!is_occupied)
+            load = 0.0;
+        total += view.profiles->predictServerPowerW(sid, load);
+    }
+    return total;
+}
+
+std::optional<ServerId>
+TapasAllocator::place(const PlacementRequest &request,
+                      const ClusterView &view)
+{
+    tapas_assert(view.profiles, "TAPAS allocator needs profiles");
+    const DatacenterLayout &layout = *view.layout;
+    const ProfileBank &profiles = *view.profiles;
+
+    // Pre-compute per-row VM mix for the balance rule.
+    std::vector<int> row_iaas(layout.rowCount(), 0);
+    std::vector<int> row_saas(layout.rowCount(), 0);
+    for (const PlacedVmView &vm : view.vms) {
+        const RowId row = layout.server(vm.server).row;
+        if (vm.kind == VmKind::IaaS) {
+            ++row_iaas[row.index];
+        } else {
+            ++row_saas[row.index];
+        }
+    }
+
+    std::optional<ServerId> best;
+    double best_score = -1e18;
+    // Soft fallback: the thermal margin is a preference, not a
+    // physical limit; if no server clears it, place on the coolest
+    // projection rather than starving the VM.
+    std::optional<ServerId> fallback;
+    double fallback_hottest = 1e18;
+
+    // Precompute aggregate peak demands once; per candidate only the
+    // candidate's own delta changes (keeps place() linear).
+    const std::vector<double> peaks = peakLoadByServer(view);
+    std::vector<double> aisle_base(layout.aisleCount(), 0.0);
+    std::vector<double> row_base(layout.rowCount(), 0.0);
+    for (const Server &server : layout.servers()) {
+        const double peak = view.occupied[server.id.index]
+            ? peaks[server.id.index]
+            : 0.0;
+        aisle_base[server.aisle.index] +=
+            profiles.predictServerAirflowCfm(server.id, peak);
+        row_base[server.row.index] +=
+            profiles.predictServerPowerW(server.id, peak);
+    }
+
+    for (const Server &server : layout.servers()) {
+        if (view.occupied[server.id.index])
+            continue;
+
+        // --- Validator rule: Eq. 3 (airflow) and Eq. 4 (power).
+        // SaaS requests count at their controllable floor. ---
+        const double request_peak = request.kind == VmKind::SaaS
+            ? std::min(request.predictedPeakLoad,
+                       kSaasControllableLoad)
+            : request.predictedPeakLoad;
+        const double aisle_demand =
+            aisle_base[server.aisle.index] -
+            profiles.predictServerAirflowCfm(server.id, 0.0) +
+            profiles.predictServerAirflowCfm(server.id,
+                                             request_peak);
+        const double aisle_budget =
+            view.cooling->effectiveProvision(server.aisle).value();
+        if (aisle_demand > aisle_budget)
+            continue;
+
+        const double row_demand =
+            row_base[server.row.index] -
+            profiles.predictServerPowerW(server.id, 0.0) +
+            profiles.predictServerPowerW(server.id, request_peak);
+        const double row_budget =
+            view.power->effectiveRowProvision(server.row).value();
+        if (row_demand > row_budget)
+            continue;
+
+        // Project the hottest GPU at the VM's predicted peak via the
+        // fitted Eq. 2 (hot-summer inlet assumption) and refuse any
+        // server that would flirt with the throttle point.
+        const ServerSpec &spec = layout.specOf(server.id);
+        // Design-day conservatism: a placement lives for weeks, so
+        // project against a hot afternoon at high datacenter load.
+        const double inlet = profiles.predictInletC(
+            server.id, std::max(view.outsideC, 34.0), 1.0);
+        const double per_gpu_w = spec.gpuIdlePower.value() +
+            (spec.gpuMaxPower.value() - spec.gpuIdlePower.value()) *
+                request.predictedPeakLoad;
+        const double hottest =
+            profiles.predictHottestGpuC(server.id, inlet, per_gpu_w);
+        const double throttle = spec.throttleTemp.value();
+        if (hottest > throttle - cfg.gpuTempMarginC) {
+            if (hottest < fallback_hottest) {
+                fallback_hottest = hottest;
+                fallback = server.id;
+            }
+            continue;
+        }
+        // Thermal headroom score: the paper's "place hotter IaaS VMs
+        // in cooler servers" selects the lowest projected peak GPU
+        // temperature; SaaS tolerates warmth (it can be reconfigured
+        // or rerouted away later).
+        const double headroom_frac =
+            std::clamp((throttle - hottest) / 25.0, 0.0, 1.0);
+        const double thermal_score =
+            request.kind == VmKind::IaaS ? 2.0 * headroom_frac
+                                         : 0.5 * headroom_frac;
+
+        // --- Preference rule 1: temperature class. ---
+        const ThermalClass klass = profiles.thermalClass(server.id);
+        double class_score = 0.0;
+        if (request.kind == VmKind::IaaS) {
+            class_score = klass == ThermalClass::Cold ? 2.0
+                : klass == ThermalClass::Medium      ? 1.0
+                                                     : 0.0;
+        } else {
+            class_score = klass == ThermalClass::Warm ? 2.0
+                : klass == ThermalClass::Medium      ? 1.0
+                                                     : 0.0;
+        }
+
+        // --- Preference rule 2: IaaS/SaaS balance in the row. ---
+        int iaas = row_iaas[server.row.index];
+        int saas = row_saas[server.row.index];
+        if (request.kind == VmKind::IaaS) {
+            ++iaas;
+        } else {
+            ++saas;
+        }
+        const int total = iaas + saas;
+        const double balance_score = total > 0
+            ? 1.0 - std::abs(iaas - saas) / static_cast<double>(total)
+            : 1.0;
+
+        // --- Headroom tie-break: spread peaks across rows. ---
+        const double headroom_score =
+            row_budget > 0.0 ? 1.0 - row_demand / row_budget : 0.0;
+
+        const double score = 2.0 * class_score +
+            1.0 * balance_score + 3.0 * headroom_score +
+            thermal_score;
+        if (score > best_score) {
+            best_score = score;
+            best = server.id;
+        }
+    }
+    return best.has_value() ? best : fallback;
+}
+
+} // namespace tapas

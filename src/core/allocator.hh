@@ -1,0 +1,95 @@
+/**
+ * @file
+ * VM placement policies (paper Section 4.1).
+ *
+ * BaselineAllocator models the traditional rule-based allocator
+ * (Protean-style packing, thermal/power-oblivious). TapasAllocator
+ * implements the three TAPAS rules: a validator that filters aisles
+ * and rows whose predicted peak airflow/power would exceed
+ * provisioning (Eqs. 3-4), a temperature preference (IaaS to cool
+ * servers, SaaS to warm servers), and an IaaS/SaaS balance
+ * preference, with headroom-based tie-breaking.
+ */
+
+#ifndef TAPAS_CORE_ALLOCATOR_HH
+#define TAPAS_CORE_ALLOCATOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/context.hh"
+
+namespace tapas {
+
+/** A VM awaiting placement. */
+struct PlacementRequest
+{
+    VmId id;
+    VmKind kind = VmKind::IaaS;
+    EndpointId endpoint;
+    CustomerId customer;
+    /** Predicted peak load of the VM (templates; 1.0 = assume peak). */
+    double predictedPeakLoad = 1.0;
+};
+
+/** Placement policy interface. */
+class VmAllocator
+{
+  public:
+    virtual ~VmAllocator() = default;
+
+    /**
+     * Choose a server for the VM, or nullopt when the cluster has no
+     * acceptable server (caller queues the VM).
+     */
+    virtual std::optional<ServerId>
+    place(const PlacementRequest &request,
+          const ClusterView &view) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** Packing-first, thermal/power-oblivious placement. */
+class BaselineAllocator : public VmAllocator
+{
+  public:
+    std::optional<ServerId> place(const PlacementRequest &request,
+                                  const ClusterView &view) override;
+
+    const char *name() const override { return "baseline"; }
+};
+
+/** TAPAS rule-pipeline placement. */
+class TapasAllocator : public VmAllocator
+{
+  public:
+    explicit TapasAllocator(const TapasPolicyConfig &config)
+        : cfg(config)
+    {}
+
+    std::optional<ServerId> place(const PlacementRequest &request,
+                                  const ClusterView &view) override;
+
+    const char *name() const override { return "tapas"; }
+
+    /**
+     * Predicted peak airflow demand of an aisle (CFM), including an
+     * optional extra VM at the given server.
+     */
+    static double predictedAisleAirflow(const ClusterView &view,
+                                        AisleId aisle,
+                                        ServerId extra_server,
+                                        double extra_peak_load);
+
+    /** Predicted peak power demand of a row (W), incl. optional VM. */
+    static double predictedRowPower(const ClusterView &view,
+                                    RowId row, ServerId extra_server,
+                                    double extra_peak_load);
+
+  private:
+    TapasPolicyConfig cfg;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_CORE_ALLOCATOR_HH

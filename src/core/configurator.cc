@@ -1,0 +1,198 @@
+#include "core/configurator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+namespace {
+/** Demand headroom factor for right-sized configurations. */
+constexpr double kDemandHeadroom = 1.5;
+} // namespace
+
+InstanceConfigurator::InstanceConfigurator(
+    const PerfModel &perf_, const TapasPolicyConfig &config)
+    : perf(perf_), cfg(config), space(perf_.allProfiles())
+{
+    // Pre-sort: quality first (last-resort ordering), then goodput.
+    std::sort(space.begin(), space.end(),
+              [](const ConfigProfile &a, const ConfigProfile &b) {
+                  if (a.quality != b.quality)
+                      return a.quality > b.quality;
+                  return a.goodputTps > b.goodputTps;
+              });
+}
+
+bool
+InstanceConfigurator::feasible(ServerId server,
+                               const ProfileBank &profiles,
+                               const InstanceLimits &limits,
+                               const ConfigProfile &profile,
+                               double demand_tps) const
+{
+    if (profile.goodputTps <= 0.0)
+        return false;
+    const PerfModel::OperatingPoint op =
+        perf.operatingPointAt(profile,
+                              std::min(demand_tps,
+                                       profile.goodputTps));
+
+    if (op.serverPower.value() > limits.maxServerPowerW)
+        return false;
+
+    const double hottest = profiles.predictHottestGpuC(
+        server, limits.inletC, op.gpuPower.value());
+    if (hottest > limits.maxGpuTempC)
+        return false;
+
+    // Airflow tracks heat: normalized GPU draw across the server.
+    const ServerSpec &spec = perf.spec();
+    const double idle_sum =
+        spec.gpuIdlePower.value() * spec.gpusPerServer;
+    const double max_sum =
+        spec.gpuMaxPower.value() * spec.gpusPerServer;
+    const double gpu_total = op.gpuPower.value() *
+            profile.activeGpus +
+        spec.gpuIdlePower.value() *
+            (spec.gpusPerServer - profile.activeGpus);
+    const double heat = max_sum > idle_sum
+        ? std::clamp((gpu_total - idle_sum) / (max_sum - idle_sum),
+                     0.0, 1.0)
+        : 0.0;
+    const double airflow =
+        profiles.predictServerAirflowCfm(server, heat);
+    return airflow <= limits.maxAirflowCfm;
+}
+
+ConfigDecision
+InstanceConfigurator::choose(ServerId server,
+                             const ProfileBank &profiles,
+                             const InstanceLimits &limits,
+                             double demand_tps, double quality_floor,
+                             const ConfigProfile &current) const
+{
+    // Demand must be met with headroom so diurnal ramps do not
+    // immediately outrun the chosen configuration.
+    const double target_tps = demand_tps * kDemandHeadroom;
+
+    auto power_at_demand = [&](const ConfigProfile &p) {
+        const double capped =
+            std::min(demand_tps, std::max(1.0, p.goodputTps));
+        return perf.operatingPointAt(p, capped)
+            .serverPower.value();
+    };
+    // Bias candidate ranking against reload-requiring switches: a
+    // TP/model/quant change must beat free alternatives by the
+    // reload margin to be worth the blackout.
+    auto ranking_power = [&](const ConfigProfile &p) {
+        const double power = power_at_demand(p);
+        return p.config.requiresReload(current.config)
+            ? power * cfg.reloadHysteresisGain
+            : power;
+    };
+
+    // Selection: among feasible configs at/above the quality floor,
+    // prefer (1) highest quality, (2) meeting demand+headroom,
+    // (3) minimum power at the current demand (right-sizing),
+    // falling back to maximum goodput when demand cannot be met.
+    const ConfigProfile *best = nullptr;
+    bool best_meets = false;
+    double best_power = 1e300;
+
+    for (const ConfigProfile &cand : space) {
+        if (cand.quality < quality_floor)
+            continue;
+        if (!feasible(server, profiles, limits, cand, demand_tps))
+            continue;
+        const bool meets = cand.goodputTps >= target_tps;
+        const double power = ranking_power(cand);
+        bool take = false;
+        if (!best) {
+            take = true;
+        } else if (cand.quality > best->quality) {
+            // Space is quality-sorted descending, so this only
+            // happens on the first candidate; kept for clarity.
+            take = true;
+        } else if (cand.quality == best->quality) {
+            if (meets && !best_meets) {
+                take = true;
+            } else if (meets == best_meets) {
+                take = meets
+                    ? power < best_power
+                    : cand.goodputTps > best->goodputTps;
+            }
+        } else if (meets && !best_meets) {
+            // Lower quality only buys its way in by meeting demand
+            // the higher quality could not (emergency last resort).
+            take = true;
+        }
+        if (take) {
+            best = &cand;
+            best_meets = meets;
+            best_power = power;
+        }
+    }
+
+    ConfigDecision out;
+    if (!best) {
+        // Nothing satisfies the limits: fall to the lowest-power
+        // config at the current demand, preferring higher goodput
+        // among near-equals so service degrades as little as the
+        // power situation allows.
+        const ConfigProfile *mildest = nullptr;
+        double mildest_w = 1e300;
+        for (const ConfigProfile &cand : space) {
+            if (cand.quality < quality_floor ||
+                cand.goodputTps <= 0.0) {
+                continue;
+            }
+            const double w = power_at_demand(cand);
+            const bool better = w < mildest_w * 0.98 ||
+                (w < mildest_w * 1.02 && mildest &&
+                 cand.goodputTps > mildest->goodputTps);
+            if (!mildest || better) {
+                mildest_w = std::min(mildest_w, w);
+                mildest = &cand;
+            }
+        }
+        tapas_assert(mildest, "config space cannot be empty");
+        out.profile = *mildest;
+        out.infeasible = true;
+        out.changed = !(out.profile.config == current.config);
+        return out;
+    }
+
+    // Hysteresis: keep the current config when it is feasible, of
+    // equal quality and demand coverage, and the winner's power
+    // advantage is marginal.
+    const bool current_ok =
+        current.quality >= quality_floor &&
+        feasible(server, profiles, limits, current, demand_tps);
+    if (current_ok && !(best->config == current.config)) {
+        const bool current_meets =
+            current.goodputTps >= target_tps;
+        const double current_power = power_at_demand(current);
+        // Reload-requiring switches (TP/model/quant) carry a
+        // blackout, so they must buy a much larger gain.
+        const double gain_bar =
+            best->config.requiresReload(current.config)
+            ? cfg.reloadHysteresisGain
+            : cfg.hysteresisGain;
+        const bool marginal_gain =
+            power_at_demand(*best) * gain_bar >= current_power;
+        if (best_meets == current_meets &&
+            best->quality <= current.quality && marginal_gain) {
+            out.profile = current;
+            out.changed = false;
+            return out;
+        }
+    }
+
+    out.profile = *best;
+    out.changed = !(best->config == current.config);
+    return out;
+}
+
+} // namespace tapas

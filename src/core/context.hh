@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared read-only views and policy configuration passed from the
+ * cluster simulator into the TAPAS decision components.
+ */
+
+#ifndef TAPAS_CORE_CONTEXT_HH
+#define TAPAS_CORE_CONTEXT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "dcsim/layout.hh"
+#include "dcsim/power.hh"
+#include "dcsim/thermal.hh"
+#include "telemetry/profiles.hh"
+#include "workload/vmtrace.hh"
+
+namespace tapas {
+
+/** Summary of a placed VM as decision components see it. */
+struct PlacedVmView
+{
+    VmId id;
+    VmKind kind = VmKind::IaaS;
+    ServerId server;
+    EndpointId endpoint;
+    CustomerId customer;
+    /** Predicted peak load of this VM (history templates or 1.0). */
+    double predictedPeakLoad = 1.0;
+    /** Current observed load fraction. */
+    double currentLoad = 0.0;
+};
+
+/** Snapshot of cluster state for placement and risk decisions. */
+struct ClusterView
+{
+    const DatacenterLayout *layout = nullptr;
+    const CoolingPlant *cooling = nullptr;
+    const PowerHierarchy *power = nullptr;
+    /** Fitted profiles; null for profile-oblivious baselines. */
+    const ProfileBank *profiles = nullptr;
+
+    SimTime now = 0;
+    double outsideC = 20.0;
+    double dcLoadFrac = 0.5;
+
+    /** Current per-server load fractions, indexed by server id. */
+    std::vector<double> serverLoads;
+    /** All currently placed VMs. */
+    std::vector<PlacedVmView> vms;
+    /** Per-server occupancy (each GPU VM takes a whole server). */
+    std::vector<bool> occupied;
+};
+
+/** Tunable policy parameters of TAPAS (Section 4.5 defaults). */
+struct TapasPolicyConfig
+{
+    /** Enable thermal/power-aware VM placement. */
+    bool placeEnabled = true;
+    /** Enable risk-aware request routing. */
+    bool routeEnabled = true;
+    /** Enable instance reconfiguration. */
+    bool configEnabled = true;
+
+    /** Keep predicted hottest GPU this far below throttle. */
+    double gpuTempMarginC = 8.0;
+    /** Row power headroom fraction kept in reserve when routing. */
+    double rowPowerMarginFrac = 0.04;
+    /** Aisle airflow headroom fraction kept in reserve. */
+    double airflowMarginFrac = 0.04;
+    /** Projected TTFT above this fraction of the TTFT SLO makes a
+     *  VM a performance risk the router filters. */
+    double perfRiskLoad = 0.80;
+    /** Projected-TTFT bar (fraction of the TTFT SLO) under which
+     *  the energy policy keeps concentrating load onto a VM. */
+    double concentrationCeiling = 0.50;
+    /** Risk cache refresh period (paper: 5 minutes). */
+    SimTime riskRefreshPeriod = 5 * kMinute;
+    /** Model-reload blackout applied on instance reconfigs. */
+    double reloadDelayS = 12.0;
+    /** Minimum power gain that justifies a free (freq/batch)
+     *  reconfig. */
+    double hysteresisGain = 1.05;
+    /** Minimum power gain that justifies a model-reload reconfig
+     *  (TP/model/quant changes black the instance out). */
+    double reloadHysteresisGain = 1.20;
+    /** Minimum time between reload-requiring reconfigs of one
+     *  instance, except emergency downgrades (prevents blackout
+     *  oscillation at feasibility boundaries). */
+    SimTime reloadDwell = 30 * kMinute;
+    /** Quality floor during normal operation (no quality impact). */
+    double normalQualityFloor = 0.999;
+    /** Quality floor during emergencies (Table 2 last resort). */
+    double emergencyQualityFloor = 0.60;
+
+    /** Enable periodic SaaS migration (Section 4.1 extension). */
+    bool migrationEnabled = false;
+    /** How often the migration planner runs. */
+    SimTime migrationPeriod = kHour;
+    /** Traffic-cutover blackout applied to a migrating instance. */
+    double migrationDelayS = 30.0;
+    /** Max moves per planning round. */
+    int migrationMaxMoves = 2;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_CORE_CONTEXT_HH

@@ -1,0 +1,60 @@
+#include "core/failure.hh"
+
+namespace tapas {
+
+FailureManager::FailureManager(CoolingPlant &cooling_,
+                               PowerHierarchy &power_,
+                               const DatacenterLayout &layout_)
+    : cooling(cooling_), power(power_), layout(layout_)
+{
+}
+
+void
+FailureManager::triggerThermalEmergency(double remaining_frac)
+{
+    for (const Aisle &aisle : layout.aisles())
+        cooling.failAhu(aisle.id, remaining_frac);
+}
+
+void
+FailureManager::triggerPowerEmergency(double remaining_frac)
+{
+    power.failUps(UpsId(0), remaining_frac);
+}
+
+void
+FailureManager::failAisle(AisleId id, double remaining_frac)
+{
+    cooling.failAhu(id, remaining_frac);
+}
+
+void
+FailureManager::failUps(UpsId id, double remaining_frac)
+{
+    power.failUps(id, remaining_frac);
+}
+
+void
+FailureManager::clearAll()
+{
+    for (const Aisle &aisle : layout.aisles())
+        cooling.restoreAhu(aisle.id);
+    for (const Ups &ups : layout.upses())
+        power.restoreUps(ups.id);
+}
+
+EmergencyKind
+FailureManager::active() const
+{
+    const bool thermal = cooling.anyFailure();
+    const bool electric = power.anyFailure();
+    if (thermal && electric)
+        return EmergencyKind::Both;
+    if (thermal)
+        return EmergencyKind::Thermal;
+    if (electric)
+        return EmergencyKind::Power;
+    return EmergencyKind::None;
+}
+
+} // namespace tapas

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Emergency handling (paper Section 4.4 and 5.4).
+ *
+ * Thermal emergency: an AHU failure derates aisle airflow to 90% of
+ * design. Power emergency: a UPS failure derates row power budgets to
+ * 75%. The FailureManager mutates the plant objects (the same ones
+ * the ground-truth simulation enforces) so both the physics and
+ * TAPAS's risk views see the new limits immediately.
+ */
+
+#ifndef TAPAS_CORE_FAILURE_HH
+#define TAPAS_CORE_FAILURE_HH
+
+#include "dcsim/power.hh"
+#include "dcsim/thermal.hh"
+
+namespace tapas {
+
+/** Emergency kind currently in effect. */
+enum class EmergencyKind { None, Thermal, Power, Both };
+
+/** Injects and clears infrastructure failures. */
+class FailureManager
+{
+  public:
+    FailureManager(CoolingPlant &cooling, PowerHierarchy &power,
+                   const DatacenterLayout &layout);
+
+    /** Datacenter-wide AHU degradation (default 90% capacity). */
+    void triggerThermalEmergency(double remaining_frac = 0.90);
+
+    /** UPS failure; all row budgets drop (default 75% capacity). */
+    void triggerPowerEmergency(double remaining_frac = 0.75);
+
+    /** Degrade a single aisle's AHU group. */
+    void failAisle(AisleId id, double remaining_frac);
+
+    /** Fail a specific UPS. */
+    void failUps(UpsId id, double remaining_frac = 0.75);
+
+    /** Restore everything to design capacity. */
+    void clearAll();
+
+    EmergencyKind active() const;
+
+  private:
+    CoolingPlant &cooling;
+    PowerHierarchy &power;
+    const DatacenterLayout &layout;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_CORE_FAILURE_HH

@@ -1,0 +1,108 @@
+#include "core/migration.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+std::optional<MigrationPlan>
+MigrationPlanner::planOne(const ClusterView &view)
+{
+    tapas_assert(view.profiles, "migration planning needs profiles");
+    const DatacenterLayout &layout = *view.layout;
+
+    // Rank rows by predicted peak power utilization.
+    RowId donor;
+    double worst_util = 0.0;
+    for (const Row &row : layout.rows()) {
+        const double demand = TapasAllocator::predictedRowPower(
+            view, row.id, ServerId(), 0.0);
+        const double budget =
+            view.power->effectiveRowProvision(row.id).value();
+        if (budget <= 0.0)
+            continue;
+        const double util = demand / budget;
+        if (util > worst_util) {
+            worst_util = util;
+            donor = row.id;
+        }
+    }
+    if (!donor.valid())
+        return std::nullopt;
+
+    // Candidate: the SaaS VM with the highest predicted peak in the
+    // donor row (moving it relieves the most pressure).
+    const PlacedVmView *candidate = nullptr;
+    for (const PlacedVmView &vm : view.vms) {
+        if (vm.kind != VmKind::SaaS)
+            continue;
+        if (!(layout.server(vm.server).row == donor))
+            continue;
+        if (!candidate ||
+            vm.predictedPeakLoad > candidate->predictedPeakLoad) {
+            candidate = &vm;
+        }
+    }
+    if (!candidate)
+        return std::nullopt;
+
+    // Re-place through the allocator on a view with the VM removed.
+    ClusterView without = view;
+    without.occupied[candidate->server.index] = false;
+    without.vms.erase(
+        std::remove_if(without.vms.begin(), without.vms.end(),
+                       [&](const PlacedVmView &vm) {
+                           return vm.id == candidate->id;
+                       }),
+        without.vms.end());
+
+    PlacementRequest request;
+    request.id = candidate->id;
+    request.kind = VmKind::SaaS;
+    request.endpoint = candidate->endpoint;
+    request.predictedPeakLoad = candidate->predictedPeakLoad;
+
+    TapasAllocator allocator(cfg);
+    const auto target = allocator.place(request, without);
+    if (!target.has_value())
+        return std::nullopt;
+    // A move within the same row relieves nothing.
+    if (layout.server(*target).row == donor)
+        return std::nullopt;
+
+    MigrationPlan plan;
+    plan.vm = candidate->id;
+    plan.from = candidate->server;
+    plan.to = *target;
+    plan.donorRowPeakW = TapasAllocator::predictedRowPower(
+        view, donor, ServerId(), 0.0);
+    plan.donorRowAfterW = TapasAllocator::predictedRowPower(
+        without, donor, ServerId(), 0.0);
+    if (plan.donorRowAfterW >= plan.donorRowPeakW)
+        return std::nullopt;
+    return plan;
+}
+
+std::vector<MigrationPlan>
+MigrationPlanner::plan(const ClusterView &view, int max_moves)
+{
+    std::vector<MigrationPlan> out;
+    ClusterView working = view;
+    for (int i = 0; i < max_moves; ++i) {
+        const auto move = planOne(working);
+        if (!move.has_value())
+            break;
+        out.push_back(*move);
+        // Apply the move to the working view for the next round.
+        working.occupied[move->from.index] = false;
+        working.occupied[move->to.index] = true;
+        for (PlacedVmView &vm : working.vms) {
+            if (vm.id == move->vm)
+                vm.server = move->to;
+        }
+    }
+    return out;
+}
+
+} // namespace tapas

@@ -1,0 +1,115 @@
+#include "core/risk.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+void
+RiskAssessor::refresh(const ClusterView &view,
+                      const std::vector<double> &gpu_power_w)
+{
+    tapas_assert(view.profiles, "risk assessment needs profiles");
+    const DatacenterLayout &layout = *view.layout;
+    const ProfileBank &profiles = *view.profiles;
+    const int gpus = layout.specs().front().gpusPerServer;
+    tapas_assert(gpu_power_w.size() ==
+                 layout.serverCount() *
+                 static_cast<std::size_t>(gpus),
+                 "per-GPU power vector has wrong size");
+
+    risks.assign(layout.serverCount(), ServerRisk{});
+
+    // Aisle airflow demand from predicted airflow at current loads.
+    for (const Aisle &aisle : layout.aisles()) {
+        double demand = 0.0;
+        for (ServerId sid : aisle.servers) {
+            demand += profiles.predictServerAirflowCfm(
+                sid, view.serverLoads[sid.index]);
+        }
+        const double budget =
+            view.cooling->effectiveProvision(aisle.id).value();
+        const double headroom = budget - demand;
+        const bool risky =
+            headroom < cfg.airflowMarginFrac * budget;
+        for (ServerId sid : aisle.servers) {
+            risks[sid.index].aisleHeadroomCfm = headroom;
+            risks[sid.index].airflowRisk = risky;
+        }
+    }
+
+    // Row power demand from predicted power at current loads.
+    for (const Row &row : layout.rows()) {
+        double demand = 0.0;
+        for (ServerId sid : row.servers) {
+            demand += profiles.predictServerPowerW(
+                sid, view.serverLoads[sid.index]);
+        }
+        const double budget =
+            view.power->effectiveRowProvision(row.id).value();
+        const double headroom = budget - demand;
+        const bool risky =
+            headroom < cfg.rowPowerMarginFrac * budget;
+        for (ServerId sid : row.servers) {
+            risks[sid.index].rowHeadroomW = headroom;
+            risks[sid.index].powerRisk = risky;
+        }
+    }
+
+    // Per-server projected hottest GPU (Eq. 2 with fitted models).
+    for (const Server &server : layout.servers()) {
+        const double inlet = profiles.predictInletC(
+            server.id, view.outsideC, view.dcLoadFrac);
+        double hottest = -1e9;
+        for (int g = 0; g < gpus; ++g) {
+            const double watts = gpu_power_w[
+                server.id.index * static_cast<std::size_t>(gpus) +
+                static_cast<std::size_t>(g)];
+            hottest = std::max(
+                hottest, profiles.predictGpuTempC(server.id, g,
+                                                  inlet, watts));
+        }
+        ServerRisk &entry = risks[server.id.index];
+        entry.predictedHottestGpuC = hottest;
+        const double limit =
+            layout.specOf(server.id).throttleTemp.value() -
+            cfg.gpuTempMarginC;
+        entry.thermalRisk = hottest > limit;
+    }
+
+    lastRefreshAt = view.now;
+}
+
+bool
+RiskAssessor::maybeRefresh(const ClusterView &view,
+                           const std::vector<double> &gpu_power_w)
+{
+    if (lastRefreshAt >= 0 &&
+        view.now - lastRefreshAt < cfg.riskRefreshPeriod) {
+        return false;
+    }
+    refresh(view, gpu_power_w);
+    return true;
+}
+
+const ServerRisk &
+RiskAssessor::risk(ServerId id) const
+{
+    tapas_assert(id.index < risks.size(),
+                 "risk queried before refresh or for unknown server");
+    return risks[id.index];
+}
+
+std::size_t
+RiskAssessor::flaggedCount() const
+{
+    std::size_t count = 0;
+    for (const ServerRisk &entry : risks) {
+        if (entry.any())
+            ++count;
+    }
+    return count;
+}
+
+} // namespace tapas

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cached thermal/power/airflow risk assessment (paper Section 4.2).
+ *
+ * TAPAS recomputes per-aisle airflow demand, per-row power demand,
+ * and per-server projected GPU temperature every five minutes (or on
+ * demand when discrepancies appear) and the request router filters
+ * VMs on servers flagged at any of the three constraint levels.
+ */
+
+#ifndef TAPAS_CORE_RISK_HH
+#define TAPAS_CORE_RISK_HH
+
+#include <vector>
+
+#include "core/context.hh"
+
+namespace tapas {
+
+/** Per-server risk flags with supporting numbers. */
+struct ServerRisk
+{
+    bool thermalRisk = false;
+    bool powerRisk = false;
+    bool airflowRisk = false;
+
+    double predictedHottestGpuC = 0.0;
+    double rowHeadroomW = 0.0;
+    double aisleHeadroomCfm = 0.0;
+
+    bool any() const
+    { return thermalRisk || powerRisk || airflowRisk; }
+};
+
+/** Periodically refreshed risk cache. */
+class RiskAssessor
+{
+  public:
+    explicit RiskAssessor(const TapasPolicyConfig &config)
+        : cfg(config)
+    {}
+
+    /**
+     * Recompute all risk entries from the current view and measured
+     * per-GPU power (flattened [server * gpus + gpu], watts).
+     */
+    void refresh(const ClusterView &view,
+                 const std::vector<double> &gpu_power_w);
+
+    /**
+     * Refresh only if the cache is older than the configured period.
+     * Returns true when a refresh happened.
+     */
+    bool maybeRefresh(const ClusterView &view,
+                      const std::vector<double> &gpu_power_w);
+
+    bool fresh() const { return !risks.empty(); }
+    SimTime lastRefresh() const { return lastRefreshAt; }
+
+    const ServerRisk &risk(ServerId id) const;
+
+    /** Count of servers currently flagged (for tests/metrics). */
+    std::size_t flaggedCount() const;
+
+  private:
+    TapasPolicyConfig cfg;
+    std::vector<ServerRisk> risks;
+    SimTime lastRefreshAt = -1;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_CORE_RISK_HH

@@ -1,0 +1,147 @@
+#include "core/tapas.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+TapasController::TapasController(const TapasPolicyConfig &config,
+                                 const DatacenterLayout &layout_,
+                                 CoolingPlant &cooling_,
+                                 PowerHierarchy &power_,
+                                 const ProfileBank *profiles_,
+                                 const PerfModel *perf_)
+    : cfg(config), layout(layout_), cooling(cooling_), power(power_),
+      profiles(profiles_), perf(perf_)
+{
+    if (cfg.placeEnabled) {
+        tapas_assert(profiles, "Place policy needs fitted profiles");
+        alloc = std::make_unique<TapasAllocator>(cfg);
+    } else {
+        alloc = std::make_unique<BaselineAllocator>();
+    }
+    if (cfg.routeEnabled) {
+        tapas_assert(profiles, "Route policy needs fitted profiles");
+        route = std::make_unique<TapasRouter>(cfg);
+        risk = std::make_unique<RiskAssessor>(cfg);
+    } else {
+        route = std::make_unique<BaselineRouter>();
+    }
+    if (cfg.configEnabled) {
+        tapas_assert(profiles && perf,
+                     "Config policy needs profiles and a perf model");
+        configurator = std::make_unique<InstanceConfigurator>(*perf,
+                                                              cfg);
+    }
+}
+
+void
+TapasController::maybeRefreshRisk(
+    const ClusterView &view, const std::vector<double> &gpu_power_w)
+{
+    if (risk)
+        risk->maybeRefresh(view, gpu_power_w);
+}
+
+void
+TapasController::configurePass(
+    const ClusterView &view,
+    const std::vector<SaasInstanceRef> &instances)
+{
+    if (!configurator || instances.empty())
+        return;
+
+    // --- Per-row unreconfigurable draw and SaaS instance counts. ---
+    std::vector<double> row_fixed_w(layout.rowCount(), 0.0);
+    std::vector<int> row_saas(layout.rowCount(), 0);
+    std::vector<double> aisle_fixed_cfm(layout.aisleCount(), 0.0);
+    std::vector<int> aisle_saas(layout.aisleCount(), 0);
+
+    std::vector<bool> saas_server(layout.serverCount(), false);
+    for (const SaasInstanceRef &inst : instances)
+        saas_server[inst.server.index] = true;
+
+    for (const Server &server : layout.servers()) {
+        if (saas_server[server.id.index]) {
+            ++row_saas[server.row.index];
+            ++aisle_saas[server.aisle.index];
+            continue;
+        }
+        const double load = view.occupied[server.id.index]
+            ? view.serverLoads[server.id.index]
+            : 0.0;
+        row_fixed_w[server.row.index] +=
+            profiles->predictServerPowerW(server.id, load);
+        aisle_fixed_cfm[server.aisle.index] +=
+            profiles->predictServerAirflowCfm(server.id, load);
+    }
+
+    const bool emergency =
+        cooling.anyFailure() || power.anyFailure();
+    const double quality_floor = emergency
+        ? cfg.emergencyQualityFloor
+        : cfg.normalQualityFloor;
+
+    for (const SaasInstanceRef &inst : instances) {
+        if (inst.engine->reconfiguring())
+            continue;
+        const Server &server = layout.server(inst.server);
+        const ServerSpec &spec = layout.specOf(inst.server);
+
+        InstanceLimits limits;
+        const double row_budget =
+            power.effectiveRowProvision(server.row).value();
+        const int saas_in_row =
+            std::max(1, row_saas[server.row.index]);
+        limits.maxServerPowerW = std::max(
+            (row_budget - row_fixed_w[server.row.index]) /
+                saas_in_row,
+            profiles->predictServerPowerW(inst.server, 0.0));
+
+        const double aisle_budget =
+            cooling.effectiveProvision(server.aisle).value();
+        const int saas_in_aisle =
+            std::max(1, aisle_saas[server.aisle.index]);
+        limits.maxAirflowCfm = std::max(
+            (aisle_budget - aisle_fixed_cfm[server.aisle.index]) /
+                saas_in_aisle,
+            profiles->predictServerAirflowCfm(inst.server, 0.0));
+
+        limits.maxGpuTempC =
+            spec.throttleTemp.value() - cfg.gpuTempMarginC;
+        limits.inletC = profiles->predictInletC(
+            inst.server, view.outsideC, view.dcLoadFrac);
+
+        const ConfigDecision decision = configurator->choose(
+            inst.server, *profiles, limits, inst.demandTps,
+            quality_floor, inst.engine->profile());
+        if (!decision.changed)
+            continue;
+        // Dwell gate: quality-restoring reloads wait out the dwell
+        // window — and never fire while the emergency is still
+        // active — so instances do not oscillate across feasibility
+        // boundaries; necessity downgrades pass immediately.
+        const ConfigProfile &current = inst.engine->profile();
+        if (decision.profile.config.requiresReload(
+                current.config)) {
+            const bool upgrade =
+                decision.profile.quality >= current.quality;
+            const auto it = lastReloadAt.find(inst.id.index);
+            const bool dwelling = it != lastReloadAt.end() &&
+                view.now - it->second < cfg.reloadDwell;
+            if (upgrade && current.quality < 1.0 &&
+                (emergency || dwelling)) {
+                continue;
+            }
+            if (upgrade && dwelling)
+                continue;
+            lastReloadAt[inst.id.index] = view.now;
+        }
+        inst.engine->requestReconfig(decision.profile,
+                                     cfg.reloadDelayS);
+        ++reconfigCount;
+    }
+}
+
+} // namespace tapas

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * TapasController: the facade wiring placement, routing, risk, and
+ * instance configuration together (paper Fig. 17). The three policy
+ * flags in TapasPolicyConfig produce the eight variants of the
+ * paper's ablation (Baseline, Place, Route, Config, and their
+ * combinations).
+ */
+
+#ifndef TAPAS_CORE_TAPAS_HH
+#define TAPAS_CORE_TAPAS_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/allocator.hh"
+#include "core/configurator.hh"
+#include "core/context.hh"
+#include "core/risk.hh"
+#include "core/router.hh"
+#include "llm/engine.hh"
+
+namespace tapas {
+
+/** Handle to one SaaS instance for the configuration pass. */
+struct SaasInstanceRef
+{
+    VmId id;
+    ServerId server;
+    InferenceEngine *engine = nullptr;
+    /** Current token demand routed to this instance, tokens/s. */
+    double demandTps = 0.0;
+};
+
+/** Central TAPAS orchestration object. */
+class TapasController
+{
+  public:
+    TapasController(const TapasPolicyConfig &config,
+                    const DatacenterLayout &layout,
+                    CoolingPlant &cooling, PowerHierarchy &power,
+                    const ProfileBank *profiles,
+                    const PerfModel *perf);
+
+    const TapasPolicyConfig &config() const { return cfg; }
+
+    VmAllocator &allocator() { return *alloc; }
+    RequestRouter &router() { return *route; }
+
+    /** Risk cache; null when routing is baseline. */
+    RiskAssessor *riskAssessor() { return risk.get(); }
+
+    /** Refresh the risk cache if due (5-minute cadence). */
+    void maybeRefreshRisk(const ClusterView &view,
+                          const std::vector<double> &gpu_power_w);
+
+    /**
+     * Run the instance-configuration pass over all SaaS instances:
+     * derive per-instance limits from row/aisle budgets (after
+     * subtracting unreconfigurable IaaS draw) and issue reconfigs.
+     * No-op when the config policy is disabled.
+     */
+    void configurePass(const ClusterView &view,
+                       const std::vector<SaasInstanceRef> &instances);
+
+    /**
+     * Whether power capping should spare SaaS and hit IaaS first
+     * (TAPAS semantics) versus uniform capping (baseline).
+     */
+    bool capIaasFirst() const
+    { return cfg.routeEnabled || cfg.configEnabled; }
+
+    /** Count of reconfigs issued so far (metrics). */
+    std::uint64_t reconfigsIssued() const { return reconfigCount; }
+
+  private:
+    TapasPolicyConfig cfg;
+    const DatacenterLayout &layout;
+    CoolingPlant &cooling;
+    PowerHierarchy &power;
+    const ProfileBank *profiles;
+    const PerfModel *perf;
+
+    /** Last reload-requiring reconfig per VM (dwell gating). */
+    std::unordered_map<std::uint32_t, SimTime> lastReloadAt;
+
+    std::unique_ptr<VmAllocator> alloc;
+    std::unique_ptr<RequestRouter> route;
+    std::unique_ptr<RiskAssessor> risk;
+    std::unique_ptr<InstanceConfigurator> configurator;
+    std::uint64_t reconfigCount = 0;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_CORE_TAPAS_HH

@@ -1,0 +1,150 @@
+#include "dcsim/layout.hh"
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+DatacenterLayout::DatacenterLayout(const LayoutConfig &config)
+    : cfg(config)
+{
+    if (cfg.aisleCount < 1 || cfg.rowsPerAisle < 1 ||
+        cfg.racksPerRow < 1 || cfg.serversPerRack < 1) {
+        fatal("layout config must have at least one of every entity");
+    }
+    if (cfg.upsCount < 1)
+        fatal("layout needs at least one UPS");
+
+    specList.push_back(cfg.sku == GpuSku::A100 ? ServerSpec::a100()
+                                               : ServerSpec::h100());
+
+    for (int u = 0; u < cfg.upsCount; ++u) {
+        Ups ups;
+        ups.id = UpsId(static_cast<std::uint32_t>(u));
+        upsList.push_back(ups);
+    }
+
+    const int total_rows = cfg.aisleCount * cfg.rowsPerAisle;
+    for (int a = 0; a < cfg.aisleCount; ++a) {
+        Aisle aisle;
+        aisle.id = AisleId(static_cast<std::uint32_t>(a));
+        aisleList.push_back(aisle);
+    }
+
+    for (int r = 0; r < total_rows; ++r) {
+        const auto row_id = RowId(static_cast<std::uint32_t>(r));
+        const auto aisle_id =
+            AisleId(static_cast<std::uint32_t>(r / cfg.rowsPerAisle));
+
+        // One PDU pair per row; PDU pairs stripe across the UPSes so a
+        // UPS failure touches rows spread through the plant (4N/3).
+        Pdu pdu;
+        pdu.id = PduId(static_cast<std::uint32_t>(r));
+        pdu.ups = UpsId(static_cast<std::uint32_t>(r % cfg.upsCount));
+        pdu.rows.push_back(row_id);
+        pduList.push_back(pdu);
+
+        Row row;
+        row.id = row_id;
+        row.aisle = aisle_id;
+        row.pdu = pdu.id;
+        rowList.push_back(row);
+
+        aisleList[aisle_id.index].rows.push_back(row_id);
+        upsList[pdu.ups.index].pdus.push_back(pdu.id);
+        upsList[pdu.ups.index].rows.push_back(row_id);
+
+        for (int k = 0; k < cfg.racksPerRow; ++k)
+            addRack(row_id);
+    }
+}
+
+std::vector<ServerId>
+DatacenterLayout::addRack(RowId row_id)
+{
+    tapas_assert(row_id.index < rowList.size(), "unknown row %u",
+                 row_id.index);
+    Row &row = rowList[row_id.index];
+
+    Rack rack;
+    rack.id = RackId(static_cast<std::uint32_t>(rackList.size()));
+    rack.row = row_id;
+    rack.rowPosition = static_cast<int>(row.racks.size());
+
+    std::vector<ServerId> added;
+    for (int slot = 0; slot < cfg.serversPerRack; ++slot) {
+        Server server;
+        server.id =
+            ServerId(static_cast<std::uint32_t>(serverList.size()));
+        server.rack = rack.id;
+        server.row = row_id;
+        server.aisle = row.aisle;
+        server.pdu = row.pdu;
+        server.ups = pduList[row.pdu.index].ups;
+        server.rackSlot = slot;
+        server.rowPosition = rack.rowPosition;
+        server.specIndex = 0;
+
+        rack.servers.push_back(server.id);
+        row.servers.push_back(server.id);
+        aisleList[row.aisle.index].servers.push_back(server.id);
+        added.push_back(server.id);
+        serverList.push_back(server);
+    }
+
+    row.racks.push_back(rack.id);
+    rackList.push_back(std::move(rack));
+    return added;
+}
+
+const Server &
+DatacenterLayout::server(ServerId id) const
+{
+    tapas_assert(id.index < serverList.size(), "unknown server %u",
+                 id.index);
+    return serverList[id.index];
+}
+
+const Rack &
+DatacenterLayout::rack(RackId id) const
+{
+    tapas_assert(id.index < rackList.size(), "unknown rack %u",
+                 id.index);
+    return rackList[id.index];
+}
+
+const Row &
+DatacenterLayout::row(RowId id) const
+{
+    tapas_assert(id.index < rowList.size(), "unknown row %u", id.index);
+    return rowList[id.index];
+}
+
+const Aisle &
+DatacenterLayout::aisle(AisleId id) const
+{
+    tapas_assert(id.index < aisleList.size(), "unknown aisle %u",
+                 id.index);
+    return aisleList[id.index];
+}
+
+const Ups &
+DatacenterLayout::ups(UpsId id) const
+{
+    tapas_assert(id.index < upsList.size(), "unknown UPS %u", id.index);
+    return upsList[id.index];
+}
+
+const Pdu &
+DatacenterLayout::pdu(PduId id) const
+{
+    tapas_assert(id.index < pduList.size(), "unknown PDU %u", id.index);
+    return pduList[id.index];
+}
+
+const ServerSpec &
+DatacenterLayout::specOf(ServerId id) const
+{
+    return specList[server(id).specIndex];
+}
+
+} // namespace tapas

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Physical datacenter layout: aisles, rows, racks, servers, and the
+ * power-distribution hierarchy (ATS -> UPS -> PDU pairs -> rows).
+ *
+ * Mirrors the paper's Section 2 description: servers sit in racks,
+ * racks form rows, two facing rows share a contained cold aisle fed
+ * by a group of AHUs, and each row hangs off a PDU pair which in turn
+ * hangs off one of the UPS units (4N/3 redundancy at the UPS level).
+ */
+
+#ifndef TAPAS_DCSIM_LAYOUT_HH
+#define TAPAS_DCSIM_LAYOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dcsim/specs.hh"
+
+namespace tapas {
+
+/** One physical GPU server and its position in the plant. */
+struct Server
+{
+    ServerId id;
+    RackId rack;
+    RowId row;
+    AisleId aisle;
+    UpsId ups;
+    PduId pdu;
+    /** Slot within the rack, 0 = bottom. */
+    int rackSlot = 0;
+    /** Position of the enclosing rack within its row, 0 = aisle end. */
+    int rowPosition = 0;
+    /** Index into DatacenterLayout::specs(). */
+    int specIndex = 0;
+};
+
+/** A rack: a column of servers within a row. */
+struct Rack
+{
+    RackId id;
+    RowId row;
+    int rowPosition = 0;
+    std::vector<ServerId> servers;
+};
+
+/** A row of racks; the unit of power budgeting (Eq. 4). */
+struct Row
+{
+    RowId id;
+    AisleId aisle;
+    PduId pdu;
+    std::vector<RackId> racks;
+    std::vector<ServerId> servers;
+};
+
+/** A contained cold aisle shared by two rows; the unit of airflow. */
+struct Aisle
+{
+    AisleId id;
+    std::vector<RowId> rows;
+    std::vector<ServerId> servers;
+};
+
+/** A PDU pair feeding one row. */
+struct Pdu
+{
+    PduId id;
+    UpsId ups;
+    std::vector<RowId> rows;
+};
+
+/** A UPS unit feeding several PDU pairs (4N/3 redundancy). */
+struct Ups
+{
+    UpsId id;
+    std::vector<PduId> pdus;
+    std::vector<RowId> rows;
+};
+
+/** Knobs for building a synthetic datacenter. */
+struct LayoutConfig
+{
+    int aisleCount = 4;
+    int rowsPerAisle = 2;
+    int racksPerRow = 10;
+    int serversPerRack = 4;
+    GpuSku sku = GpuSku::A100;
+    int upsCount = 4;
+};
+
+/**
+ * Immutable physical layout. Built once per experiment; every other
+ * module references entities by id.
+ */
+class DatacenterLayout
+{
+  public:
+    explicit DatacenterLayout(const LayoutConfig &config);
+
+    const LayoutConfig &config() const { return cfg; }
+
+    std::size_t serverCount() const { return serverList.size(); }
+    std::size_t rackCount() const { return rackList.size(); }
+    std::size_t rowCount() const { return rowList.size(); }
+    std::size_t aisleCount() const { return aisleList.size(); }
+    std::size_t upsCount() const { return upsList.size(); }
+    std::size_t pduCount() const { return pduList.size(); }
+
+    const Server &server(ServerId id) const;
+    const Rack &rack(RackId id) const;
+    const Row &row(RowId id) const;
+    const Aisle &aisle(AisleId id) const;
+    const Ups &ups(UpsId id) const;
+    const Pdu &pdu(PduId id) const;
+
+    const std::vector<Server> &servers() const { return serverList; }
+    const std::vector<Row> &rows() const { return rowList; }
+    const std::vector<Aisle> &aisles() const { return aisleList; }
+    const std::vector<Ups> &upses() const { return upsList; }
+
+    /** Spec for a given server. */
+    const ServerSpec &specOf(ServerId id) const;
+    const std::vector<ServerSpec> &specs() const { return specList; }
+
+    /**
+     * Append one rack of servers to an existing row. Used by the
+     * oversubscription experiments, which add racks without adding
+     * cooling/power provisioning. Returns the new server ids.
+     */
+    std::vector<ServerId> addRack(RowId row_id);
+
+  private:
+    LayoutConfig cfg;
+    std::vector<ServerSpec> specList;
+    std::vector<Server> serverList;
+    std::vector<Rack> rackList;
+    std::vector<Row> rowList;
+    std::vector<Aisle> aisleList;
+    std::vector<Pdu> pduList;
+    std::vector<Ups> upsList;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_DCSIM_LAYOUT_HH

@@ -1,0 +1,211 @@
+#include "dcsim/power.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "dcsim/thermal.hh"
+
+namespace tapas {
+
+Watts
+PowerModel::gpuPower(const ServerSpec &spec, double load_frac,
+                     double freq_frac) const
+{
+    const double load = std::clamp(load_frac, 0.0, 1.0);
+    const double freq = std::clamp(freq_frac, 0.0, 1.0);
+    const double dynamic_span =
+        spec.gpuMaxPower.value() - spec.gpuIdlePower.value();
+    const double freq_factor = std::pow(freq, cfg.freqPowerExponent);
+    return Watts(spec.gpuIdlePower.value() +
+                 dynamic_span * load * freq_factor);
+}
+
+double
+PowerModel::heatFraction(const ServerSpec &spec,
+                         const std::vector<Watts> &gpu_draws)
+{
+    double total = 0.0;
+    for (const Watts &w : gpu_draws)
+        total += w.value();
+    const double idle =
+        spec.gpuIdlePower.value() * spec.gpusPerServer;
+    const double max =
+        spec.gpuMaxPower.value() * spec.gpusPerServer;
+    if (max <= idle)
+        return 0.0;
+    return std::clamp((total - idle) / (max - idle), 0.0, 1.0);
+}
+
+Watts
+PowerModel::serverPower(const ServerSpec &spec,
+                        const std::vector<Watts> &gpu_draws,
+                        double heat_frac) const
+{
+    tapas_assert(static_cast<int>(gpu_draws.size()) ==
+                 spec.gpusPerServer,
+                 "expected %d GPU draws, got %zu", spec.gpusPerServer,
+                 gpu_draws.size());
+    const double heat = std::clamp(heat_frac, 0.0, 1.0);
+    double total = spec.chassisIdlePower.value() +
+        spec.chassisActivePower.value() * heat;
+    for (const Watts &w : gpu_draws)
+        total += w.value();
+    const double speed = ThermalModel::fanSpeed(heat);
+    total += spec.fanMaxPower.value() * speed * speed * speed;
+    return Watts(total);
+}
+
+Watts
+PowerModel::serverPowerAtLoad(const ServerSpec &spec, double load_frac,
+                              double freq_frac) const
+{
+    std::vector<Watts> draws(
+        static_cast<std::size_t>(spec.gpusPerServer),
+        gpuPower(spec, load_frac, freq_frac));
+    return serverPower(spec, draws, load_frac);
+}
+
+Watts
+PowerModel::serverPeakPower(const ServerSpec &spec) const
+{
+    return serverPowerAtLoad(spec, 1.0, 1.0);
+}
+
+PowerHierarchy::PowerHierarchy(const DatacenterLayout &layout_,
+                               const PowerModel &model)
+    : layout(layout_)
+{
+    rowProvisionW.resize(layout.rowCount(), 0.0);
+    upsProvisionW.resize(layout.upsCount(), 0.0);
+    upsFailed.resize(layout.upsCount(), false);
+
+    const double row_factor = model.config().rowProvisionFactor;
+    const double ups_factor = model.config().upsProvisionFactor;
+
+    for (const Row &row : layout.rows()) {
+        double peak = 0.0;
+        for (ServerId sid : row.servers)
+            peak += model.serverPeakPower(layout.specOf(sid)).value();
+        rowProvisionW[row.id.index] = peak * row_factor;
+    }
+    for (const Ups &ups : layout.upses()) {
+        double total = 0.0;
+        for (RowId rid : ups.rows)
+            total += rowProvisionW[rid.index];
+        upsProvisionW[ups.id.index] = total * ups_factor;
+    }
+}
+
+Watts
+PowerHierarchy::rowProvision(RowId id) const
+{
+    tapas_assert(id.index < rowProvisionW.size(), "unknown row %u",
+                 id.index);
+    return Watts(rowProvisionW[id.index]);
+}
+
+Watts
+PowerHierarchy::effectiveRowProvision(RowId id) const
+{
+    return Watts(rowProvisionW[id.index] * deratingFrac);
+}
+
+Watts
+PowerHierarchy::upsProvision(UpsId id) const
+{
+    tapas_assert(id.index < upsProvisionW.size(), "unknown UPS %u",
+                 id.index);
+    return Watts(upsProvisionW[id.index]);
+}
+
+Watts
+PowerHierarchy::effectiveUpsProvision(UpsId id) const
+{
+    return Watts(upsProvisionW[id.index] * deratingFrac);
+}
+
+Watts
+PowerHierarchy::totalProvision() const
+{
+    double total = 0.0;
+    for (double w : rowProvisionW)
+        total += w;
+    return Watts(total);
+}
+
+void
+PowerHierarchy::failUps(UpsId id, double remaining_frac)
+{
+    tapas_assert(id.index < upsFailed.size(), "unknown UPS %u",
+                 id.index);
+    tapas_assert(remaining_frac > 0.0 && remaining_frac <= 1.0,
+                 "derating fraction must be in (0,1]");
+    upsFailed[id.index] = true;
+    deratingFrac = std::min(deratingFrac, remaining_frac);
+}
+
+void
+PowerHierarchy::restoreUps(UpsId id)
+{
+    upsFailed[id.index] = false;
+    recomputeDerating();
+}
+
+void
+PowerHierarchy::recomputeDerating()
+{
+    bool any = false;
+    for (bool failed : upsFailed)
+        any = any || failed;
+    if (!any)
+        deratingFrac = 1.0;
+}
+
+bool
+PowerHierarchy::anyFailure() const
+{
+    for (bool failed : upsFailed) {
+        if (failed)
+            return true;
+    }
+    return false;
+}
+
+PowerAssessment
+PowerHierarchy::assess(const std::vector<Watts> &server_draws) const
+{
+    tapas_assert(server_draws.size() == layout.serverCount(),
+                 "per-server draw vector has wrong size: %zu vs %zu",
+                 server_draws.size(), layout.serverCount());
+
+    PowerAssessment out;
+    out.rowDrawW.resize(layout.rowCount(), 0.0);
+    out.rowBudgetW.resize(layout.rowCount(), 0.0);
+    out.upsDrawW.resize(layout.upsCount(), 0.0);
+    out.upsBudgetW.resize(layout.upsCount(), 0.0);
+
+    for (const Server &server : layout.servers()) {
+        out.rowDrawW[server.row.index] +=
+            server_draws[server.id.index].value();
+    }
+    for (const Row &row : layout.rows()) {
+        out.rowBudgetW[row.id.index] =
+            effectiveRowProvision(row.id).value();
+        out.upsDrawW[layout.pdu(row.pdu).ups.index] +=
+            out.rowDrawW[row.id.index];
+        if (out.rowDrawW[row.id.index] >
+            out.rowBudgetW[row.id.index]) {
+            out.overBudgetRows.push_back(row.id);
+        }
+    }
+    for (const Ups &ups : layout.upses()) {
+        out.upsBudgetW[ups.id.index] =
+            effectiveUpsProvision(ups.id).value();
+        if (out.upsDrawW[ups.id.index] > out.upsBudgetW[ups.id.index])
+            out.overBudgetUpses.push_back(ups.id);
+    }
+    return out;
+}
+
+} // namespace tapas

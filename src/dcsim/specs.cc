@@ -1,0 +1,59 @@
+#include "dcsim/specs.hh"
+
+namespace tapas {
+
+const char *
+gpuSkuName(GpuSku sku)
+{
+    switch (sku) {
+      case GpuSku::A100:
+        return "A100";
+      case GpuSku::H100:
+        return "H100";
+    }
+    return "unknown";
+}
+
+Watts
+ServerSpec::tdp() const
+{
+    return Watts(chassisIdlePower.value() + chassisActivePower.value() +
+                 fanMaxPower.value() +
+                 gpuMaxPower.value() * gpusPerServer);
+}
+
+ServerSpec
+ServerSpec::a100()
+{
+    ServerSpec spec;
+    spec.sku = GpuSku::A100;
+    spec.gpuIdlePower = Watts(60.0);
+    spec.gpuMaxPower = Watts(400.0);
+    spec.chassisIdlePower = Watts(2300.0);
+    spec.chassisActivePower = Watts(400.0);
+    spec.fanMaxPower = Watts(600.0);
+    spec.airflowAt80Pct = Cfm(840.0);
+    spec.maxFreqGhz = 1.41;
+    spec.hbmGb = 80.0;
+    spec.throttleTemp = Celsius(85.0);
+    return spec;
+}
+
+ServerSpec
+ServerSpec::h100()
+{
+    ServerSpec spec;
+    spec.sku = GpuSku::H100;
+    spec.gpuIdlePower = Watts(75.0);
+    spec.gpuMaxPower = Watts(700.0);
+    spec.chassisIdlePower = Watts(2600.0);
+    spec.chassisActivePower = Watts(1200.0);
+    spec.fanMaxPower = Watts(800.0);
+    spec.airflowAt80Pct = Cfm(1105.0);
+    spec.maxFreqGhz = 1.98;
+    spec.hbmGb = 80.0;
+    spec.throttleTemp = Celsius(85.0);
+    return spec;
+}
+
+} // namespace tapas

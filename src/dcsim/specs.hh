@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GPU server hardware specifications.
+ *
+ * Numbers follow the published DGX A100 / DGX H100 envelopes cited by
+ * the paper: 6.5 kW / 10.2 kW system TDP, 8 GPUs per server, and fan
+ * airflow of 840 / 1105 CFM at 80% PWM duty.
+ */
+
+#ifndef TAPAS_DCSIM_SPECS_HH
+#define TAPAS_DCSIM_SPECS_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace tapas {
+
+/** GPU generation hosted by a server. */
+enum class GpuSku { A100, H100 };
+
+/** Printable SKU name. */
+const char *gpuSkuName(GpuSku sku);
+
+/**
+ * Static description of one GPU server model. All servers of a SKU
+ * share a spec; per-unit manufacturing variation is modeled separately
+ * by the thermal model (process variation offsets).
+ */
+struct ServerSpec
+{
+    GpuSku sku = GpuSku::A100;
+    int gpusPerServer = 8;
+
+    /** Per-GPU electrical envelope. */
+    Watts gpuIdlePower{60.0};
+    Watts gpuMaxPower{400.0};
+
+    /** Chassis draw excluding GPUs and fans (CPUs, NICs, storage). */
+    Watts chassisIdlePower{900.0};
+    /** Additional chassis draw at full load (memory, CPUs feeding). */
+    Watts chassisActivePower{500.0};
+    /** Fan power at 100% duty (cubic fan law below that). */
+    Watts fanMaxPower{600.0};
+
+    /**
+     * Fan airflow at 80% PWM duty, per manufacturer spec. The fan
+     * curve is linear in load and passes through this point.
+     */
+    Cfm airflowAt80Pct{840.0};
+
+    /** Nominal (max boost) GPU clock in GHz. */
+    double maxFreqGhz = 1.41;
+
+    /** HBM capacity per GPU, in GiB. */
+    double hbmGb = 80.0;
+
+    /** Hardware thermal throttle trip point. */
+    Celsius throttleTemp{85.0};
+
+    /** Whole-server thermal design power. */
+    Watts tdp() const;
+
+    /** DGX A100 style server. */
+    static ServerSpec a100();
+
+    /** DGX H100 style server. */
+    static ServerSpec h100();
+};
+
+} // namespace tapas
+
+#endif // TAPAS_DCSIM_SPECS_HH

@@ -1,0 +1,311 @@
+#include "llm/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+namespace {
+/** Token-remainder tolerance for completion detection. */
+constexpr double kEps = 1e-9;
+/**
+ * Share of GPU time prefill gets when decode also has work.
+ * Production schedulers (vLLM, Orca) prioritize prefill so TTFT
+ * tracks the unloaded prefill rate; decode retains a small share,
+ * stretching TBT within its (much looser) SLO.
+ */
+constexpr double kPrefillShare = 0.9;
+} // namespace
+
+InferenceEngine::InferenceEngine(const ConfigProfile &profile,
+                                 const SloSpec &slo)
+    : activeProfile(profile), pendingProfile(profile), sloSpec(slo)
+{
+}
+
+void
+InferenceEngine::enqueue(const Request &request)
+{
+    tapas_assert(accepting(),
+                 "enqueue on a reconfiguring engine; the router must "
+                 "check accepting()");
+    Active item;
+    item.request = request;
+    item.prefillRemaining = request.promptTokens;
+    item.decodeRemaining = std::max(0, request.outputTokens - 1);
+    queue.push_back(item);
+    ++engineStats.enqueued;
+}
+
+void
+InferenceEngine::requestReconfig(const ConfigProfile &next,
+                                 double reload_delay_s)
+{
+    if (!next.config.requiresReload(activeProfile.config)) {
+        // Frequency/batch changes take effect immediately.
+        activeProfile = next;
+        return;
+    }
+    pendingProfile = next;
+    hasPending = true;
+    draining = true;
+    reloadDelayS = reload_delay_s;
+}
+
+void
+InferenceEngine::beginMigration(double delay_s)
+{
+    pendingProfile = activeProfile;
+    hasPending = true;
+    draining = true;
+    reloadDelayS = delay_s;
+}
+
+void
+InferenceEngine::admit(double now)
+{
+    if (draining || inBlackout)
+        return;
+    const auto limit =
+        static_cast<std::size_t>(activeProfile.config.maxBatchSize);
+    while (!prefillActive && !queue.empty() &&
+           queue.front().request.arrivalS <= now + kEps &&
+           running.size() + 1 <= limit) {
+        prefillSlot = queue.front();
+        queue.pop_front();
+        prefillActive = true;
+    }
+}
+
+double
+InferenceEngine::decodeRate() const
+{
+    const std::size_t batch = running.size();
+    if (batch == 0)
+        return 0.0;
+    const double b = static_cast<double>(batch);
+    const double tau = activeProfile.decodeWeightS +
+        activeProfile.decodeKvS * b;
+    return hwThrottle * b / tau;
+}
+
+void
+InferenceEngine::setHardwareThrottle(double frac)
+{
+    tapas_assert(frac > 0.0 && frac <= 1.0,
+                 "throttle fraction %f out of (0,1]", frac);
+    hwThrottle = frac;
+}
+
+void
+InferenceEngine::finish(Active &item, double now)
+{
+    CompletedRequest done;
+    done.request = item.request;
+    done.ttftS = item.ttftS;
+    done.finishS = now;
+    const int extra_tokens =
+        std::max(0, item.request.outputTokens - 1);
+    done.tbtS = extra_tokens > 0
+        ? (now - item.firstTokenAt) / extra_tokens
+        : 0.0;
+    done.quality = activeProfile.quality;
+    done.metSlo =
+        done.ttftS <= sloSpec.ttftSloFor(item.request.promptTokens) &&
+        done.tbtS <= sloSpec.tbtS;
+
+    ++engineStats.completed;
+    engineStats.qualitySum += done.quality;
+    engineStats.ttftS.add(done.ttftS);
+    engineStats.tbtS.add(done.tbtS);
+    const double tokens = item.request.promptTokens +
+        item.request.outputTokens;
+    if (done.metSlo) {
+        engineStats.goodputTokens += tokens;
+    } else {
+        ++engineStats.sloViolations;
+    }
+    completions.push_back(done);
+}
+
+void
+InferenceEngine::maybeStartBlackout(double now)
+{
+    if (draining && running.empty() && !prefillActive) {
+        draining = false;
+        inBlackout = true;
+        blackoutUntil = now + reloadDelayS;
+    }
+}
+
+void
+InferenceEngine::step(double from_s, double to_s)
+{
+    tapas_assert(to_s > from_s, "empty step [%f, %f)", from_s, to_s);
+    completions.clear();
+
+    double now = from_s;
+    double busy = 0.0;
+    double prefill_busy = 0.0;
+    double decode_time = 0.0;
+    double decode_batch_time = 0.0;
+
+    int guard = 0;
+    while (now < to_s - kEps) {
+        tapas_assert(++guard < 1000000, "engine step did not converge");
+
+        if (inBlackout) {
+            if (blackoutUntil >= to_s)
+                break;
+            now = std::max(now, blackoutUntil);
+            inBlackout = false;
+            if (hasPending) {
+                activeProfile = pendingProfile;
+                hasPending = false;
+            }
+            continue;
+        }
+
+        maybeStartBlackout(now);
+        if (inBlackout)
+            continue;
+
+        admit(now);
+
+        const bool has_prefill = prefillActive;
+        const bool has_decode = !running.empty();
+        if (!has_prefill && !has_decode) {
+            // Idle until the next queued arrival (if any) or the end
+            // of the step.
+            if (!queue.empty() &&
+                queue.front().request.arrivalS < to_s) {
+                now = std::max(now,
+                               queue.front().request.arrivalS);
+                continue;
+            }
+            break;
+        }
+
+        const double phi = has_prefill
+            ? (has_decode ? kPrefillShare : 1.0)
+            : 0.0;
+        const double prefill_rate =
+            phi * hwThrottle * activeProfile.prefill.throughputTps;
+        const double decode_share = has_decode
+            ? (has_prefill ? 1.0 - kPrefillShare : 1.0)
+            : 0.0;
+        const double decode_total = decode_share * decodeRate();
+        const double per_request = has_decode
+            ? decode_total / static_cast<double>(running.size())
+            : 0.0;
+
+        // Earliest of: prefill completion, first decode completion,
+        // next queued arrival, end of step.
+        double dt = to_s - now;
+        if (!prefillActive && !queue.empty() &&
+            queue.front().request.arrivalS > now) {
+            dt = std::min(dt,
+                          queue.front().request.arrivalS - now);
+        }
+        if (has_prefill && prefill_rate > 0.0) {
+            dt = std::min(dt,
+                          prefillSlot.prefillRemaining / prefill_rate);
+        }
+        if (has_decode && per_request > 0.0) {
+            double min_remaining = 1e300;
+            for (const Active &item : running) {
+                min_remaining =
+                    std::min(min_remaining, item.decodeRemaining);
+            }
+            dt = std::min(dt, min_remaining / per_request);
+        }
+        dt = std::max(dt, 0.0);
+
+        if (has_prefill)
+            prefillSlot.prefillRemaining -= prefill_rate * dt;
+        for (Active &item : running)
+            item.decodeRemaining -= per_request * dt;
+        engineStats.totalTokens +=
+            prefill_rate * dt + decode_total * dt;
+        busy += dt;
+        prefill_busy += dt * phi;
+        if (has_decode) {
+            decode_time += dt;
+            decode_batch_time +=
+                dt * static_cast<double>(running.size());
+        }
+        now += dt;
+
+        // Prefill completion: first token emitted now.
+        if (has_prefill && prefillSlot.prefillRemaining <= kEps) {
+            prefillSlot.ttftS = now - prefillSlot.request.arrivalS;
+            prefillSlot.firstTokenAt = now;
+            prefillActive = false;
+            if (prefillSlot.decodeRemaining <= kEps) {
+                finish(prefillSlot, now);
+            } else {
+                running.push_back(prefillSlot);
+            }
+        }
+
+        // Decode completions.
+        for (std::size_t i = 0; i < running.size();) {
+            if (running[i].decodeRemaining <= kEps) {
+                finish(running[i], now);
+                running[i] = running.back();
+                running.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    const double span = to_s - from_s;
+    lastUtil = std::clamp(busy / span, 0.0, 1.0);
+    lastPrefill = busy > 0.0 ? prefill_busy / busy : 0.0;
+    lastBatch = decode_time > 0.0
+        ? decode_batch_time / decode_time
+        : 0.0;
+}
+
+double
+InferenceEngine::estimatedTtftS() const
+{
+    double pending = prefillActive ? prefillSlot.prefillRemaining
+                                   : 0.0;
+    for (const Active &item : queue)
+        pending += item.prefillRemaining;
+    // Conservative: assume decode keeps its share of the GPU.
+    const double rate = kPrefillShare * hwThrottle *
+        activeProfile.prefill.throughputTps;
+    return rate > 0.0 ? pending / rate : 1e9;
+}
+
+double
+InferenceEngine::loadFraction(double horizon_s) const
+{
+    tapas_assert(horizon_s > 0.0, "horizon must be positive");
+    double prefill_tokens = 0.0;
+    double decode_tokens = 0.0;
+    auto count = [&](const Active &item) {
+        prefill_tokens += std::max(0.0, item.prefillRemaining);
+        decode_tokens += std::max(0.0, item.decodeRemaining);
+    };
+    for (const Active &item : queue)
+        count(item);
+    for (const Active &item : running)
+        count(item);
+    if (prefillActive)
+        count(prefillSlot);
+
+    const double prefill_s =
+        prefill_tokens / activeProfile.prefill.throughputTps;
+    const double decode_s = decode_tokens > 0.0
+        ? decode_tokens / activeProfile.decode.throughputTps
+        : 0.0;
+    return (prefill_s + decode_s) / horizon_s;
+}
+
+} // namespace tapas

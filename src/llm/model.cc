@@ -1,0 +1,111 @@
+#include "llm/model.hh"
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+double
+modelParamsB(ModelSize size)
+{
+    switch (size) {
+      case ModelSize::B70:
+        return 70.0;
+      case ModelSize::B13:
+        return 13.0;
+      case ModelSize::B7:
+        return 7.0;
+    }
+    panic("unknown model size");
+}
+
+double
+quantBytesPerParam(Quantization quant)
+{
+    switch (quant) {
+      case Quantization::FP16:
+        return 2.0;
+      case Quantization::FP8:
+        return 1.0;
+      case Quantization::INT4:
+        return 0.5;
+    }
+    panic("unknown quantization");
+}
+
+double
+modelQuality(ModelSize size, Quantization quant)
+{
+    double base = 0.0;
+    switch (size) {
+      case ModelSize::B70:
+        base = 1.0;
+        break;
+      case ModelSize::B13:
+        base = 0.72;
+        break;
+      case ModelSize::B7:
+        // Paper: 7B reduces result quality by 30-40% vs 70B.
+        base = 0.62;
+        break;
+    }
+    switch (quant) {
+      case Quantization::FP16:
+        return base;
+      case Quantization::FP8:
+        // Paper: quantization costs 2-20% accuracy.
+        return base * 0.97;
+      case Quantization::INT4:
+        return base * 0.88;
+    }
+    panic("unknown quantization");
+}
+
+double
+quantSpeedup(Quantization quant)
+{
+    switch (quant) {
+      case Quantization::FP16:
+        return 1.0;
+      case Quantization::FP8:
+        return 1.7;
+      case Quantization::INT4:
+        return 2.6;
+    }
+    panic("unknown quantization");
+}
+
+const char *
+modelSizeName(ModelSize size)
+{
+    switch (size) {
+      case ModelSize::B70:
+        return "70B";
+      case ModelSize::B13:
+        return "13B";
+      case ModelSize::B7:
+        return "7B";
+    }
+    return "unknown";
+}
+
+const char *
+quantizationName(Quantization quant)
+{
+    switch (quant) {
+      case Quantization::FP16:
+        return "FP16";
+      case Quantization::FP8:
+        return "FP8";
+      case Quantization::INT4:
+        return "INT4";
+    }
+    return "unknown";
+}
+
+double
+modelWeightsGb(ModelSize size, Quantization quant)
+{
+    return modelParamsB(size) * quantBytesPerParam(quant);
+}
+
+} // namespace tapas

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * LLM catalog: the Llama2-style model family the paper profiles
+ * (70B/13B/7B) with quantization variants and quality scores.
+ *
+ * Quality follows the paper's Section 3.3 numbers: the 7B model loses
+ * 30-40% quality versus 70B; quantization costs 2-20% depending on
+ * precision.
+ */
+
+#ifndef TAPAS_LLM_MODEL_HH
+#define TAPAS_LLM_MODEL_HH
+
+#include <string>
+
+namespace tapas {
+
+/** Parameter-count variant of the served model family. */
+enum class ModelSize { B70, B13, B7 };
+
+/** Weight precision. */
+enum class Quantization { FP16, FP8, INT4 };
+
+/** All sizes, largest first (preference order for quality). */
+inline constexpr ModelSize kAllModelSizes[] = {
+    ModelSize::B70, ModelSize::B13, ModelSize::B7};
+
+/** All precisions, highest first. */
+inline constexpr Quantization kAllQuantizations[] = {
+    Quantization::FP16, Quantization::FP8, Quantization::INT4};
+
+/** Billions of parameters for a size. */
+double modelParamsB(ModelSize size);
+
+/** Bytes per parameter at a precision. */
+double quantBytesPerParam(Quantization quant);
+
+/**
+ * Relative output quality in [0,1]. 70B FP16 = 1.0; smaller and
+ * lower-precision variants multiply penalties.
+ */
+double modelQuality(ModelSize size, Quantization quant);
+
+/**
+ * Relative arithmetic throughput gain of a precision versus FP16
+ * (reduced bytes moved and higher tensor-core rates).
+ */
+double quantSpeedup(Quantization quant);
+
+/** Human-readable names. */
+const char *modelSizeName(ModelSize size);
+const char *quantizationName(Quantization quant);
+
+/** Weights footprint in GiB for a (size, quant) pair. */
+double modelWeightsGb(ModelSize size, Quantization quant);
+
+} // namespace tapas
+
+#endif // TAPAS_LLM_MODEL_HH

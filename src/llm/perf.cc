@@ -1,0 +1,426 @@
+#include "llm/perf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+PerfParams
+PerfParams::forSku(GpuSku sku)
+{
+    PerfParams params;
+    if (sku == GpuSku::H100) {
+        params.gpuTflops = 990.0;
+        params.hbmTbPerS = 3.35;
+    }
+    return params;
+}
+
+namespace {
+
+/**
+ * Saturated power intensity factors: smaller models keep tensor
+ * cores less utilized (lower MFU at small matmul shapes) and
+ * reduced-precision kernels move fewer bytes per token, so both
+ * draw measurably less power at saturation (paper Fig. 15c and the
+ * quantization row of Table 1).
+ */
+double
+sizeIntensityFactor(ModelSize size)
+{
+    switch (size) {
+      case ModelSize::B70:
+        return 1.0;
+      case ModelSize::B13:
+        return 0.93;
+      case ModelSize::B7:
+        return 0.88;
+    }
+    return 1.0;
+}
+
+double
+quantIntensityFactor(Quantization quant)
+{
+    switch (quant) {
+      case Quantization::FP16:
+        return 1.0;
+      case Quantization::FP8:
+        return 0.92;
+      case Quantization::INT4:
+        return 0.85;
+    }
+    return 1.0;
+}
+
+} // namespace
+
+double
+ConfigProfile::decodeTpsAt(int b) const
+{
+    tapas_assert(b >= 1, "batch size must be positive");
+    const double batch = static_cast<double>(b);
+    return batch / (decodeWeightS + decodeKvS * batch);
+}
+
+InstanceConfig
+referenceConfig()
+{
+    InstanceConfig config;
+    config.model = ModelSize::B70;
+    config.quant = Quantization::FP16;
+    config.tensorParallel = 8;
+    config.maxBatchSize = 64;
+    config.freqFrac = 1.0;
+    return config;
+}
+
+PerfModel::PerfModel(const ServerSpec &spec, const PerfParams &params,
+                     const SloSpec &slo)
+    : hwSpec(spec), perfParams(params), sloSpec(slo)
+{
+}
+
+PerfModel
+PerfModel::withReferenceSlo(const ServerSpec &spec,
+                            const PerfParams &params,
+                            double slo_factor)
+{
+    PerfModel unconstrained(spec, params, SloSpec{1e9, 1e9});
+    const ConfigProfile ref =
+        unconstrained.profile(referenceConfig());
+    SloSpec slo;
+    slo.ttftS = slo_factor * ref.unloadedTtftS;
+    slo.tbtS = slo_factor * ref.unloadedTbtS;
+    slo.ttftPerPromptTokenS =
+        slo_factor / ref.prefill.throughputTps;
+    return PerfModel(spec, params, slo);
+}
+
+double
+PerfModel::tpEfficiency(int tp)
+{
+    // All-reduce cost grows with group width.
+    return 1.02 - 0.025 * static_cast<double>(tp);
+}
+
+double
+PerfModel::perGpuPowerFactor(int tp)
+{
+    // Narrower TP concentrates the same work on fewer GPUs: each one
+    // stalls less on communication and burns closer to its envelope.
+    return 1.03 - 0.026 * static_cast<double>(tp);
+}
+
+ConfigProfile
+PerfModel::profile(const InstanceConfig &config) const
+{
+    tapas_assert(ConfigSpace::memoryFeasible(config, hwSpec),
+                 "profiling infeasible config %s",
+                 config.label().c_str());
+
+    ConfigProfile out;
+    out.config = config;
+    out.activeGpus = config.tensorParallel;
+    out.quality = modelQuality(config.model, config.quant);
+
+    const double params_b = modelParamsB(config.model);
+    const double tp = static_cast<double>(config.tensorParallel);
+    const double freq = config.freqFrac;
+    const double qspeed = quantSpeedup(config.quant);
+    const double tp_eff = tpEfficiency(config.tensorParallel);
+
+    // --- Prefill: compute bound. ---
+    const double flops_per_token = 2.0 * params_b * 1e9;
+    const double group_flops =
+        tp * perfParams.gpuTflops * 1e12 * freq * perfParams.prefillMfu;
+    out.prefill.throughputTps =
+        group_flops * tp_eff * qspeed / flops_per_token;
+    out.prefill.memBoundFrac = 0.15;
+
+    // --- Decode: memory bound. tau(B) = weight stream + B * KV. ---
+    const double group_bw =
+        tp * perfParams.hbmTbPerS * 1e12 * perfParams.decodeMbu;
+    // Decode is only mildly clock-sensitive.
+    const double decode_freq_factor = 0.7 + 0.3 * freq;
+    const double weight_bytes =
+        modelWeightsGb(config.model, config.quant) * 1e9;
+    const double kv_bytes = perfParams.kvBytesPerSeq *
+        (quantBytesPerParam(config.quant) / 2.0 * 0.5 + 0.5);
+    out.decodeWeightS =
+        weight_bytes / (group_bw * decode_freq_factor);
+    out.decodeKvS = kv_bytes / (group_bw * decode_freq_factor);
+    out.decode.throughputTps = out.decodeTpsAt(config.maxBatchSize);
+    const double batch_frac =
+        std::log2(static_cast<double>(config.maxBatchSize)) /
+        std::log2(64.0);
+    out.decode.memBoundFrac = 0.60 + 0.25 * (1.0 - batch_frac);
+
+    // --- Phase power, per active GPU. ---
+    const double span =
+        hwSpec.gpuMaxPower.value() - hwSpec.gpuIdlePower.value();
+    const double concentration =
+        perGpuPowerFactor(config.tensorParallel);
+    const double freq_pow =
+        std::pow(freq, perfParams.freqPowerExponent);
+    const double model_factor = sizeIntensityFactor(config.model) *
+        quantIntensityFactor(config.quant);
+    const double prefill_intensity = 0.95 * model_factor;
+    const double decode_intensity =
+        (0.35 + 0.35 * batch_frac) * model_factor;
+    out.prefill.gpuPower = Watts(
+        hwSpec.gpuIdlePower.value() +
+        span * prefill_intensity * concentration * freq_pow);
+    out.decode.gpuPower = Watts(
+        hwSpec.gpuIdlePower.value() +
+        span * decode_intensity * concentration *
+        std::pow(freq, 2.0));
+
+    // --- Latency anchors. ---
+    out.unloadedTtftS =
+        perfParams.mix.promptTokens / out.prefill.throughputTps;
+    out.unloadedTbtS = out.decodeWeightS + out.decodeKvS;
+
+    // --- Capacity: phases interleave on the same GPUs. ---
+    const double fp = perfParams.mix.prefillFraction();
+    const double fd = perfParams.mix.decodeFraction();
+    // Largest batch meeting the TBT SLO (decode step = TBT).
+    int usable_batch = 0;
+    for (int b = 1; b <= config.maxBatchSize; b *= 2) {
+        const double step = out.decodeWeightS + out.decodeKvS * b;
+        if (step <= sloSpec.tbtS)
+            usable_batch = b;
+    }
+    out.capacityTps = 1.0 /
+        (fp / out.prefill.throughputTps +
+         fd / out.decode.throughputTps);
+
+    if (usable_batch == 0 || out.unloadedTtftS >= sloSpec.ttftS) {
+        out.goodputTps = 0.0;
+        return out;
+    }
+    const double usable_capacity = 1.0 /
+        (fp / out.prefill.throughputTps +
+         fd / out.decodeTpsAt(usable_batch));
+    // M/M/1-style queueing headroom on TTFT.
+    const double rho_max =
+        std::max(0.0, 1.0 - out.unloadedTtftS / sloSpec.ttftS);
+    out.goodputTps = usable_capacity * rho_max;
+    return out;
+}
+
+std::vector<ConfigProfile>
+PerfModel::allProfiles() const
+{
+    std::vector<ConfigProfile> out;
+    for (const InstanceConfig &config :
+         ConfigSpace::enumerate(hwSpec)) {
+        out.push_back(profile(config));
+    }
+    return out;
+}
+
+double
+PerfModel::mixMemBoundFrac(const ConfigProfile &profile) const
+{
+    // Weight by the share of GPU *time* each phase occupies.
+    const double fp = perfParams.mix.prefillFraction();
+    const double fd = perfParams.mix.decodeFraction();
+    const double t_prefill = fp / profile.prefill.throughputTps;
+    const double t_decode = fd / profile.decode.throughputTps;
+    const double total = t_prefill + t_decode;
+    if (total <= 0.0)
+        return 0.0;
+    return (profile.prefill.memBoundFrac * t_prefill +
+            profile.decode.memBoundFrac * t_decode) / total;
+}
+
+Watts
+PerfModel::estimateGpuPower(const ConfigProfile &profile,
+                            double utilization) const
+{
+    const double util = std::clamp(utilization, 0.0, 1.0);
+    const double fp = perfParams.mix.prefillFraction();
+    const double fd = perfParams.mix.decodeFraction();
+    const double t_prefill = fp / profile.prefill.throughputTps;
+    const double t_decode = fd / profile.decode.throughputTps;
+    const double total = t_prefill + t_decode;
+    const double busy_power = total > 0.0
+        ? (profile.prefill.gpuPower.value() * t_prefill +
+           profile.decode.gpuPower.value() * t_decode) / total
+        : hwSpec.gpuIdlePower.value();
+    return Watts(hwSpec.gpuIdlePower.value() * (1.0 - util) +
+                 busy_power * util);
+}
+
+Watts
+PerfModel::estimateServerPower(const ConfigProfile &profile,
+                               double utilization) const
+{
+    const double util = std::clamp(utilization, 0.0, 1.0);
+    const Watts active = estimateGpuPower(profile, util);
+    const double idle_gpus =
+        static_cast<double>(hwSpec.gpusPerServer - profile.activeGpus);
+    const double gpu_total =
+        active.value() * profile.activeGpus +
+        hwSpec.gpuIdlePower.value() * idle_gpus;
+    // Chassis components and fans track the heat the GPUs shed, not
+    // busy time: a down-clocked instance really does cool the box.
+    const double idle_sum =
+        hwSpec.gpuIdlePower.value() * hwSpec.gpusPerServer;
+    const double max_sum =
+        hwSpec.gpuMaxPower.value() * hwSpec.gpusPerServer;
+    const double heat = max_sum > idle_sum
+        ? std::clamp((gpu_total - idle_sum) / (max_sum - idle_sum),
+                     0.0, 1.0)
+        : 0.0;
+    double total = hwSpec.chassisIdlePower.value() +
+        hwSpec.chassisActivePower.value() * heat + gpu_total;
+    const double speed = 0.35 + 0.65 * heat;
+    total += hwSpec.fanMaxPower.value() * speed * speed * speed;
+    return Watts(total);
+}
+
+Watts
+PerfModel::decodeGpuPowerAt(const ConfigProfile &profile,
+                            double batch) const
+{
+    const double span =
+        hwSpec.gpuMaxPower.value() - hwSpec.gpuIdlePower.value();
+    const double batch_frac =
+        std::log2(std::max(1.0, batch)) / std::log2(64.0);
+    const double intensity =
+        (0.35 + 0.35 * std::clamp(batch_frac, 0.0, 1.0)) *
+        sizeIntensityFactor(profile.config.model) *
+        quantIntensityFactor(profile.config.quant);
+    const double concentration =
+        perGpuPowerFactor(profile.config.tensorParallel);
+    const double freq_pow =
+        std::pow(profile.config.freqFrac, 2.0);
+    return Watts(hwSpec.gpuIdlePower.value() +
+                 span * intensity * concentration * freq_pow);
+}
+
+Watts
+PerfModel::serverPowerFromGpu(double active_gpu_w, int active_gpus,
+                              double prefill_share) const
+{
+    (void)prefill_share;
+    const double idle_gpus =
+        static_cast<double>(hwSpec.gpusPerServer - active_gpus);
+    const double gpu_total = active_gpu_w * active_gpus +
+        hwSpec.gpuIdlePower.value() * idle_gpus;
+    const double idle_sum =
+        hwSpec.gpuIdlePower.value() * hwSpec.gpusPerServer;
+    const double max_sum =
+        hwSpec.gpuMaxPower.value() * hwSpec.gpusPerServer;
+    const double heat = max_sum > idle_sum
+        ? std::clamp((gpu_total - idle_sum) / (max_sum - idle_sum),
+                     0.0, 1.0)
+        : 0.0;
+    double total = hwSpec.chassisIdlePower.value() +
+        hwSpec.chassisActivePower.value() * heat + gpu_total;
+    const double speed = 0.35 + 0.65 * heat;
+    total += hwSpec.fanMaxPower.value() * speed * speed * speed;
+    return Watts(total);
+}
+
+PerfModel::OperatingPoint
+PerfModel::operatingPointAt(const ConfigProfile &profile,
+                            double demand_tps) const
+{
+    OperatingPoint out;
+    const double demand = std::max(0.0, demand_tps);
+    const double fp = perfParams.mix.prefillFraction();
+    const double fd = perfParams.mix.decodeFraction();
+
+    // Prefill is bursty: busy exactly its work fraction.
+    const double u_p = std::min(
+        1.0, demand * fp / profile.prefill.throughputTps);
+
+    // Decode runs continuously whenever sequences are in flight,
+    // at whatever batch the demand sustains.
+    const double r = demand * fd; // decode tokens/s
+    const double tau1 =
+        profile.decodeWeightS + profile.decodeKvS;
+    double u_d = 0.0;
+    double batch = 0.0;
+    if (r > 0.0) {
+        const double share = std::max(0.05, 1.0 - u_p);
+        if (r * tau1 < share) {
+            // Sub-saturated even at batch 1: idles between tokens.
+            batch = 1.0;
+            u_d = r * tau1;
+        } else {
+            // Decode fills all non-prefill time; batch grows until
+            // share * B / tau(B) = r.
+            const double denom = share - profile.decodeKvS * r;
+            batch = denom > 1e-9
+                ? profile.decodeWeightS * r / denom
+                : static_cast<double>(profile.config.maxBatchSize);
+            batch = std::clamp(
+                batch, 1.0,
+                static_cast<double>(profile.config.maxBatchSize));
+            u_d = share;
+        }
+    }
+
+    out.busyFrac = std::min(1.0, u_p + u_d);
+    out.prefillShare =
+        out.busyFrac > 0.0 ? u_p / (u_p + u_d) : 0.0;
+    out.decodeBatch = batch;
+
+    const double idle = hwSpec.gpuIdlePower.value();
+    const double decode_w = decodeGpuPowerAt(profile, batch).value();
+    const double prefill_w = profile.prefill.gpuPower.value();
+    out.gpuPower = Watts(idle * (1.0 - out.busyFrac) +
+                         u_p * prefill_w + u_d * decode_w);
+    out.serverPower = serverPowerFromGpu(
+        out.gpuPower.value(), profile.activeGpus, out.prefillShare);
+    return out;
+}
+
+std::vector<ConfigProfile>
+PerfModel::paretoFrontier(const std::vector<ConfigProfile> &profiles,
+                          bool use_power)
+{
+    auto metric = [use_power](const ConfigProfile &p) {
+        if (use_power) {
+            // Whole-instance power at saturation.
+            return p.prefill.gpuPower.value() * p.activeGpus;
+        }
+        // Hottest-GPU proxy: per-GPU power drives temperature.
+        return p.prefill.gpuPower.value();
+    };
+    std::vector<ConfigProfile> frontier;
+    for (const ConfigProfile &cand : profiles) {
+        if (cand.goodputTps <= 0.0)
+            continue;
+        bool dominated = false;
+        for (const ConfigProfile &other : profiles) {
+            if (&other == &cand)
+                continue;
+            const bool better_goodput =
+                other.goodputTps >= cand.goodputTps;
+            const bool better_metric = metric(other) <= metric(cand);
+            const bool strictly =
+                other.goodputTps > cand.goodputTps ||
+                metric(other) < metric(cand);
+            if (better_goodput && better_metric && strictly) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(cand);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const ConfigProfile &a, const ConfigProfile &b) {
+                  return a.goodputTps < b.goodputTps;
+              });
+    return frontier;
+}
+
+} // namespace tapas

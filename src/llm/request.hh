@@ -1,0 +1,44 @@
+/**
+ * @file
+ * LLM inference request records shared by the engine, router, and
+ * workload generator.
+ */
+
+#ifndef TAPAS_LLM_REQUEST_HH
+#define TAPAS_LLM_REQUEST_HH
+
+#include "common/types.hh"
+
+namespace tapas {
+
+/** One user inference request. */
+struct Request
+{
+    RequestId id;
+    EndpointId endpoint;
+    CustomerId customer;
+    /** Arrival time, continuous seconds since simulation start. */
+    double arrivalS = 0.0;
+    int promptTokens = 0;
+    int outputTokens = 0;
+};
+
+/** Completion record emitted by the engine. */
+struct CompletedRequest
+{
+    Request request;
+    /** Time to first token, seconds. */
+    double ttftS = 0.0;
+    /** Mean time between output tokens, seconds. */
+    double tbtS = 0.0;
+    /** Completion timestamp. */
+    double finishS = 0.0;
+    /** Quality of the serving model variant, in [0,1]. */
+    double quality = 1.0;
+    /** True if both TTFT and TBT SLOs were met. */
+    bool metSlo = false;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_LLM_REQUEST_HH

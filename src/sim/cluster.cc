@@ -1,0 +1,1029 @@
+#include "sim/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+namespace {
+
+/** Telemetry cadence (the paper's 10-minute sensor interval). */
+constexpr SimTime kTelemetryPeriod = 10 * kMinute;
+/** History span required before templates are trusted. */
+constexpr SimTime kMinHistory = kDay;
+/** Hardware frequency floor under capping. */
+constexpr double kFreqFloor = 0.4;
+/** Perf scaling exponent versus frequency (prefill-dominated). */
+constexpr double kPerfFreqExponent = 0.8;
+
+VmTraceConfig
+normalizedVmTrace(const SimConfig &cfg)
+{
+    VmTraceConfig out = cfg.vmTrace;
+    out.horizon = cfg.horizon;
+    if (out.targetVmCount <= 0) {
+        const int base = cfg.layout.aisleCount *
+            cfg.layout.rowsPerAisle * cfg.layout.racksPerRow *
+            cfg.layout.serversPerRack;
+        const int base_racks = base / cfg.layout.serversPerRack;
+        const int extra_racks =
+            (base_racks * cfg.oversubscriptionPct + 99) / 100;
+        const int total =
+            base + extra_racks * cfg.layout.serversPerRack;
+        // Keep ~15% placement slack: full clusters leave the
+        // allocator no choices and starve every policy.
+        out.targetVmCount = std::max(1, (total * 85) / 100);
+    }
+    return out;
+}
+
+WeatherConfig
+normalizedWeather(const SimConfig &cfg)
+{
+    WeatherConfig out = cfg.weather;
+    out.horizon = cfg.horizon + kDay;
+    return out;
+}
+
+} // namespace
+
+ClusterSim::ClusterSim(const SimConfig &config)
+    : cfg(config), layout(cfg.layout),
+      thermal(layout, cfg.thermal, mixSeed(cfg.seed, 0x111)),
+      powerModel(cfg.power), cooling(layout, thermal),
+      hierarchy(layout, powerModel),
+      weatherModel(normalizedWeather(cfg), mixSeed(cfg.seed, 0x222)),
+      vmGen(normalizedVmTrace(cfg), mixSeed(cfg.seed, 0x333)),
+      bank(layout),
+      perf(PerfModel::withReferenceSlo(
+          layout.specs().front(),
+          PerfParams::forSku(layout.specs().front().sku))),
+      noiseRng(mixSeed(cfg.seed, 0x444))
+{
+    tapas_assert(cfg.stepLength > 0 && cfg.horizon > 0,
+                 "step length and horizon must be positive");
+
+    // Oversubscription racks are added after the plants froze their
+    // provisioning (the budgets stay at design capacity).
+    if (cfg.oversubscriptionPct > 0) {
+        const int base_racks = static_cast<int>(layout.rackCount());
+        const int extra_racks =
+            (base_racks * cfg.oversubscriptionPct + 99) / 100;
+        for (int i = 0; i < extra_racks; ++i) {
+            layout.addRack(RowId(static_cast<std::uint32_t>(
+                i % layout.rowCount())));
+        }
+        thermal.extend();
+    }
+
+    bank.offlineProfile(thermal, powerModel, mixSeed(cfg.seed, 0x555));
+    refProfile = perf.profile(referenceConfig());
+    refGoodput = refProfile.goodputTps;
+
+    tapas = std::make_unique<TapasController>(
+        cfg.policy, layout, cooling, hierarchy, &bank, &perf);
+    failureMgr =
+        std::make_unique<FailureManager>(cooling, hierarchy, layout);
+
+    // Endpoint demand sized from the steady-state SaaS fleet share.
+    const auto &sizes = vmGen.endpointVmCounts();
+    double size_total = 0.0;
+    for (int s : sizes)
+        size_total += s;
+    const double saas_steady =
+        vmGen.config().targetVmCount * vmGen.config().saasFraction;
+    std::vector<EndpointDemand> endpoints;
+    for (std::size_t e = 0; e < sizes.size(); ++e) {
+        EndpointDemand ep;
+        ep.id = EndpointId(static_cast<std::uint32_t>(e));
+        const double share =
+            size_total > 0.0 ? sizes[e] / size_total : 0.0;
+        ep.peakTokensPerS =
+            cfg.endpointPeakUtil * refGoodput * saas_steady * share;
+        // SaaS inference demand is synchronized across endpoints
+        // (business-hours diurnal), the effect the paper exploits.
+        ep.peakHour = cfg.demandPeakHour - 1.0 +
+            static_cast<double>(e % 3);
+        ep.customerCount = 40 + 10 * static_cast<int>(e % 4);
+        endpoints.push_back(ep);
+    }
+    DemandNoise demand_noise;
+    demand_noise.sigma = cfg.demandNoiseSigma;
+    requestGen = std::make_unique<RequestGenerator>(
+        std::move(endpoints), LengthDistribution{},
+        mixSeed(cfg.seed, 0x666), demand_noise);
+
+    vmTable.resize(vmGen.records().size());
+    serverVm.assign(layout.serverCount(), npos);
+    serverLoads.assign(layout.serverCount(), 0.0);
+    serverDrawW.assign(layout.serverCount(), 0.0);
+    const std::size_t gpus = layout.serverCount() *
+        static_cast<std::size_t>(
+            layout.specs().front().gpusPerServer);
+    gpuPowerW.assign(gpus, 0.0);
+    gpuTempC.assign(gpus, 25.0);
+    inletC.assign(layout.serverCount(), 22.0);
+    activeFailures.assign(cfg.failures.size(), 0);
+}
+
+std::size_t
+ClusterSim::activeVmCount() const
+{
+    std::size_t count = 0;
+    for (const SimVm &vm : vmTable) {
+        if (vm.active())
+            ++count;
+    }
+    return count;
+}
+
+void
+ClusterSim::run()
+{
+    while (!finished())
+        step();
+}
+
+void
+ClusterSim::runSteps(int steps)
+{
+    for (int i = 0; i < steps && !finished(); ++i)
+        step();
+}
+
+double
+ClusterSim::vmPredictedPeakLoad(const VmRecord &record) const
+{
+    if (record.kind == VmKind::IaaS) {
+        if (store.customerLoadSpan(record.customer) >= kMinHistory)
+            return store.customerPeakLoad(record.customer);
+        return 1.0;
+    }
+    if (store.endpointLoadSpan(record.endpoint) >= kMinHistory)
+        return store.endpointPeakLoad(record.endpoint);
+    return 1.0;
+}
+
+ClusterView
+ClusterSim::makeView() const
+{
+    ClusterView view;
+    view.layout = &layout;
+    view.cooling = &cooling;
+    view.power = &hierarchy;
+    view.profiles = &bank;
+    view.now = currentTime;
+    view.outsideC = weatherModel.outsideAt(currentTime).value();
+    view.dcLoadFrac = dcLoadFrac;
+    view.serverLoads = serverLoads;
+    view.occupied.assign(layout.serverCount(), false);
+    for (std::size_t s = 0; s < serverVm.size(); ++s)
+        view.occupied[s] = serverVm[s] != npos;
+    for (const SimVm &vm : vmTable) {
+        if (!vm.active())
+            continue;
+        PlacedVmView pv;
+        pv.id = vm.record.id;
+        pv.kind = vm.record.kind;
+        pv.server = vm.server;
+        pv.endpoint = vm.record.endpoint;
+        pv.customer = vm.record.customer;
+        pv.predictedPeakLoad = vmPredictedPeakLoad(vm.record);
+        pv.currentLoad = vm.load;
+        view.vms.push_back(pv);
+    }
+    return view;
+}
+
+void
+ClusterSim::processFailureSchedule()
+{
+    for (std::size_t i = 0; i < cfg.failures.size(); ++i) {
+        const FailureEvent &event = cfg.failures[i];
+        if (activeFailures[i] == 0 && currentTime >= event.at &&
+            currentTime < event.until) {
+            if (event.thermal) {
+                failureMgr->triggerThermalEmergency(
+                    event.remainingFrac);
+            } else {
+                failureMgr->triggerPowerEmergency(
+                    event.remainingFrac);
+            }
+            activeFailures[i] = 1;
+        } else if (activeFailures[i] == 1 &&
+                   currentTime >= event.until) {
+            failureMgr->clearAll();
+            activeFailures[i] = 2;
+            // Re-apply any still-active overlapping failures.
+            for (std::size_t j = 0; j < cfg.failures.size(); ++j) {
+                if (activeFailures[j] == 1) {
+                    const FailureEvent &other = cfg.failures[j];
+                    if (other.thermal) {
+                        failureMgr->triggerThermalEmergency(
+                            other.remainingFrac);
+                    } else {
+                        failureMgr->triggerPowerEmergency(
+                            other.remainingFrac);
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+ClusterSim::processDepartures()
+{
+    for (SimVm &vm : vmTable) {
+        if (vm.active() && vm.record.departure <= currentTime) {
+            serverVm[vm.server.index] = npos;
+            vm.server = ServerId();
+            vm.engine.reset();
+            vm.load = 0.0;
+            vm.demandTps = 0.0;
+        }
+    }
+}
+
+bool
+ClusterSim::tryPlace(std::uint32_t vm_index)
+{
+    SimVm &vm = vmTable[vm_index];
+    PlacementRequest request;
+    request.id = vm.record.id;
+    request.kind = vm.record.kind;
+    request.endpoint = vm.record.endpoint;
+    request.customer = vm.record.customer;
+    request.predictedPeakLoad = vmPredictedPeakLoad(vm.record);
+
+    const ClusterView view = makeView();
+    const auto pick = tapas->allocator().place(request, view);
+    if (!pick.has_value())
+        return false;
+    tapas_assert(serverVm[pick->index] == npos,
+                 "allocator picked an occupied server");
+    vm.server = *pick;
+    serverVm[pick->index] = vm_index;
+    if (vm.record.kind == VmKind::SaaS) {
+        vm.engine = std::make_unique<InferenceEngine>(refProfile,
+                                                      perf.slo());
+    }
+    ++simMetrics.vmsPlaced;
+    return true;
+}
+
+void
+ClusterSim::processArrivals()
+{
+    const auto &records = vmGen.records();
+    while (arrivalCursor < records.size() &&
+           records[arrivalCursor].arrival <= currentTime) {
+        const VmRecord &record = records[arrivalCursor];
+        ++arrivalCursor;
+        if (record.departure <= currentTime)
+            continue; // arrived and left between steps
+        tapas_assert(record.id.index < vmTable.size(),
+                     "trace id %u beyond pre-sized table",
+                     record.id.index);
+        vmTable[record.id.index].record = record;
+        if (!tryPlace(record.id.index)) {
+            ++simMetrics.vmsRejected;
+            waitingVms.push_back(record.id.index);
+        }
+    }
+}
+
+void
+ClusterSim::tryPlaceWaiting()
+{
+    std::vector<std::uint32_t> still_waiting;
+    for (std::uint32_t vm_index : waitingVms) {
+        SimVm &vm = vmTable[vm_index];
+        if (vm.record.departure <= currentTime)
+            continue; // gave up waiting
+        if (!tryPlace(vm_index))
+            still_waiting.push_back(vm_index);
+    }
+    waitingVms.swap(still_waiting);
+}
+
+std::vector<RouteCandidate>
+ClusterSim::endpointCandidates(EndpointId id)
+{
+    std::vector<RouteCandidate> out;
+    for (SimVm &vm : vmTable) {
+        if (!vm.active() || vm.record.kind != VmKind::SaaS ||
+            !(vm.record.endpoint == id)) {
+            continue;
+        }
+        RouteCandidate cand;
+        cand.vm = vm.record.id;
+        cand.server = vm.server;
+        cand.engine = vm.engine.get();
+        out.push_back(cand);
+    }
+    return out;
+}
+
+double
+ClusterSim::effectiveGoodput(const SimVm &vm) const
+{
+    if (!vm.engine || !vm.engine->accepting())
+        return 0.0;
+    return vm.engine->profile().goodputTps *
+        std::pow(vm.freqCap, kPerfFreqExponent);
+}
+
+void
+ClusterSim::assignSaasLoadRequestMode(SimTime from, SimTime to)
+{
+    const double dt = static_cast<double>(to - from);
+    const int gpus = layout.specs().front().gpusPerServer;
+
+    // Route this step's requests endpoint by endpoint.
+    std::vector<double> routed_tokens(vmTable.size(), 0.0);
+    std::vector<double> demand_floor(vmTable.size(), 0.0);
+    for (const EndpointDemand &ep : requestGen->endpoints()) {
+        auto candidates = endpointCandidates(ep.id);
+        const auto requests = requestGen->generate(ep.id, from, to);
+        if (candidates.empty())
+            continue;
+        // Configuration floor: even a VM that received little load
+        // this step must stay provisioned for its fair share of the
+        // endpoint (concentration shifts are sudden).
+        const double fair_share =
+            requestGen->demandTokensPerS(ep.id, from) /
+            static_cast<double>(candidates.size());
+        for (const RouteCandidate &cand : candidates)
+            demand_floor[cand.vm.index] = fair_share;
+        for (const Request &request : requests) {
+            const VmId target = tapas->router().route(
+                request, candidates, tapas->riskAssessor());
+            if (!target.valid())
+                continue;
+            vmTable[target.index].engine->enqueue(request);
+            routed_tokens[target.index] +=
+                request.promptTokens + request.outputTokens;
+        }
+    }
+
+    // Advance every engine; harvest latency/quality metrics.
+    for (SimVm &vm : vmTable) {
+        if (!vm.active() || vm.record.kind != VmKind::SaaS)
+            continue;
+        vm.engine->step(static_cast<double>(from),
+                        static_cast<double>(to));
+        const int active_gpus =
+            vm.engine->profile().activeGpus;
+        vm.load = vm.engine->lastUtilization() *
+            static_cast<double>(active_gpus) /
+            static_cast<double>(gpus);
+        vm.demandTps = routed_tokens[vm.record.id.index] / dt;
+        vm.demandEmaTps = std::max(
+            0.6 * vm.demandEmaTps + 0.4 * vm.demandTps,
+            demand_floor[vm.record.id.index]);
+
+        for (const CompletedRequest &done :
+             vm.engine->lastCompletions()) {
+            ++simMetrics.requestsCompleted;
+            simMetrics.ttftS.add(done.ttftS);
+            simMetrics.tbtS.add(done.tbtS);
+            const double tokens = done.request.promptTokens +
+                done.request.outputTokens;
+            simMetrics.totalTokens += tokens;
+            simMetrics.qualityWeightedTokens +=
+                tokens * done.quality;
+            if (done.metSlo) {
+                simMetrics.goodputTokens += tokens;
+            } else {
+                ++simMetrics.sloViolations;
+            }
+        }
+    }
+}
+
+void
+ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
+{
+    const SimTime mid = from + (to - from) / 2;
+    const int gpus = layout.specs().front().gpusPerServer;
+    const RiskAssessor *risk = tapas->riskAssessor();
+
+    // Clear stale assignments (reconfiguring VMs receive nothing).
+    for (SimVm &vm : vmTable) {
+        if (vm.active() && vm.record.kind == VmKind::SaaS)
+            vm.demandTps = 0.0;
+    }
+
+    for (const EndpointDemand &ep : requestGen->endpoints()) {
+        auto candidates = endpointCandidates(ep.id);
+        const double demand =
+            requestGen->demandTokensPerS(ep.id, mid);
+        if (candidates.empty())
+            continue;
+
+        // Risk filter (TAPAS) with fallback to the full set.
+        std::vector<RouteCandidate *> safe;
+        for (RouteCandidate &cand : candidates) {
+            if (!cand.engine->accepting())
+                continue;
+            if (risk && risk->fresh() &&
+                risk->risk(cand.server).any()) {
+                continue;
+            }
+            safe.push_back(&cand);
+        }
+        if (safe.empty()) {
+            for (RouteCandidate &cand : candidates) {
+                if (cand.engine->accepting())
+                    safe.push_back(&cand);
+            }
+        }
+        if (safe.empty())
+            continue;
+
+        // Slack-weighted split (paper 4.2: route on the power and
+        // thermal slacks of the underlying infrastructure), with
+        // overload spill. Weight = capacity x row-power headroom.
+        double total_cap = 0.0;
+        double total_weight = 0.0;
+        std::vector<double> weights(safe.size(), 0.0);
+        for (std::size_t i = 0; i < safe.size(); ++i) {
+            SimVm &vm = vmTable[safe[i]->vm.index];
+            const double cap = vm.engine->profile().goodputTps;
+            double slack = 1.0;
+            if (risk && risk->fresh()) {
+                const ServerRisk &entry =
+                    risk->risk(safe[i]->server);
+                const double budget = hierarchy
+                    .effectiveRowProvision(
+                        layout.server(safe[i]->server).row)
+                    .value();
+                slack = budget > 0.0
+                    ? std::clamp(entry.rowHeadroomW / budget, 0.05,
+                                 1.0)
+                    : 1.0;
+            }
+            weights[i] = cap * slack;
+            total_cap += cap;
+            total_weight += weights[i];
+        }
+        for (std::size_t i = 0; i < safe.size(); ++i) {
+            SimVm &vm = vmTable[safe[i]->vm.index];
+            const double cap = vm.engine->profile().goodputTps;
+            double share = total_weight > 0.0
+                ? demand * weights[i] / total_weight
+                : demand / static_cast<double>(safe.size());
+            if (demand > total_cap) {
+                share = cap +
+                    (demand - total_cap) /
+                        static_cast<double>(safe.size());
+            }
+            vm.demandTps = std::min(share, cap * 1.2);
+            vm.demandEmaTps =
+                0.6 * vm.demandEmaTps + 0.4 * vm.demandTps;
+        }
+    }
+
+    // Advance engines (blackout progression) and set loads.
+    for (SimVm &vm : vmTable) {
+        if (!vm.active() || vm.record.kind != VmKind::SaaS)
+            continue;
+        vm.engine->step(static_cast<double>(from),
+                        static_cast<double>(to));
+        const ConfigProfile &profile = vm.engine->profile();
+        const PerfModel::OperatingPoint op =
+            perf.operatingPointAt(profile, vm.demandTps);
+        vm.load = op.busyFrac *
+            static_cast<double>(profile.activeGpus) /
+            static_cast<double>(gpus);
+    }
+}
+
+void
+ClusterSim::replayIaasLoads(SimTime t)
+{
+    for (SimVm &vm : vmTable) {
+        if (vm.active() && vm.record.kind == VmKind::IaaS)
+            vm.load = vmGen.iaasLoadAt(vm.record, t);
+    }
+}
+
+void
+ClusterSim::computeDraws()
+{
+    const int gpus = layout.specs().front().gpusPerServer;
+    std::vector<Watts> draws(static_cast<std::size_t>(gpus));
+
+    for (const Server &server : layout.servers()) {
+        const ServerSpec &spec = layout.specOf(server.id);
+        const std::size_t s = server.id.index;
+        const std::size_t vm_index = serverVm[s];
+        double load = 0.0;
+
+        if (vm_index == npos) {
+            for (int g = 0; g < gpus; ++g)
+                draws[static_cast<std::size_t>(g)] =
+                    spec.gpuIdlePower;
+        } else {
+            SimVm &vm = vmTable[vm_index];
+            if (vm.record.kind == VmKind::IaaS) {
+                load = vm.load;
+                const Watts w =
+                    powerModel.gpuPower(spec, load, vm.freqCap);
+                for (int g = 0; g < gpus; ++g)
+                    draws[static_cast<std::size_t>(g)] = w;
+            } else {
+                const ConfigProfile &profile = vm.engine->profile();
+                load = vm.load;
+                const double idle = spec.gpuIdlePower.value();
+                double base = idle;
+                if (cfg.mode == SimMode::RequestLevel) {
+                    // Measured operating point from the engine.
+                    const double busy =
+                        vm.engine->lastUtilization();
+                    const double ps =
+                        vm.engine->lastPrefillShare();
+                    const double decode_w =
+                        perf.decodeGpuPowerAt(
+                                profile,
+                                vm.engine->lastDecodeBatch())
+                            .value();
+                    const double prefill_w =
+                        profile.prefill.gpuPower.value();
+                    base = idle * (1.0 - busy) +
+                        busy * (ps * prefill_w +
+                                (1.0 - ps) * decode_w);
+                } else {
+                    base = perf.operatingPointAt(profile,
+                                                 vm.demandTps)
+                               .gpuPower.value();
+                }
+                const double capped = idle +
+                    (base - idle) * std::pow(vm.freqCap, 2.4);
+                for (int g = 0; g < gpus; ++g) {
+                    draws[static_cast<std::size_t>(g)] =
+                        g < profile.activeGpus ? Watts(capped)
+                                               : spec.gpuIdlePower;
+                }
+            }
+        }
+
+        // Server "load" for fans/airflow/telemetry is the normalized
+        // GPU heat output, consistent with the fitted power curves.
+        const double heat = PowerModel::heatFraction(spec, draws);
+        serverLoads[s] = heat;
+        for (int g = 0; g < gpus; ++g) {
+            gpuPowerW[s * static_cast<std::size_t>(gpus) +
+                      static_cast<std::size_t>(g)] =
+                draws[static_cast<std::size_t>(g)].value();
+        }
+        serverDrawW[s] =
+            powerModel.serverPower(spec, draws, heat).value();
+        (void)load;
+    }
+}
+
+void
+ClusterSim::enforcePowerBudgets()
+{
+    auto to_watts = [&]() {
+        std::vector<Watts> out;
+        out.reserve(serverDrawW.size());
+        for (double w : serverDrawW)
+            out.emplace_back(w);
+        return out;
+    };
+
+    PowerAssessment assessment = hierarchy.assess(to_watts());
+    if (!assessment.anyViolation())
+        return;
+    ++simMetrics.powerCapSteps;
+
+    const bool iaas_first = tapas->capIaasFirst();
+    for (int iter = 0; iter < 6; ++iter) {
+        assessment = hierarchy.assess(to_watts());
+        if (!assessment.anyViolation())
+            break;
+
+        // Collect rows needing reduction (row-level or via UPS).
+        std::vector<char> row_over(layout.rowCount(), 0);
+        for (RowId row : assessment.overBudgetRows)
+            row_over[row.index] = 1;
+        for (UpsId ups : assessment.overBudgetUpses) {
+            for (RowId row : layout.ups(ups).rows)
+                row_over[row.index] = 1;
+        }
+
+        for (const Row &row : layout.rows()) {
+            if (!row_over[row.id.index])
+                continue;
+            const double draw = assessment.rowDrawW[row.id.index];
+            const double budget =
+                assessment.rowBudgetW[row.id.index];
+            const double ratio =
+                std::clamp(budget / draw, 0.5, 1.0);
+
+            // TAPAS spares SaaS while IaaS still has cap headroom.
+            bool iaas_headroom = false;
+            if (iaas_first) {
+                for (ServerId sid : row.servers) {
+                    const std::size_t vi = serverVm[sid.index];
+                    if (vi != npos &&
+                        vmTable[vi].record.kind == VmKind::IaaS &&
+                        vmTable[vi].freqCap > kFreqFloor + 0.01) {
+                        iaas_headroom = true;
+                        break;
+                    }
+                }
+            }
+
+            for (ServerId sid : row.servers) {
+                const std::size_t vi = serverVm[sid.index];
+                if (vi == npos)
+                    continue;
+                SimVm &vm = vmTable[vi];
+                if (iaas_first && iaas_headroom &&
+                    vm.record.kind == VmKind::SaaS) {
+                    continue;
+                }
+                vm.freqCap = std::max(
+                    kFreqFloor,
+                    vm.freqCap * std::pow(ratio, 0.6));
+            }
+        }
+        computeDraws();
+    }
+}
+
+void
+ClusterSim::evaluateThermal(bool enforce)
+{
+    const int gpus = layout.specs().front().gpusPerServer;
+    const Celsius outside = weatherModel.outsideAt(currentTime);
+
+    // One sensor-noise draw per server per step.
+    std::vector<double> noise(layout.serverCount());
+    for (double &n : noise)
+        n = noiseRng.gaussian(0.0, cfg.thermal.noiseSigmaC);
+
+    auto evaluate = [&]() {
+        std::vector<double> overdraw(layout.aisleCount(), 0.0);
+        for (const Aisle &aisle : layout.aisles()) {
+            overdraw[aisle.id.index] =
+                cooling.overdrawFraction(aisle.id, serverLoads);
+        }
+        bool any_over = false;
+        for (const Server &server : layout.servers()) {
+            const std::size_t s = server.id.index;
+            inletC[s] =
+                thermal
+                    .inletTemperature(server.id, outside, dcLoadFrac,
+                                      overdraw[server.aisle.index])
+                    .value() +
+                noise[s];
+            const double throttle_at =
+                layout.specOf(server.id).throttleTemp.value();
+            for (int g = 0; g < gpus; ++g) {
+                const std::size_t idx =
+                    s * static_cast<std::size_t>(gpus) +
+                    static_cast<std::size_t>(g);
+                gpuTempC[idx] =
+                    thermal
+                        .gpuTemperature(server.id, g,
+                                        Celsius(inletC[s]),
+                                        Watts(gpuPowerW[idx]))
+                        .value();
+                if (gpuTempC[idx] > throttle_at)
+                    any_over = true;
+            }
+        }
+        return any_over;
+    };
+
+    bool over = evaluate();
+    if (over)
+        ++simMetrics.thermalThrottleSteps;
+    if (!enforce)
+        return;
+
+    for (int iter = 0; iter < 5 && over; ++iter) {
+        // Hardware throttle on every server with a hot GPU.
+        for (const Server &server : layout.servers()) {
+            const std::size_t s = server.id.index;
+            const double throttle_at =
+                layout.specOf(server.id).throttleTemp.value();
+            bool hot = false;
+            for (int g = 0; g < gpus; ++g) {
+                if (gpuTempC[s * static_cast<std::size_t>(gpus) +
+                             static_cast<std::size_t>(g)] >
+                    throttle_at) {
+                    hot = true;
+                }
+            }
+            const std::size_t vi = serverVm[s];
+            if (hot && vi != npos) {
+                vmTable[vi].freqCap = std::max(
+                    kFreqFloor, vmTable[vi].freqCap * 0.85);
+            }
+        }
+        computeDraws();
+        over = evaluate();
+    }
+}
+
+void
+ClusterSim::recordTelemetry(SimTime t)
+{
+    if (t % kTelemetryPeriod != 0)
+        return;
+    const int gpus = layout.specs().front().gpusPerServer;
+    const double outside = weatherModel.outsideAt(t).value();
+
+    std::vector<double> row_power(layout.rowCount(), 0.0);
+    for (const Server &server : layout.servers()) {
+        const std::size_t s = server.id.index;
+        double hottest = 0.0;
+        for (int g = 0; g < gpus; ++g) {
+            hottest = std::max(
+                hottest,
+                gpuTempC[s * static_cast<std::size_t>(gpus) +
+                         static_cast<std::size_t>(g)]);
+        }
+        ServerSample sample;
+        sample.time = t;
+        sample.inletC = static_cast<float>(inletC[s]);
+        sample.hottestGpuC = static_cast<float>(hottest);
+        sample.serverPowerW = static_cast<float>(serverDrawW[s]);
+        sample.gpuLoad = static_cast<float>(serverLoads[s]);
+        sample.outsideC = static_cast<float>(outside);
+        sample.dcLoadFrac = static_cast<float>(dcLoadFrac);
+        store.recordServer(server.id, sample);
+        row_power[server.row.index] += serverDrawW[s];
+    }
+    for (const Row &row : layout.rows())
+        store.recordRowPower(row.id, t, row_power[row.id.index]);
+
+    // Per-VM power attributed to customers/endpoints + load digests.
+    std::unordered_map<std::uint32_t, std::pair<double, int>>
+        customer_power;
+    std::unordered_map<std::uint32_t, std::pair<double, int>>
+        endpoint_power;
+    for (const SimVm &vm : vmTable) {
+        if (!vm.active())
+            continue;
+        const double draw = serverDrawW[vm.server.index];
+        store.recordVmLoad(vm.record.id, vm.record.customer,
+                           vm.record.endpoint, t,
+                           serverLoads[vm.server.index]);
+        if (vm.record.kind == VmKind::IaaS) {
+            auto &entry = customer_power[vm.record.customer.index];
+            entry.first += draw;
+            ++entry.second;
+        } else {
+            auto &entry = endpoint_power[vm.record.endpoint.index];
+            entry.first += draw;
+            ++entry.second;
+        }
+    }
+    for (const auto &[customer, entry] : customer_power) {
+        store.recordCustomerVmPower(CustomerId(customer), t,
+                                    entry.first / entry.second);
+    }
+    for (const auto &[endpoint, entry] : endpoint_power) {
+        store.recordEndpointVmPower(EndpointId(endpoint), t,
+                                    entry.first / entry.second);
+    }
+}
+
+void
+ClusterSim::configuratorPass()
+{
+    if (!cfg.policy.configEnabled)
+        return;
+    const bool emergency = failureMgr->active() !=
+        EmergencyKind::None;
+    const bool emergency_changed = emergency != lastEmergency;
+    lastEmergency = emergency;
+
+    // Re-decide only when something material changed: demand moved
+    // >15%, the emergency state flipped, or 15 minutes elapsed.
+    std::vector<SaasInstanceRef> instances;
+    for (SimVm &vm : vmTable) {
+        if (!vm.active() || vm.record.kind != VmKind::SaaS)
+            continue;
+        const double demand =
+            std::max(vm.demandTps, vm.demandEmaTps);
+        const bool stale = vm.lastConfigAt < 0 ||
+            currentTime - vm.lastConfigAt >= 15 * kMinute;
+        const bool moved = vm.lastConfigDemand < 0.0 ||
+            std::abs(demand - vm.lastConfigDemand) >
+                0.15 * std::max(vm.lastConfigDemand, 1.0);
+        if (!emergency_changed && !stale && !moved)
+            continue;
+        vm.lastConfigDemand = demand;
+        vm.lastConfigAt = currentTime;
+        SaasInstanceRef ref;
+        ref.id = vm.record.id;
+        ref.server = vm.server;
+        ref.engine = vm.engine.get();
+        ref.demandTps = demand;
+        instances.push_back(ref);
+    }
+    if (instances.empty())
+        return;
+    const ClusterView view = makeView();
+    tapas->configurePass(view, instances);
+    simMetrics.reconfigs = tapas->reconfigsIssued();
+}
+
+void
+ClusterSim::migrationPass()
+{
+    if (!cfg.policy.migrationEnabled ||
+        !cfg.policy.placeEnabled || currentTime == 0 ||
+        currentTime % cfg.policy.migrationPeriod != 0) {
+        return;
+    }
+    MigrationPlanner planner(cfg.policy);
+    const ClusterView view = makeView();
+    for (const MigrationPlan &move :
+         planner.plan(view, cfg.policy.migrationMaxMoves)) {
+        const std::size_t vm_index = serverVm[move.from.index];
+        tapas_assert(vm_index != npos, "migration donor is empty");
+        SimVm &vm = vmTable[vm_index];
+        tapas_assert(vm.record.kind == VmKind::SaaS,
+                     "only SaaS VMs migrate");
+        serverVm[move.from.index] = npos;
+        serverVm[move.to.index] = vm_index;
+        vm.server = move.to;
+        vm.engine->beginMigration(cfg.policy.migrationDelayS);
+        ++simMetrics.migrations;
+    }
+}
+
+void
+ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
+{
+    (void)power_capped;
+    (void)thermal_throttled;
+    const int gpus = layout.specs().front().gpusPerServer;
+    const double dt = static_cast<double>(cfg.stepLength);
+
+    // Row draws and datacenter power.
+    std::vector<double> row_power(layout.rowCount(), 0.0);
+    double dc_power = 0.0;
+    for (const Server &server : layout.servers()) {
+        row_power[server.row.index] +=
+            serverDrawW[server.id.index];
+        dc_power += serverDrawW[server.id.index];
+    }
+    double peak_row = 0.0;
+    double peak_row_frac = 0.0;
+    for (const Row &row : layout.rows()) {
+        peak_row = std::max(peak_row, row_power[row.id.index]);
+        const double prov = hierarchy.rowProvision(row.id).value();
+        if (prov > 0.0) {
+            peak_row_frac = std::max(
+                peak_row_frac, row_power[row.id.index] / prov);
+        }
+    }
+    simMetrics.peakRowPowerW.add(currentTime, peak_row);
+    simMetrics.peakRowPowerFrac.add(currentTime, peak_row_frac);
+    simMetrics.datacenterPowerW.add(currentTime, dc_power);
+
+    double max_temp = 0.0;
+    for (double t : gpuTempC)
+        max_temp = std::max(max_temp, t);
+    simMetrics.maxGpuTempC.add(currentTime, max_temp);
+
+    // IaaS performance penalty (capping deficit).
+    double penalty = 0.0;
+    int iaas_count = 0;
+    for (const SimVm &vm : vmTable) {
+        if (vm.active() && vm.record.kind == VmKind::IaaS) {
+            penalty += 1.0 - vm.freqCap;
+            ++iaas_count;
+        }
+    }
+    simMetrics.iaasPerfPenalty.add(
+        currentTime, iaas_count ? penalty / iaas_count : 0.0);
+
+    // SaaS service metrics.
+    double served = 0.0;
+    double quality_weighted = 0.0;
+    if (cfg.mode == SimMode::FlowLevel) {
+        const double mean_tokens =
+            requestGen->meanTokensPerRequest();
+        for (const SimVm &vm : vmTable) {
+            if (!vm.active() || vm.record.kind != VmKind::SaaS)
+                continue;
+            const double goodput = effectiveGoodput(vm);
+            const double vm_served =
+                std::min(vm.demandTps, goodput);
+            served += vm_served;
+            const double quality =
+                vm.engine->profile().quality;
+            quality_weighted += vm_served * quality;
+            simMetrics.totalTokens += vm_served * dt;
+            simMetrics.qualityWeightedTokens +=
+                vm_served * dt * quality;
+            const double reqs = vm_served * dt / mean_tokens;
+            simMetrics.requestsCompleted +=
+                static_cast<std::uint64_t>(reqs);
+            // Proportional SLO accounting: a transient overload
+            // degrades the excess fraction of the VM's traffic,
+            // not every request it serves that interval.
+            const double excess =
+                std::max(0.0, vm.demandTps - goodput);
+            const double viol_frac = vm.demandTps > 0.0
+                ? excess / vm.demandTps
+                : 0.0;
+            simMetrics.sloViolations +=
+                static_cast<std::uint64_t>(reqs * viol_frac);
+            simMetrics.goodputTokens +=
+                vm_served * dt * (1.0 - viol_frac);
+        }
+    } else {
+        for (const SimVm &vm : vmTable) {
+            if (!vm.active() || vm.record.kind != VmKind::SaaS)
+                continue;
+            for (const CompletedRequest &done :
+                 vm.engine->lastCompletions()) {
+                const double tokens = done.request.promptTokens +
+                    done.request.outputTokens;
+                served += tokens / dt;
+                quality_weighted += done.quality * tokens / dt;
+            }
+        }
+    }
+    simMetrics.saasServedTps.add(currentTime, served);
+    simMetrics.saasQuality.add(
+        currentTime, served > 0.0 ? quality_weighted / served : 1.0);
+
+    ++simMetrics.totalSteps;
+    (void)gpus;
+}
+
+void
+ClusterSim::step()
+{
+    processFailureSchedule();
+    processDepartures();
+    processArrivals();
+    tryPlaceWaiting();
+
+    // Risk refresh uses last step's sensor data (5-min cadence).
+    {
+        const ClusterView view = makeView();
+        tapas->maybeRefreshRisk(view, gpuPowerW);
+    }
+
+    // Reset this step's hardware caps.
+    for (SimVm &vm : vmTable)
+        vm.freqCap = 1.0;
+
+    const SimTime from = currentTime;
+    const SimTime to = currentTime + cfg.stepLength;
+    if (cfg.mode == SimMode::RequestLevel) {
+        assignSaasLoadRequestMode(from, to);
+    } else {
+        assignSaasLoadFlowMode(from, to);
+    }
+    replayIaasLoads(from);
+
+    computeDraws();
+    const std::uint64_t caps_before = simMetrics.powerCapSteps;
+    enforcePowerBudgets();
+    const std::uint64_t throttles_before =
+        simMetrics.thermalThrottleSteps;
+    evaluateThermal(true);
+
+    // Hardware throttles carry into the next step's engine work.
+    for (SimVm &vm : vmTable) {
+        if (vm.active() && vm.record.kind == VmKind::SaaS)
+            vm.engine->setHardwareThrottle(vm.freqCap);
+    }
+
+    recordTelemetry(from);
+    configuratorPass();
+    migrationPass();
+    collectMetrics(simMetrics.powerCapSteps > caps_before,
+                   simMetrics.thermalThrottleSteps >
+                       throttles_before);
+
+    // Datacenter load feeds next step's inlet model.
+    double dc_power = 0.0;
+    for (double w : serverDrawW)
+        dc_power += w;
+    const double provision = hierarchy.totalProvision().value();
+    dcLoadFrac = provision > 0.0
+        ? std::clamp(dc_power / provision, 0.0, 1.5)
+        : 0.5;
+
+    currentTime = to;
+}
+
+} // namespace tapas

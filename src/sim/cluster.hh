@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The discrete-time cluster simulator (paper Section 5.1).
+ *
+ * Each step: VM departures/arrivals (via the placement policy), SaaS
+ * demand generation and routing, engine execution (request-level) or
+ * flow assignment (flow-level), IaaS load replay, ground-truth power
+ * aggregation with capping enforcement, airflow/thermal evaluation
+ * with hardware throttling, telemetry recording, the TAPAS risk and
+ * configuration passes, and metric collection.
+ *
+ * Ground truth (dcsim models) advances the world; TAPAS reads only
+ * its fitted profiles (telemetry/ProfileBank) and observed sensor
+ * values, mirroring the production methodology.
+ */
+
+#ifndef TAPAS_SIM_CLUSTER_HH
+#define TAPAS_SIM_CLUSTER_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/failure.hh"
+#include "core/migration.hh"
+#include "core/tapas.hh"
+#include "llm/engine.hh"
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+#include "telemetry/history.hh"
+#include "telemetry/templates.hh"
+#include "workload/requests.hh"
+#include "workload/vmtrace.hh"
+#include "workload/weather.hh"
+
+namespace tapas {
+
+/** A live VM inside the simulator. */
+struct SimVm
+{
+    VmRecord record;
+    ServerId server;
+    /** SaaS only. */
+    std::unique_ptr<InferenceEngine> engine;
+    /** Hardware frequency cap applied this step (1 = uncapped). */
+    double freqCap = 1.0;
+    /** GPU load fraction this step. */
+    double load = 0.0;
+    /** Token demand routed to this VM this step (SaaS). */
+    double demandTps = 0.0;
+    /** Smoothed demand used for configuration decisions. */
+    double demandEmaTps = 0.0;
+    /** Demand at the last configuration decision (change gate). */
+    double lastConfigDemand = -1.0;
+    /** Time of the last configuration decision. */
+    SimTime lastConfigAt = -1;
+
+    bool active() const { return server.valid(); }
+};
+
+/** End-to-end cluster simulation. */
+class ClusterSim
+{
+  public:
+    explicit ClusterSim(const SimConfig &config);
+
+    /** Run to the horizon. */
+    void run();
+
+    /** Run a limited number of steps (incremental drive for tests). */
+    void runSteps(int steps);
+
+    SimTime now() const { return currentTime; }
+    bool finished() const { return currentTime >= cfg.horizon; }
+
+    const SimConfig &config() const { return cfg; }
+    const SimMetrics &metrics() const { return simMetrics; }
+    const DatacenterLayout &datacenter() const { return layout; }
+    const ProfileBank &profiles() const { return bank; }
+    const TelemetryStore &telemetry() const { return store; }
+    const PerfModel &perfModel() const { return perf; }
+    TapasController &controller() { return *tapas; }
+    FailureManager &failures() { return *failureMgr; }
+    const WeatherModel &weather() const { return weatherModel; }
+    const VmTraceGenerator &vmTrace() const { return vmGen; }
+
+    /** Live VM table (index = VmId). */
+    const std::vector<SimVm> &vms() const { return vmTable; }
+
+    /** Count of currently placed VMs. */
+    std::size_t activeVmCount() const;
+
+    /** Reference goodput of the default SaaS configuration. */
+    double referenceGoodputTps() const { return refGoodput; }
+
+    /** Per-server draw of the last completed step, watts. */
+    const std::vector<double> &lastServerDrawW() const
+    { return serverDrawW; }
+
+    /** Per-GPU temperature of the last completed step. */
+    const std::vector<double> &lastGpuTempC() const
+    { return gpuTempC; }
+
+  private:
+    SimConfig cfg;
+    DatacenterLayout layout;
+    ThermalModel thermal;
+    PowerModel powerModel;
+    CoolingPlant cooling;
+    PowerHierarchy hierarchy;
+    WeatherModel weatherModel;
+    VmTraceGenerator vmGen;
+    ProfileBank bank;
+    PerfModel perf;
+    std::unique_ptr<TapasController> tapas;
+    std::unique_ptr<FailureManager> failureMgr;
+    std::unique_ptr<RequestGenerator> requestGen;
+    TelemetryStore store;
+    SimMetrics simMetrics;
+    Rng noiseRng;
+
+    SimTime currentTime = 0;
+    std::size_t arrivalCursor = 0;
+    std::vector<SimVm> vmTable;
+    /** server index -> vm index (or npos). */
+    std::vector<std::size_t> serverVm;
+    std::vector<std::uint32_t> waitingVms;
+    std::vector<std::size_t> activeFailures;
+    double dcLoadFrac = 0.5;
+    double refGoodput = 0.0;
+    bool lastEmergency = false;
+    ConfigProfile refProfile;
+
+    /** Scratch state of the last step. */
+    std::vector<double> serverLoads;
+    std::vector<double> serverDrawW;
+    std::vector<double> gpuPowerW;
+    std::vector<double> gpuTempC;
+    std::vector<double> inletC;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    void step();
+    void processFailureSchedule();
+    void processDepartures();
+    void processArrivals();
+    void tryPlaceWaiting();
+    bool tryPlace(std::uint32_t vm_index);
+    ClusterView makeView() const;
+    void assignSaasLoadRequestMode(SimTime from, SimTime to);
+    void assignSaasLoadFlowMode(SimTime from, SimTime to);
+    void replayIaasLoads(SimTime t);
+    void computeDraws();
+    void enforcePowerBudgets();
+    void evaluateThermal(bool enforce);
+    void recordTelemetry(SimTime t);
+    void collectMetrics(bool power_capped, bool thermal_throttled);
+    void configuratorPass();
+    void migrationPass();
+    double vmPredictedPeakLoad(const VmRecord &record) const;
+    std::vector<RouteCandidate> endpointCandidates(EndpointId id);
+    double effectiveGoodput(const SimVm &vm) const;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_SIM_CLUSTER_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Configuration of a cluster-simulation experiment (paper §5.1).
+ */
+
+#ifndef TAPAS_SIM_CONFIG_HH
+#define TAPAS_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/context.hh"
+#include "dcsim/layout.hh"
+#include "dcsim/power.hh"
+#include "dcsim/thermal.hh"
+#include "workload/vmtrace.hh"
+#include "workload/weather.hh"
+
+namespace tapas {
+
+/** Simulation fidelity. */
+enum class SimMode
+{
+    /** Every request simulated through every engine (real-cluster
+     *  scale experiments). */
+    RequestLevel,
+    /** Aggregate token flows with utilization-law latency estimates
+     *  (datacenter-scale, week-long sweeps). */
+    FlowLevel,
+};
+
+/** A scheduled infrastructure failure. */
+struct FailureEvent
+{
+    SimTime at = 0;
+    SimTime until = 0;
+    /** True = thermal (AHU, 90%), false = power (UPS, 75%). */
+    bool thermal = false;
+    double remainingFrac = 0.75;
+};
+
+/** Full experiment description. */
+struct SimConfig
+{
+    LayoutConfig layout;
+    ThermalConfig thermal;
+    PowerConfig power;
+    WeatherConfig weather;
+    VmTraceConfig vmTrace;
+    TapasPolicyConfig policy;
+
+    SimMode mode = SimMode::FlowLevel;
+    SimTime stepLength = 5 * kMinute;
+    SimTime horizon = kWeek;
+    std::uint64_t seed = 1;
+
+    /** Extra racks added beyond provisioning, percent of base. */
+    int oversubscriptionPct = 0;
+
+    double endpointPeakUtil = 0.45;
+
+    /**
+     * Hour-of-day around which SaaS endpoint demand peaks. Short
+     * experiments (the 1-hour real-cluster run) set this near 0 so
+     * the window covers the busy period.
+     */
+    double demandPeakHour = 14.0;
+
+    /** Lognormal sigma of per-endpoint 5-minute demand spikes. */
+    double demandNoiseSigma = 0.18;
+
+    /** Peak demand as a fraction of fleet goodput (production LLM
+     *  fleets provision for spikes; typical peaks sit well below
+     *  capacity). */
+
+    /** Scheduled failures. */
+    std::vector<FailureEvent> failures;
+
+    /** Make the baseline (all policies off) variant of this config. */
+    SimConfig
+    asBaseline() const
+    {
+        SimConfig out = *this;
+        out.policy.placeEnabled = false;
+        out.policy.routeEnabled = false;
+        out.policy.configEnabled = false;
+        return out;
+    }
+
+    /** Make the full-TAPAS variant of this config. */
+    SimConfig
+    asTapas() const
+    {
+        SimConfig out = *this;
+        out.policy.placeEnabled = true;
+        out.policy.routeEnabled = true;
+        out.policy.configEnabled = true;
+        return out;
+    }
+
+    /** Variant with a chosen subset of policies. */
+    SimConfig
+    withPolicies(bool place, bool route, bool config) const
+    {
+        SimConfig out = *this;
+        out.policy.placeEnabled = place;
+        out.policy.routeEnabled = route;
+        out.policy.configEnabled = config;
+        return out;
+    }
+};
+
+} // namespace tapas
+
+#endif // TAPAS_SIM_CONFIG_HH

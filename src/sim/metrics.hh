@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Metrics collected by the cluster simulator: the quantities behind
+ * every evaluation figure (peak power, max temperature, capping
+ * fractions, latency percentiles, goodput, quality).
+ */
+
+#ifndef TAPAS_SIM_METRICS_HH
+#define TAPAS_SIM_METRICS_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tapas {
+
+/** Per-run metric aggregation. */
+struct SimMetrics
+{
+    /** Max GPU temperature across the cluster, per step. */
+    TimeSeries maxGpuTempC;
+    /** Peak row power draw (W), per step. */
+    TimeSeries peakRowPowerW;
+    /** Peak row power as a fraction of row provisioning, per step. */
+    TimeSeries peakRowPowerFrac;
+    /** Whole-datacenter draw (W), per step. */
+    TimeSeries datacenterPowerW;
+    /** Mean IaaS frequency-cap deficit (1 - freqCap), per step. */
+    TimeSeries iaasPerfPenalty;
+    /** SaaS tokens served per second, per step. */
+    TimeSeries saasServedTps;
+    /** Mean quality of SaaS service, per step. */
+    TimeSeries saasQuality;
+
+    /** Steps where any row/UPS exceeded its power budget. */
+    std::uint64_t powerCapSteps = 0;
+    /** Steps where any GPU crossed the thermal throttle point. */
+    std::uint64_t thermalThrottleSteps = 0;
+    std::uint64_t totalSteps = 0;
+
+    /** Request-level latency samples (empty in flow mode). */
+    QuantileSample ttftS;
+    QuantileSample tbtS;
+
+    std::uint64_t requestsCompleted = 0;
+    std::uint64_t sloViolations = 0;
+    double totalTokens = 0.0;
+    double goodputTokens = 0.0;
+    double qualityWeightedTokens = 0.0;
+
+    std::uint64_t vmsPlaced = 0;
+    std::uint64_t vmsRejected = 0;
+    std::uint64_t reconfigs = 0;
+    std::uint64_t migrations = 0;
+
+    double
+    powerCappedFraction() const
+    {
+        return totalSteps
+            ? static_cast<double>(powerCapSteps) / totalSteps
+            : 0.0;
+    }
+
+    double
+    thermalCappedFraction() const
+    {
+        return totalSteps
+            ? static_cast<double>(thermalThrottleSteps) / totalSteps
+            : 0.0;
+    }
+
+    double
+    meanQuality() const
+    {
+        return totalTokens > 0.0
+            ? qualityWeightedTokens / totalTokens
+            : 0.0;
+    }
+
+    double
+    sloAttainment() const
+    {
+        return requestsCompleted
+            ? 1.0 -
+                static_cast<double>(sloViolations) /
+                static_cast<double>(requestsCompleted)
+            : 1.0;
+    }
+};
+
+} // namespace tapas
+
+#endif // TAPAS_SIM_METRICS_HH

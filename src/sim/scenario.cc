@@ -1,0 +1,79 @@
+#include "sim/scenario.hh"
+
+namespace tapas {
+
+SimConfig
+realClusterScenario(std::uint64_t seed)
+{
+    SimConfig cfg;
+    cfg.layout.aisleCount = 1;
+    cfg.layout.rowsPerAisle = 2;
+    cfg.layout.racksPerRow = 10;
+    cfg.layout.serversPerRack = 4;
+    cfg.layout.sku = GpuSku::A100;
+    cfg.layout.upsCount = 2;
+    // Rows are provisioned with a production diversity factor: the
+    // whole row never draws nameplate TDP simultaneously.
+    cfg.power.rowProvisionFactor = 0.90;
+    cfg.thermal.airflowProvisionFactor = 0.90;
+    cfg.mode = SimMode::RequestLevel;
+    cfg.stepLength = kMinute;
+    cfg.horizon = kHour;
+    cfg.vmTrace.saasFraction = 0.5;
+    cfg.vmTrace.endpointCount = 10;
+    cfg.weather.climate = Climate::Temperate;
+    // The one-hour window covers the demand peak (the paper's real
+    // cluster experiment runs at load).
+    cfg.demandPeakHour = 0.5;
+    cfg.seed = seed;
+    return cfg;
+}
+
+SimConfig
+largeScaleScenario(std::uint64_t seed)
+{
+    SimConfig cfg;
+    cfg.layout.aisleCount = 12;
+    cfg.layout.rowsPerAisle = 2;
+    cfg.layout.racksPerRow = 10;
+    cfg.layout.serversPerRack = 4;
+    cfg.layout.sku = GpuSku::A100;
+    cfg.layout.upsCount = 4;
+    // Rows are provisioned with a production diversity factor: the
+    // whole row never draws nameplate TDP simultaneously.
+    cfg.power.rowProvisionFactor = 0.90;
+    cfg.thermal.airflowProvisionFactor = 0.90;
+    cfg.mode = SimMode::FlowLevel;
+    cfg.stepLength = 5 * kMinute;
+    cfg.horizon = kWeek;
+    cfg.vmTrace.saasFraction = 0.5;
+    cfg.vmTrace.endpointCount = 10;
+    cfg.weather.climate = Climate::Temperate;
+    cfg.seed = seed;
+    return cfg;
+}
+
+SimConfig
+smallTestScenario(std::uint64_t seed)
+{
+    SimConfig cfg;
+    cfg.layout.aisleCount = 2;
+    cfg.layout.rowsPerAisle = 2;
+    cfg.layout.racksPerRow = 3;
+    cfg.layout.serversPerRack = 4;
+    cfg.layout.sku = GpuSku::A100;
+    cfg.layout.upsCount = 4;
+    // Rows are provisioned with a production diversity factor: the
+    // whole row never draws nameplate TDP simultaneously.
+    cfg.power.rowProvisionFactor = 0.90;
+    cfg.thermal.airflowProvisionFactor = 0.90;
+    cfg.mode = SimMode::FlowLevel;
+    cfg.stepLength = 5 * kMinute;
+    cfg.horizon = kDay;
+    cfg.vmTrace.saasFraction = 0.5;
+    cfg.vmTrace.endpointCount = 4;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace tapas

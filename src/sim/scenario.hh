@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Canned experiment scenarios matching the paper's evaluation setups
+ * (Section 5.1). Every bench and example builds on these.
+ */
+
+#ifndef TAPAS_SIM_SCENARIO_HH
+#define TAPAS_SIM_SCENARIO_HH
+
+#include "sim/config.hh"
+
+namespace tapas {
+
+/**
+ * The paper's "real cluster" setup: 80 servers in two rows sharing
+ * one cold aisle, 50/50 IaaS/SaaS, one hour at 1-minute steps,
+ * request-level fidelity.
+ */
+SimConfig realClusterScenario(std::uint64_t seed);
+
+/**
+ * The paper's large-scale simulation: ~1000 servers (12 aisles x
+ * 2 rows x 10 racks x 4 servers), one week at 5-minute steps,
+ * flow-level fidelity.
+ */
+SimConfig largeScaleScenario(std::uint64_t seed);
+
+/**
+ * A small flow-level scenario for fast integration tests:
+ * 48 servers, one day.
+ */
+SimConfig smallTestScenario(std::uint64_t seed);
+
+} // namespace tapas
+
+#endif // TAPAS_SIM_SCENARIO_HH

@@ -1,0 +1,180 @@
+#include "telemetry/history.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+const std::vector<ServerSample> TelemetryStore::emptyServerSeries;
+const std::vector<KeyedSample> TelemetryStore::emptyKeyedSeries;
+
+void
+TelemetryStore::recordServer(ServerId id, const ServerSample &sample)
+{
+    serverData[id.index].push_back(sample);
+}
+
+void
+TelemetryStore::recordRowPower(RowId id, SimTime t, double watts)
+{
+    rowPower[id.index].push_back(
+        {t, static_cast<float>(watts)});
+}
+
+void
+TelemetryStore::recordCustomerVmPower(CustomerId id, SimTime t,
+                                      double watts)
+{
+    customerVmPower[id.index].push_back(
+        {t, static_cast<float>(watts)});
+}
+
+void
+TelemetryStore::recordEndpointVmPower(EndpointId id, SimTime t,
+                                      double watts)
+{
+    endpointVmPower[id.index].push_back(
+        {t, static_cast<float>(watts)});
+}
+
+void
+TelemetryStore::recordVmLoad(VmId id, CustomerId customer,
+                             EndpointId endpoint, SimTime t,
+                             double load)
+{
+    (void)id;
+    auto update = [&](LoadDigest &digest) {
+        if (digest.first < 0)
+            digest.first = t;
+        digest.last = t;
+        digest.peak = std::max(digest.peak, load);
+    };
+    if (customer.valid())
+        update(customerLoads[customer.index]);
+    if (endpoint.valid())
+        update(endpointLoads[endpoint.index]);
+}
+
+const std::vector<ServerSample> &
+TelemetryStore::serverSeries(ServerId id) const
+{
+    const auto it = serverData.find(id.index);
+    return it == serverData.end() ? emptyServerSeries : it->second;
+}
+
+const std::vector<KeyedSample> &
+TelemetryStore::rowPowerSeries(RowId id) const
+{
+    const auto it = rowPower.find(id.index);
+    return it == rowPower.end() ? emptyKeyedSeries : it->second;
+}
+
+const std::vector<KeyedSample> &
+TelemetryStore::customerVmPowerSeries(CustomerId id) const
+{
+    const auto it = customerVmPower.find(id.index);
+    return it == customerVmPower.end() ? emptyKeyedSeries
+                                       : it->second;
+}
+
+const std::vector<KeyedSample> &
+TelemetryStore::endpointVmPowerSeries(EndpointId id) const
+{
+    const auto it = endpointVmPower.find(id.index);
+    return it == endpointVmPower.end() ? emptyKeyedSeries
+                                       : it->second;
+}
+
+std::vector<RowId>
+TelemetryStore::rowsWithData() const
+{
+    std::vector<RowId> out;
+    out.reserve(rowPower.size());
+    for (const auto &[key, series] : rowPower)
+        out.push_back(RowId(key));
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<CustomerId>
+TelemetryStore::customersWithData() const
+{
+    std::vector<CustomerId> out;
+    out.reserve(customerVmPower.size());
+    for (const auto &[key, series] : customerVmPower)
+        out.push_back(CustomerId(key));
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<EndpointId>
+TelemetryStore::endpointsWithData() const
+{
+    std::vector<EndpointId> out;
+    out.reserve(endpointVmPower.size());
+    for (const auto &[key, series] : endpointVmPower)
+        out.push_back(EndpointId(key));
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+SimTime
+TelemetryStore::customerLoadSpan(CustomerId id) const
+{
+    const auto it = customerLoads.find(id.index);
+    if (it == customerLoads.end() || it->second.first < 0)
+        return 0;
+    return it->second.last - it->second.first;
+}
+
+SimTime
+TelemetryStore::endpointLoadSpan(EndpointId id) const
+{
+    const auto it = endpointLoads.find(id.index);
+    if (it == endpointLoads.end() || it->second.first < 0)
+        return 0;
+    return it->second.last - it->second.first;
+}
+
+double
+TelemetryStore::customerPeakLoad(CustomerId id) const
+{
+    const auto it = customerLoads.find(id.index);
+    return it == customerLoads.end() ? 1.0 : it->second.peak;
+}
+
+double
+TelemetryStore::endpointPeakLoad(EndpointId id) const
+{
+    const auto it = endpointLoads.find(id.index);
+    return it == endpointLoads.end() ? 1.0 : it->second.peak;
+}
+
+void
+TelemetryStore::trimBefore(SimTime cutoff)
+{
+    auto trim_keyed = [cutoff](auto &map) {
+        for (auto &[key, series] : map) {
+            auto first_kept = std::find_if(
+                series.begin(), series.end(),
+                [cutoff](const KeyedSample &s) {
+                    return s.time >= cutoff;
+                });
+            series.erase(series.begin(), first_kept);
+        }
+    };
+    for (auto &[key, series] : serverData) {
+        auto first_kept = std::find_if(
+            series.begin(), series.end(),
+            [cutoff](const ServerSample &s) {
+                return s.time >= cutoff;
+            });
+        series.erase(series.begin(), first_kept);
+    }
+    trim_keyed(rowPower);
+    trim_keyed(customerVmPower);
+    trim_keyed(endpointVmPower);
+}
+
+} // namespace tapas

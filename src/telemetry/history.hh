@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Telemetry history: 10-minute-cadence samples per server, row power
+ * series, and per-VM power by customer/endpoint — the raw material
+ * for weekly template building and profile refits (paper Section 4.5).
+ */
+
+#ifndef TAPAS_TELEMETRY_HISTORY_HH
+#define TAPAS_TELEMETRY_HISTORY_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tapas {
+
+/** One aggregated server sample (the paper's 10-min sensor rows). */
+struct ServerSample
+{
+    SimTime time = 0;
+    float inletC = 0.0f;
+    float hottestGpuC = 0.0f;
+    float serverPowerW = 0.0f;
+    float gpuLoad = 0.0f;
+    float outsideC = 0.0f;
+    float dcLoadFrac = 0.0f;
+};
+
+/** One (time, value) observation keyed by an entity. */
+struct KeyedSample
+{
+    SimTime time = 0;
+    float value = 0.0f;
+};
+
+/** Append-only telemetry store with time-range queries. */
+class TelemetryStore
+{
+  public:
+    void recordServer(ServerId id, const ServerSample &sample);
+    void recordRowPower(RowId id, SimTime t, double watts);
+    /** Per-VM average power attributed to an IaaS customer. */
+    void recordCustomerVmPower(CustomerId id, SimTime t,
+                               double watts);
+    /** Per-VM average power attributed to a SaaS endpoint. */
+    void recordEndpointVmPower(EndpointId id, SimTime t,
+                               double watts);
+    /** Observed utilization of one VM (for load prediction). */
+    void recordVmLoad(VmId id, CustomerId customer,
+                      EndpointId endpoint, SimTime t, double load);
+
+    const std::vector<ServerSample> &serverSeries(ServerId id) const;
+    const std::vector<KeyedSample> &rowPowerSeries(RowId id) const;
+    const std::vector<KeyedSample> &
+    customerVmPowerSeries(CustomerId id) const;
+    const std::vector<KeyedSample> &
+    endpointVmPowerSeries(EndpointId id) const;
+
+    /** All row ids with any samples. */
+    std::vector<RowId> rowsWithData() const;
+    std::vector<CustomerId> customersWithData() const;
+    std::vector<EndpointId> endpointsWithData() const;
+
+    /**
+     * Observation span for a customer's VM loads; used for the
+     * "assume peak when history is under a week" rule.
+     */
+    SimTime customerLoadSpan(CustomerId id) const;
+    SimTime endpointLoadSpan(EndpointId id) const;
+
+    /** Peak (p99-ish: max) observed per-VM load for a customer. */
+    double customerPeakLoad(CustomerId id) const;
+    double endpointPeakLoad(EndpointId id) const;
+
+    /** Drop samples older than the cutoff (weekly refit window). */
+    void trimBefore(SimTime cutoff);
+
+  private:
+    struct LoadDigest
+    {
+        SimTime first = -1;
+        SimTime last = -1;
+        double peak = 0.0;
+    };
+
+    std::unordered_map<std::uint32_t, std::vector<ServerSample>>
+        serverData;
+    std::unordered_map<std::uint32_t, std::vector<KeyedSample>>
+        rowPower;
+    std::unordered_map<std::uint32_t, std::vector<KeyedSample>>
+        customerVmPower;
+    std::unordered_map<std::uint32_t, std::vector<KeyedSample>>
+        endpointVmPower;
+    std::unordered_map<std::uint32_t, LoadDigest> customerLoads;
+    std::unordered_map<std::uint32_t, LoadDigest> endpointLoads;
+
+    static const std::vector<ServerSample> emptyServerSeries;
+    static const std::vector<KeyedSample> emptyKeyedSeries;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_TELEMETRY_HISTORY_HH

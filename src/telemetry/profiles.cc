@@ -1,0 +1,244 @@
+#include "telemetry/profiles.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace tapas {
+
+namespace {
+/** Bench sweep grids for the offline profiling phase. */
+const double kOutsideGrid[] = {5.0, 12.0, 16.0, 20.0, 24.0, 28.0,
+                               32.0, 36.0};
+const double kDcLoadGrid[] = {0.2, 0.5, 0.8, 1.0};
+const double kGpuPowerGrid[] = {60.0, 150.0, 250.0, 350.0, 400.0};
+const double kLoadGrid[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+/** Repetitions per grid point (sensor noise averaging). */
+constexpr int kReps = 3;
+/** Reference conditions for the cold/medium/warm classification. */
+constexpr double kRefOutsideC = 24.0;
+constexpr double kRefDcLoad = 0.7;
+} // namespace
+
+ProfileBank::ProfileBank(const DatacenterLayout &layout_)
+    : layout(layout_),
+      gpusPerServer(layout_.specs().front().gpusPerServer)
+{
+}
+
+void
+ProfileBank::offlineProfile(const ThermalModel &thermal,
+                            const PowerModel &power,
+                            std::uint64_t seed)
+{
+    inletModels.clear();
+    gpuTempModels.clear();
+    powerModels.clear();
+    airflowModels.clear();
+    inletBias.clear();
+    profiledServers = 0;
+    Rng rng(mixSeed(seed, 0x70726f66ULL));
+    for (const Server &server : layout.servers())
+        profileServer(server.id, thermal, power, rng);
+    recomputeClasses();
+}
+
+void
+ProfileBank::profileNewServers(const ThermalModel &thermal,
+                               const PowerModel &power,
+                               std::uint64_t seed)
+{
+    Rng rng(mixSeed(seed, 0x6e657773ULL));
+    while (profiledServers < layout.serverCount()) {
+        profileServer(
+            ServerId(static_cast<std::uint32_t>(profiledServers)),
+            thermal, power, rng);
+    }
+    recomputeClasses();
+}
+
+void
+ProfileBank::profileServer(ServerId id, const ThermalModel &thermal,
+                           const PowerModel &power, Rng &rng)
+{
+    tapas_assert(id.index == profiledServers,
+                 "servers must be profiled in id order");
+
+    // --- Inlet spline: observe Eq. 1 with sensor noise. ---
+    std::vector<std::vector<double>> inlet_x;
+    std::vector<double> inlet_y;
+    for (double outside : kOutsideGrid) {
+        for (double dc_load : kDcLoadGrid) {
+            for (int rep = 0; rep < kReps; ++rep) {
+                const double observed =
+                    thermal
+                        .inletTemperature(id, Celsius(outside),
+                                          dc_load, 0.0, &rng)
+                        .value();
+                inlet_x.push_back({outside, dc_load});
+                inlet_y.push_back(observed);
+            }
+        }
+    }
+    PiecewiseLinearModel inlet_model({15.0, 25.0}, 1);
+    inlet_model.fit(inlet_x, inlet_y);
+    inletModels.push_back(std::move(inlet_model));
+
+    // --- Per-GPU temperature lines: observe Eq. 2. ---
+    for (int g = 0; g < gpusPerServer; ++g) {
+        std::vector<std::vector<double>> gpu_x;
+        std::vector<double> gpu_y;
+        for (double inlet : {18.0, 22.0, 26.0, 30.0}) {
+            for (double gpu_power : kGpuPowerGrid) {
+                const double observed =
+                    thermal
+                        .gpuTemperature(id, g, Celsius(inlet),
+                                        Watts(gpu_power))
+                        .value() +
+                    rng.gaussian(0.0, 0.3);
+                gpu_x.push_back({inlet, gpu_power});
+                gpu_y.push_back(observed);
+            }
+        }
+        LinearRegression gpu_model;
+        gpu_model.fit(gpu_x, gpu_y);
+        gpuTempModels.push_back(std::move(gpu_model));
+    }
+
+    // --- Power polynomial: observe Eq. 4 (cubic for fan law). ---
+    const ServerSpec &spec = layout.specOf(id);
+    std::vector<double> load_x;
+    std::vector<double> power_y;
+    for (double load : kLoadGrid) {
+        for (int rep = 0; rep < kReps; ++rep) {
+            const double observed =
+                power.serverPowerAtLoad(spec, load).value() +
+                rng.gaussian(0.0, 20.0);
+            load_x.push_back(load);
+            power_y.push_back(observed);
+        }
+    }
+    PolynomialRegression power_model(3);
+    power_model.fit(load_x, power_y);
+    powerModels.push_back(std::move(power_model));
+
+    // --- Airflow line: observe Eq. 3's per-server fan curve. ---
+    std::vector<std::vector<double>> air_x;
+    std::vector<double> air_y;
+    for (double load : kLoadGrid) {
+        const double observed =
+            thermal.serverAirflow(id, load).value() +
+            rng.gaussian(0.0, 5.0);
+        air_x.push_back({load});
+        air_y.push_back(observed);
+    }
+    LinearRegression air_model;
+    air_model.fit(air_x, air_y);
+    airflowModels.push_back(std::move(air_model));
+
+    ++profiledServers;
+}
+
+void
+ProfileBank::recomputeClasses()
+{
+    inletBias.resize(profiledServers, 0.0);
+    for (std::size_t s = 0; s < profiledServers; ++s) {
+        inletBias[s] = inletModels[s].predict(
+            {kRefOutsideC, kRefDcLoad});
+    }
+    std::vector<std::size_t> order(profiledServers);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return inletBias[a] < inletBias[b];
+              });
+    classes.assign(profiledServers, ThermalClass::Medium);
+    const std::size_t third = profiledServers / 3;
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        if (rank < third) {
+            classes[order[rank]] = ThermalClass::Cold;
+        } else if (rank >= profiledServers - third) {
+            classes[order[rank]] = ThermalClass::Warm;
+        }
+    }
+    // Normalize bias to the fleet median.
+    if (!order.empty()) {
+        const double median = inletBias[order[order.size() / 2]];
+        for (double &bias : inletBias)
+            bias -= median;
+    }
+}
+
+double
+ProfileBank::predictInletC(ServerId id, double outside_c,
+                           double dc_load_frac) const
+{
+    tapas_assert(id.index < profiledServers,
+                 "server %u not profiled", id.index);
+    return inletModels[id.index].predict({outside_c, dc_load_frac});
+}
+
+double
+ProfileBank::predictGpuTempC(ServerId id, int gpu, double inlet_c,
+                             double gpu_power_w) const
+{
+    tapas_assert(id.index < profiledServers,
+                 "server %u not profiled", id.index);
+    const std::size_t idx =
+        id.index * static_cast<std::size_t>(gpusPerServer) +
+        static_cast<std::size_t>(gpu);
+    return gpuTempModels[idx].predict({inlet_c, gpu_power_w});
+}
+
+double
+ProfileBank::predictHottestGpuC(ServerId id, double inlet_c,
+                                double per_gpu_power_w) const
+{
+    double hottest = -1e9;
+    for (int g = 0; g < gpusPerServer; ++g) {
+        hottest = std::max(
+            hottest,
+            predictGpuTempC(id, g, inlet_c, per_gpu_power_w));
+    }
+    return hottest;
+}
+
+double
+ProfileBank::predictServerPowerW(ServerId id, double load_frac) const
+{
+    tapas_assert(id.index < profiledServers,
+                 "server %u not profiled", id.index);
+    return powerModels[id.index].predict(
+        std::clamp(load_frac, 0.0, 1.0));
+}
+
+double
+ProfileBank::predictServerAirflowCfm(ServerId id,
+                                     double load_frac) const
+{
+    tapas_assert(id.index < profiledServers,
+                 "server %u not profiled", id.index);
+    return airflowModels[id.index].predict(
+        {std::clamp(load_frac, 0.0, 1.0)});
+}
+
+ThermalClass
+ProfileBank::thermalClass(ServerId id) const
+{
+    tapas_assert(id.index < profiledServers,
+                 "server %u not profiled", id.index);
+    return classes[id.index];
+}
+
+double
+ProfileBank::inletBiasC(ServerId id) const
+{
+    tapas_assert(id.index < profiledServers,
+                 "server %u not profiled", id.index);
+    return inletBias[id.index];
+}
+
+} // namespace tapas

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ProfileBank: the fitted models TAPAS decisions read (Section 4.5).
+ *
+ * During the offline profiling phase (datacenter bring-up benchmarks)
+ * the bank fits, per server: the inlet-temperature spline (Eq. 1),
+ * per-GPU temperature regressions (Eq. 2), the airflow line (Eq. 3),
+ * and the power polynomial (Eq. 4), all from noisy observations of
+ * the ground-truth models — never from the models' internal
+ * coefficients. Weekly refits then rebuild power templates from live
+ * telemetry. TAPAS therefore works with learned approximations, and
+ * its mispredictions are real, as in production.
+ */
+
+#ifndef TAPAS_TELEMETRY_PROFILES_HH
+#define TAPAS_TELEMETRY_PROFILES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/units.hh"
+#include "dcsim/layout.hh"
+#include "dcsim/power.hh"
+#include "dcsim/thermal.hh"
+#include "telemetry/regression.hh"
+
+namespace tapas {
+
+/** Placement temperature class of a server (Section 4.5, rule 2). */
+enum class ThermalClass { Cold, Medium, Warm };
+
+/** Fitted profile store. */
+class ProfileBank
+{
+  public:
+    explicit ProfileBank(const DatacenterLayout &layout);
+
+    /**
+     * Run the offline profiling benchmarks: sweep outside/load/power
+     * conditions, observe the ground truth with sensor noise, and
+     * fit all per-server and per-GPU models.
+     */
+    void offlineProfile(const ThermalModel &thermal,
+                        const PowerModel &power, std::uint64_t seed);
+
+    /**
+     * Extend fitted models to servers added after the initial
+     * profiling pass (oversubscription racks).
+     */
+    void profileNewServers(const ThermalModel &thermal,
+                           const PowerModel &power,
+                           std::uint64_t seed);
+
+    bool profiled() const { return profiledServers > 0; }
+    std::size_t profiledServerCount() const { return profiledServers; }
+
+    /** Predicted inlet temperature (fitted Eq. 1). */
+    double predictInletC(ServerId id, double outside_c,
+                         double dc_load_frac) const;
+
+    /** Predicted GPU temperature (fitted Eq. 2). */
+    double predictGpuTempC(ServerId id, int gpu, double inlet_c,
+                           double gpu_power_w) const;
+
+    /** Max predicted GPU temp across a server's GPUs. */
+    double predictHottestGpuC(ServerId id, double inlet_c,
+                              double per_gpu_power_w) const;
+
+    /** Predicted server power at a load fraction (fitted Eq. 4). */
+    double predictServerPowerW(ServerId id, double load_frac) const;
+
+    /** Predicted server airflow at a load fraction (fitted Eq. 3). */
+    double predictServerAirflowCfm(ServerId id,
+                                   double load_frac) const;
+
+    /**
+     * Thermal placement class: servers are split into equal terciles
+     * by fitted inlet bias (predicted inlet at reference conditions).
+     */
+    ThermalClass thermalClass(ServerId id) const;
+
+    /** Fitted inlet bias of a server versus the fleet median. */
+    double inletBiasC(ServerId id) const;
+
+  private:
+    const DatacenterLayout &layout;
+
+    std::vector<PiecewiseLinearModel> inletModels;
+    /** [server * gpusPerServer + gpu] */
+    std::vector<LinearRegression> gpuTempModels;
+    std::vector<PolynomialRegression> powerModels;
+    std::vector<LinearRegression> airflowModels;
+    std::vector<double> inletBias;
+    std::vector<ThermalClass> classes;
+    std::size_t profiledServers = 0;
+    int gpusPerServer = 8;
+
+    void profileServer(ServerId id, const ThermalModel &thermal,
+                       const PowerModel &power, Rng &rng);
+    void recomputeClasses();
+};
+
+} // namespace tapas
+
+#endif // TAPAS_TELEMETRY_PROFILES_HH

@@ -1,0 +1,131 @@
+#include "workload/requests.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+RequestGenerator::RequestGenerator(
+    std::vector<EndpointDemand> endpoints,
+    const LengthDistribution &lengths, std::uint64_t seed,
+    const DemandNoise &noise_)
+    : endpointList(std::move(endpoints)), lengthDist(lengths),
+      noise(noise_), noiseSeed(mixSeed(seed, 0x6e6f6973ULL)),
+      rng(mixSeed(seed, 0x72657173ULL))
+{
+    // Mean of a clamped lognormal, estimated once by quadrature-free
+    // sampling from a dedicated stream (stable across runs).
+    Rng probe(mixSeed(seed, 0x6d65616eULL));
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double prompt = std::clamp(
+            probe.logNormal(lengthDist.promptLogMean,
+                            lengthDist.promptLogSigma),
+            static_cast<double>(lengthDist.promptMin),
+            static_cast<double>(lengthDist.promptMax));
+        const double output = std::clamp(
+            probe.logNormal(lengthDist.outputLogMean,
+                            lengthDist.outputLogSigma),
+            static_cast<double>(lengthDist.outputMin),
+            static_cast<double>(lengthDist.outputMax));
+        total += prompt + output;
+    }
+    cachedMeanTokens = total / n;
+}
+
+const EndpointDemand &
+RequestGenerator::demand(EndpointId id) const
+{
+    tapas_assert(id.index < endpointList.size(),
+                 "unknown endpoint %u", id.index);
+    return endpointList[id.index];
+}
+
+double
+RequestGenerator::demandMultiplier(EndpointId id, SimTime t) const
+{
+    if (noise.sigma <= 0.0)
+        return 1.0;
+    const auto bucket = static_cast<std::uint64_t>(t / noise.bucketS);
+    Rng draw(mixSeed(noiseSeed,
+                     mixSeed(id.index, bucket)));
+    return draw.logNormal(0.0, noise.sigma);
+}
+
+double
+RequestGenerator::demandTokensPerS(EndpointId id, SimTime t) const
+{
+    const EndpointDemand &ep = demand(id);
+    const double hour =
+        static_cast<double>(t % kDay) / static_cast<double>(kHour);
+    const double phase =
+        std::cos(2.0 * M_PI * (hour - ep.peakHour) / 24.0);
+    // Map cos [-1,1] onto [trough, 1].
+    const double level = ep.troughFraction +
+        (1.0 - ep.troughFraction) * 0.5 * (phase + 1.0);
+    return ep.peakTokensPerS * level * demandMultiplier(id, t);
+}
+
+double
+RequestGenerator::meanTokensPerRequest() const
+{
+    return cachedMeanTokens;
+}
+
+int
+RequestGenerator::samplePromptTokens()
+{
+    const double v = rng.logNormal(lengthDist.promptLogMean,
+                                   lengthDist.promptLogSigma);
+    return static_cast<int>(std::clamp(
+        v, static_cast<double>(lengthDist.promptMin),
+        static_cast<double>(lengthDist.promptMax)));
+}
+
+int
+RequestGenerator::sampleOutputTokens()
+{
+    const double v = rng.logNormal(lengthDist.outputLogMean,
+                                   lengthDist.outputLogSigma);
+    return static_cast<int>(std::clamp(
+        v, static_cast<double>(lengthDist.outputMin),
+        static_cast<double>(lengthDist.outputMax)));
+}
+
+std::vector<Request>
+RequestGenerator::generate(EndpointId id, SimTime from, SimTime to)
+{
+    tapas_assert(to > from, "empty generation window");
+    const EndpointDemand &ep = demand(id);
+
+    std::vector<Request> out;
+    // Thinning-free approach: piecewise-constant rate per window,
+    // evaluated at the window midpoint (windows are <= minutes, far
+    // shorter than the diurnal scale).
+    const SimTime mid = from + (to - from) / 2;
+    const double rate =
+        demandTokensPerS(id, mid) / cachedMeanTokens;
+    double t = static_cast<double>(from);
+    if (rate <= 0.0)
+        return out;
+    while (true) {
+        t += rng.exponential(rate);
+        if (t >= static_cast<double>(to))
+            break;
+        Request req;
+        req.id = RequestId(nextRequestId++);
+        req.endpoint = id;
+        req.customer = CustomerId(static_cast<std::uint32_t>(
+            rng.zipf(ep.customerCount, ep.customerZipfS) - 1));
+        req.arrivalS = t;
+        req.promptTokens = samplePromptTokens();
+        req.outputTokens = sampleOutputTokens();
+        out.push_back(req);
+    }
+    return out;
+}
+
+} // namespace tapas

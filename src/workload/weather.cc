@@ -1,0 +1,81 @@
+#include "workload/weather.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+namespace {
+double
+climateMean(Climate climate)
+{
+    switch (climate) {
+      case Climate::Mild:
+        return 14.0;
+      case Climate::Temperate:
+        return 20.0;
+      case Climate::Hot:
+        return 28.0;
+    }
+    return 20.0;
+}
+} // namespace
+
+WeatherModel::WeatherModel(const WeatherConfig &config,
+                           std::uint64_t seed)
+    : cfg(config), gridStep(10 * kMinute)
+{
+    tapas_assert(cfg.horizon > 0, "weather horizon must be positive");
+    mean = cfg.annualMeanC > -999.0 ? cfg.annualMeanC
+                                    : climateMean(cfg.climate);
+
+    // Materialize the OU front path on a 10-minute grid (the paper's
+    // sensor cadence) with exact discretization.
+    Rng rng(mixSeed(seed, 0x77656174ULL));
+    const std::size_t steps =
+        static_cast<std::size_t>(cfg.horizon / gridStep) + 2;
+    frontPath.resize(steps);
+    const double dt = static_cast<double>(gridStep);
+    const double alpha = std::exp(-dt / cfg.frontTauS);
+    const double step_sigma =
+        cfg.frontSigmaC * std::sqrt(1.0 - alpha * alpha);
+    double x = rng.gaussian(0.0, cfg.frontSigmaC);
+    for (std::size_t i = 0; i < steps; ++i) {
+        frontPath[i] = x;
+        x = alpha * x + rng.gaussian(0.0, step_sigma);
+    }
+}
+
+double
+WeatherModel::deterministicAt(SimTime t) const
+{
+    const double day_of_year = cfg.startDayOfYear +
+        static_cast<double>(t) / static_cast<double>(kDay);
+    // Seasonal peak around day 200 (northern-hemisphere summer).
+    const double seasonal = cfg.seasonalAmpC *
+        std::cos(2.0 * M_PI * (day_of_year - 200.0) / 365.0);
+    const double hour =
+        static_cast<double>(t % kDay) / static_cast<double>(kHour);
+    // Diurnal peak at 15:00, trough at 03:00.
+    const double diurnal = cfg.diurnalAmpC *
+        std::cos(2.0 * M_PI * (hour - 15.0) / 24.0);
+    return mean + seasonal + diurnal;
+}
+
+Celsius
+WeatherModel::outsideAt(SimTime t) const
+{
+    tapas_assert(t >= 0 && t <= cfg.horizon,
+                 "weather query at %lld outside horizon",
+                 static_cast<long long>(t));
+    const auto idx = static_cast<std::size_t>(t / gridStep);
+    const double frac =
+        static_cast<double>(t % gridStep) /
+        static_cast<double>(gridStep);
+    const double front = frontPath[idx] * (1.0 - frac) +
+        frontPath[idx + 1] * frac;
+    return Celsius(deterministicAt(t) + front);
+}
+
+} // namespace tapas

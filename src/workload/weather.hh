@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synthetic outside-temperature traces.
+ *
+ * Reproduces the structure visible in the paper's Fig. 2: a seasonal
+ * baseline, a strong diurnal cycle peaking mid-afternoon, and multi-
+ * day weather fronts modeled as an Ornstein-Uhlenbeck process.
+ * Regional climates set the annual mean (the paper studies three
+ * regions with varying climates).
+ */
+
+#ifndef TAPAS_WORKLOAD_WEATHER_HH
+#define TAPAS_WORKLOAD_WEATHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace tapas {
+
+/** Regional climate archetypes. */
+enum class Climate { Mild, Temperate, Hot };
+
+/** Weather trace parameters. */
+struct WeatherConfig
+{
+    Climate climate = Climate::Temperate;
+    /** Annual mean; defaulted from climate if negative. */
+    double annualMeanC = -1000.0;
+    /** Seasonal swing amplitude (summer vs winter). */
+    double seasonalAmpC = 8.0;
+    /** Day-night swing amplitude. */
+    double diurnalAmpC = 5.0;
+    /** Weather-front (OU) reversion time constant, seconds. */
+    double frontTauS = 2.0 * kDay;
+    /** Weather-front stationary standard deviation. */
+    double frontSigmaC = 2.5;
+    /** Day of year at the start of the trace (paper: summer). */
+    int startDayOfYear = 200;
+    /** Trace horizon to materialize. */
+    SimTime horizon = 90 * kDay;
+};
+
+/** Deterministic, seedable outside-temperature trace. */
+class WeatherModel
+{
+  public:
+    WeatherModel(const WeatherConfig &config, std::uint64_t seed);
+
+    const WeatherConfig &config() const { return cfg; }
+
+    /** Outside temperature at time t (linear interp at 10-min grid). */
+    Celsius outsideAt(SimTime t) const;
+
+    /** Annual mean used (after climate defaulting). */
+    double meanC() const { return mean; }
+
+  private:
+    WeatherConfig cfg;
+    double mean;
+    /** OU samples on a 10-minute grid. */
+    std::vector<double> frontPath;
+    SimTime gridStep;
+
+    double deterministicAt(SimTime t) const;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_WORKLOAD_WEATHER_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Unit tests for logging: level control and fatal paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace tapas {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(before);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(LoggingDeathTest, AssertMacroFiresWithContext)
+{
+    EXPECT_DEATH(tapas_assert(1 == 2, "math broke: %d", 7),
+                 "assertion '1 == 2' failed");
+}
+
+TEST(Logging, AssertMacroPassesQuietly)
+{
+    tapas_assert(2 + 2 == 4, "arithmetic is sound");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace tapas

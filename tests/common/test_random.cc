@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and its distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace tapas {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(13);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(0, 9);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 9);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShiftScale)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    Rng rng(29);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng rng(31);
+    std::vector<double> vals;
+    const int n = 100001;
+    vals.reserve(n);
+    for (int i = 0; i < n; ++i)
+        vals.push_back(rng.logNormal(1.0, 0.5));
+    std::sort(vals.begin(), vals.end());
+    // Median of lognormal is exp(mu).
+    EXPECT_NEAR(vals[n / 2], std::exp(1.0), 0.08);
+}
+
+TEST(Rng, ParetoRespectsScale)
+{
+    Rng rng(37);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ParetoIsHeavyTailed)
+{
+    Rng rng(41);
+    int beyond_10x = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.pareto(1.0, 1.1) > 10.0)
+            ++beyond_10x;
+    }
+    // P(X > 10) = 10^-1.1 ~ 7.9%.
+    EXPECT_NEAR(beyond_10x / static_cast<double>(n), 0.079, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(43);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, PoissonSmallMean)
+{
+    Rng rng(47);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.poisson(3.5);
+    EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalPath)
+{
+    Rng rng(53);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.poisson(200.0);
+    EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng rng(59);
+    EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights)
+{
+    Rng rng(61);
+    std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedIndex(weights)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, ZipfRankOneMostFrequent)
+{
+    Rng rng(67);
+    std::vector<int> counts(11, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[rng.zipf(10, 1.2)];
+    for (int k = 2; k <= 10; ++k)
+        EXPECT_GT(counts[1], counts[k]);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(71);
+    Rng child = parent.fork(1);
+    Rng parent2(71);
+    Rng child2 = parent2.fork(1);
+    // Deterministic: same parent seed + stream id => same child.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child.next(), child2.next());
+    // And different stream ids diverge.
+    Rng parent3(71);
+    Rng other = parent3.fork(2);
+    int same = 0;
+    Rng child3 = Rng(71).fork(1);
+    for (int i = 0; i < 100; ++i) {
+        if (child3.next() == other.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, MixSeedSensitiveToBothInputs)
+{
+    EXPECT_NE(mixSeed(1, 2), mixSeed(1, 3));
+    EXPECT_NE(mixSeed(1, 2), mixSeed(2, 2));
+    EXPECT_EQ(mixSeed(5, 9), mixSeed(5, 9));
+}
+
+} // namespace
+} // namespace tapas

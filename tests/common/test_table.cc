@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for console table and CSV output helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/table.hh"
+
+namespace tapas {
+namespace {
+
+TEST(ConsoleTable, AlignsColumns)
+{
+    ConsoleTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "2"});
+    std::ostringstream out;
+    t.print(out);
+    const std::string text = out.str();
+    // Header, rule, two rows.
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("longer-name"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+    // Both value cells must appear after aligned padding.
+    const auto header_pos = text.find("value");
+    const auto row_pos = text.find("2");
+    EXPECT_LT(header_pos, row_pos);
+}
+
+TEST(ConsoleTable, NumFormatting)
+{
+    EXPECT_EQ(ConsoleTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(ConsoleTable::num(2.0, 0), "2");
+    EXPECT_EQ(ConsoleTable::pct(0.231, 1), "23.1%");
+    EXPECT_EQ(ConsoleTable::pct(1.0, 0), "100%");
+}
+
+TEST(CsvWriter, RoundTripRowsWithEscaping)
+{
+    const std::string path = "/tmp/tapas_test_csv.csv";
+    {
+        CsvWriter csv(path, {"a", "b"});
+        csv.writeRow({std::vector<std::string>{"x,y", "plain"}});
+        csv.writeRow(std::vector<double>{1.5, 2.5});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "\"x,y\",plain");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1.5,2.5");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tapas

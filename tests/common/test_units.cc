@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for physical unit types and id types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace tapas {
+namespace {
+
+TEST(Units, CelsiusDeltaArithmetic)
+{
+    Celsius t(20.0);
+    const Celsius hotter = t + 5.0;
+    EXPECT_DOUBLE_EQ(hotter.value(), 25.0);
+    EXPECT_DOUBLE_EQ(hotter - t, 5.0);
+    t += 2.5;
+    EXPECT_DOUBLE_EQ(t.value(), 22.5);
+    EXPECT_LT(t, hotter);
+}
+
+TEST(Units, WattsArithmetic)
+{
+    const Watts a(250.0);
+    const Watts b(750.0);
+    EXPECT_DOUBLE_EQ((a + b).value(), 1000.0);
+    EXPECT_DOUBLE_EQ((b - a).value(), 500.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 500.0);
+    EXPECT_DOUBLE_EQ(b / a, 3.0);
+    EXPECT_DOUBLE_EQ((a + b).kilo(), 1.0);
+    EXPECT_DOUBLE_EQ(kilowatts(6.5).value(), 6500.0);
+}
+
+TEST(Units, CfmArithmetic)
+{
+    const Cfm a(840.0);
+    const Cfm b(1105.0);
+    EXPECT_DOUBLE_EQ((a + b).value(), 1945.0);
+    EXPECT_GT(b, a);
+    EXPECT_DOUBLE_EQ((a * 0.5).value(), 420.0);
+}
+
+TEST(Ids, DefaultIsInvalid)
+{
+    ServerId id;
+    EXPECT_FALSE(id.valid());
+    EXPECT_TRUE(ServerId(3).valid());
+}
+
+TEST(Ids, EqualityAndOrdering)
+{
+    EXPECT_EQ(ServerId(5), ServerId(5));
+    EXPECT_NE(ServerId(5), ServerId(6));
+    EXPECT_LT(ServerId(5), ServerId(6));
+}
+
+TEST(Ids, Hashable)
+{
+    std::unordered_set<VmId> set;
+    set.insert(VmId(1));
+    set.insert(VmId(2));
+    set.insert(VmId(1));
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SimTimeConstants, Relationships)
+{
+    EXPECT_EQ(kMinute, 60);
+    EXPECT_EQ(kHour, 60 * kMinute);
+    EXPECT_EQ(kDay, 24 * kHour);
+    EXPECT_EQ(kWeek, 7 * kDay);
+}
+
+} // namespace
+} // namespace tapas

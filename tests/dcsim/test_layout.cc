@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the datacenter layout builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dcsim/layout.hh"
+
+namespace tapas {
+namespace {
+
+LayoutConfig
+smallConfig()
+{
+    LayoutConfig cfg;
+    cfg.aisleCount = 2;
+    cfg.rowsPerAisle = 2;
+    cfg.racksPerRow = 3;
+    cfg.serversPerRack = 4;
+    cfg.upsCount = 4;
+    return cfg;
+}
+
+TEST(Layout, EntityCounts)
+{
+    DatacenterLayout dc(smallConfig());
+    EXPECT_EQ(dc.aisleCount(), 2u);
+    EXPECT_EQ(dc.rowCount(), 4u);
+    EXPECT_EQ(dc.rackCount(), 12u);
+    EXPECT_EQ(dc.serverCount(), 48u);
+    EXPECT_EQ(dc.upsCount(), 4u);
+    EXPECT_EQ(dc.pduCount(), 4u);
+}
+
+TEST(Layout, EveryRowHasTwoRowsPerAisle)
+{
+    DatacenterLayout dc(smallConfig());
+    for (const Aisle &aisle : dc.aisles())
+        EXPECT_EQ(aisle.rows.size(), 2u);
+}
+
+TEST(Layout, ServerBackPointersConsistent)
+{
+    DatacenterLayout dc(smallConfig());
+    for (const Server &server : dc.servers()) {
+        const Rack &rack = dc.rack(server.rack);
+        EXPECT_EQ(rack.row, server.row);
+        const Row &row = dc.row(server.row);
+        EXPECT_EQ(row.aisle, server.aisle);
+        EXPECT_EQ(row.pdu, server.pdu);
+        EXPECT_EQ(dc.pdu(server.pdu).ups, server.ups);
+    }
+}
+
+TEST(Layout, RowsPartitionServers)
+{
+    DatacenterLayout dc(smallConfig());
+    std::set<std::uint32_t> seen;
+    for (const Row &row : dc.rows()) {
+        for (ServerId sid : row.servers)
+            EXPECT_TRUE(seen.insert(sid.index).second);
+    }
+    EXPECT_EQ(seen.size(), dc.serverCount());
+}
+
+TEST(Layout, AislesPartitionServers)
+{
+    DatacenterLayout dc(smallConfig());
+    std::size_t total = 0;
+    for (const Aisle &aisle : dc.aisles())
+        total += aisle.servers.size();
+    EXPECT_EQ(total, dc.serverCount());
+}
+
+TEST(Layout, UpsStripingSpreadsRows)
+{
+    DatacenterLayout dc(smallConfig());
+    // 4 rows across 4 UPSes: one row each.
+    for (const Ups &ups : dc.upses())
+        EXPECT_EQ(ups.rows.size(), 1u);
+}
+
+TEST(Layout, RackSlotsAndPositionsInRange)
+{
+    const LayoutConfig cfg = smallConfig();
+    DatacenterLayout dc(cfg);
+    for (const Server &server : dc.servers()) {
+        EXPECT_GE(server.rackSlot, 0);
+        EXPECT_LT(server.rackSlot, cfg.serversPerRack);
+        EXPECT_GE(server.rowPosition, 0);
+        EXPECT_LT(server.rowPosition, cfg.racksPerRow);
+    }
+}
+
+TEST(Layout, AddRackExtendsRow)
+{
+    DatacenterLayout dc(smallConfig());
+    const std::size_t before = dc.serverCount();
+    const RowId target(1);
+    const auto added = dc.addRack(target);
+    EXPECT_EQ(added.size(), 4u);
+    EXPECT_EQ(dc.serverCount(), before + 4);
+    for (ServerId sid : added) {
+        EXPECT_EQ(dc.server(sid).row, target);
+        EXPECT_EQ(dc.server(sid).aisle, dc.row(target).aisle);
+    }
+    // New rack sits at the next row position.
+    EXPECT_EQ(dc.server(added.front()).rowPosition, 3);
+}
+
+TEST(Layout, SpecSelection)
+{
+    LayoutConfig cfg = smallConfig();
+    cfg.sku = GpuSku::H100;
+    DatacenterLayout dc(cfg);
+    EXPECT_EQ(dc.specOf(ServerId(0)).sku, GpuSku::H100);
+    EXPECT_DOUBLE_EQ(dc.specOf(ServerId(0)).airflowAt80Pct.value(),
+                     1105.0);
+}
+
+TEST(LayoutDeathTest, RejectsEmptyConfig)
+{
+    LayoutConfig cfg = smallConfig();
+    cfg.racksPerRow = 0;
+    EXPECT_EXIT(DatacenterLayout dc(cfg),
+                ::testing::ExitedWithCode(1), "at least one");
+}
+
+TEST(Specs, TdpMatchesPublishedEnvelopes)
+{
+    // Paper: A100 6.5 kW, H100 10.2 kW system TDP.
+    EXPECT_NEAR(ServerSpec::a100().tdp().kilo(), 6.5, 0.3);
+    EXPECT_NEAR(ServerSpec::h100().tdp().kilo(), 10.2, 0.5);
+}
+
+TEST(Specs, SkuNames)
+{
+    EXPECT_STREQ(gpuSkuName(GpuSku::A100), "A100");
+    EXPECT_STREQ(gpuSkuName(GpuSku::H100), "H100");
+}
+
+} // namespace
+} // namespace tapas

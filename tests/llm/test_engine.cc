@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the continuous-batching inference engine: FIFO
+ * latency behavior, batching limits, SLO accounting, reconfiguration
+ * drains/blackouts, and token conservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "llm/engine.hh"
+
+namespace tapas {
+namespace {
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    EngineTest()
+        : model(PerfModel::withReferenceSlo(
+              ServerSpec::a100(), PerfParams::forSku(GpuSku::A100))),
+          profile(model.profile(referenceConfig())),
+          engine(profile, model.slo())
+    {}
+
+    Request
+    makeRequest(std::uint32_t id, double arrival, int prompt = 512,
+                int output = 128)
+    {
+        Request r;
+        r.id = RequestId(id);
+        r.endpoint = EndpointId(0);
+        r.customer = CustomerId(id % 5);
+        r.arrivalS = arrival;
+        r.promptTokens = prompt;
+        r.outputTokens = output;
+        return r;
+    }
+
+    PerfModel model;
+    ConfigProfile profile;
+    InferenceEngine engine;
+};
+
+TEST_F(EngineTest, SingleRequestUnloadedLatency)
+{
+    engine.enqueue(makeRequest(1, 0.0));
+    engine.step(0.0, 60.0);
+    ASSERT_EQ(engine.lastCompletions().size(), 1u);
+    const CompletedRequest &done = engine.lastCompletions().front();
+    // Unloaded TTFT = prompt / prefill rate (no decode contention).
+    EXPECT_NEAR(done.ttftS, 512.0 / profile.prefill.throughputTps,
+                1e-6);
+    // Unloaded TBT = batch-1 step time.
+    EXPECT_NEAR(done.tbtS, profile.unloadedTbtS, 1e-6);
+    EXPECT_TRUE(done.metSlo);
+    EXPECT_DOUBLE_EQ(done.quality, 1.0);
+}
+
+TEST_F(EngineTest, CompletionAccountingMatchesTokens)
+{
+    engine.enqueue(makeRequest(1, 0.0, 100, 10));
+    engine.enqueue(makeRequest(2, 0.0, 200, 20));
+    engine.step(0.0, 120.0);
+    EXPECT_EQ(engine.stats().completed, 2u);
+    // Total tokens processed = prompts + (outputs - 1 first tokens
+    // are emitted at prefill completion; engine counts decode work).
+    EXPECT_NEAR(engine.stats().totalTokens,
+                100.0 + 9.0 + 200.0 + 19.0, 1.0);
+}
+
+TEST_F(EngineTest, FifoOrderingOfFirstTokens)
+{
+    engine.enqueue(makeRequest(1, 0.0));
+    engine.enqueue(makeRequest(2, 0.0));
+    engine.enqueue(makeRequest(3, 0.0));
+    engine.step(0.0, 60.0);
+    ASSERT_EQ(engine.stats().completed, 3u);
+    // All three arrived together; the first enqueued must see the
+    // smallest TTFT.
+    double prev = -1.0;
+    for (const CompletedRequest &done : engine.lastCompletions()) {
+        if (done.request.id.index == 1) {
+            EXPECT_LT(done.ttftS, engine.slo().ttftS);
+        }
+        EXPECT_GT(done.ttftS, prev);
+        prev = done.ttftS;
+    }
+}
+
+TEST_F(EngineTest, QueueingInflatesTtft)
+{
+    for (std::uint32_t i = 0; i < 10; ++i)
+        engine.enqueue(makeRequest(i, 0.0));
+    engine.step(0.0, 300.0);
+    ASSERT_EQ(engine.stats().completed, 10u);
+    const double first = engine.stats().ttftS.quantile(0.0);
+    const double last = engine.stats().ttftS.quantile(1.0);
+    EXPECT_GT(last, 3.0 * first);
+}
+
+TEST_F(EngineTest, BatchSizeOneSerializesRequests)
+{
+    PerfModel small_model(model.spec(), model.params(), model.slo());
+    InstanceConfig config = referenceConfig();
+    config.maxBatchSize = 1;
+    InferenceEngine serial(small_model.profile(config), model.slo());
+    Request a = makeRequest(1, 0.0, 512, 64);
+    Request b = makeRequest(2, 0.0, 512, 64);
+    serial.enqueue(a);
+    serial.enqueue(b);
+    serial.step(0.0, 600.0);
+    ASSERT_EQ(serial.stats().completed, 2u);
+    const auto &dones = serial.lastCompletions();
+    // Second request cannot start prefill until the first finishes.
+    const double first_finish =
+        std::min(dones[0].finishS, dones[1].finishS);
+    double second_ttft_time = 0.0;
+    for (const auto &done : dones) {
+        if (done.request.id.index == 2)
+            second_ttft_time = done.ttftS;
+    }
+    EXPECT_GE(second_ttft_time, first_finish - 1e-6);
+}
+
+TEST_F(EngineTest, StepBoundaryDoesNotChangeResults)
+{
+    // Process identical workloads with one big step vs many small
+    // ones; completions must match (continuous-time correctness).
+    InferenceEngine coarse(profile, model.slo());
+    InferenceEngine fine(profile, model.slo());
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        coarse.enqueue(makeRequest(i, 0.0));
+        fine.enqueue(makeRequest(i, 0.0));
+    }
+    coarse.step(0.0, 100.0);
+    double t = 0.0;
+    while (t < 100.0) {
+        fine.step(t, t + 0.5);
+        t += 0.5;
+    }
+    ASSERT_EQ(coarse.stats().completed, fine.stats().completed);
+    EXPECT_NEAR(coarse.stats().ttftS.p99(), fine.stats().ttftS.p99(),
+                1e-6);
+    EXPECT_NEAR(coarse.stats().totalTokens, fine.stats().totalTokens,
+                1e-3);
+}
+
+TEST_F(EngineTest, UtilizationReflectsLoad)
+{
+    engine.step(0.0, 10.0);
+    EXPECT_DOUBLE_EQ(engine.lastUtilization(), 0.0);
+    engine.enqueue(makeRequest(1, 10.0, 4096, 512));
+    engine.step(10.0, 11.0);
+    EXPECT_GT(engine.lastUtilization(), 0.9);
+}
+
+TEST_F(EngineTest, PrefillShareTracksPhase)
+{
+    // A prompt-heavy request keeps the engine in prefill.
+    engine.enqueue(makeRequest(1, 0.0, 8192, 2));
+    engine.step(0.0, 1.0);
+    EXPECT_GT(engine.lastPrefillShare(), 0.9);
+}
+
+TEST_F(EngineTest, SloViolationCounted)
+{
+    // Swamp the engine far past its SLO headroom.
+    for (std::uint32_t i = 0; i < 200; ++i)
+        engine.enqueue(makeRequest(i, 0.0));
+    double t = 0.0;
+    while (t < 600.0) {
+        engine.step(t, t + 5.0);
+        t += 5.0;
+    }
+    EXPECT_GT(engine.stats().sloViolations, 0u);
+    EXPECT_LT(engine.stats().goodputTokens,
+              engine.stats().totalTokens);
+}
+
+TEST_F(EngineTest, ImmediateReconfigForFreqChange)
+{
+    InstanceConfig slower = referenceConfig();
+    slower.freqFrac = 0.7;
+    engine.requestReconfig(model.profile(slower), 30.0);
+    EXPECT_TRUE(engine.accepting());
+    EXPECT_FALSE(engine.reconfiguring());
+    EXPECT_DOUBLE_EQ(engine.profile().config.freqFrac, 0.7);
+}
+
+TEST_F(EngineTest, ModelChangeDrainsThenBlacksOut)
+{
+    engine.enqueue(makeRequest(1, 0.0, 512, 256));
+    engine.step(0.0, 0.1);
+    InstanceConfig smaller = referenceConfig();
+    smaller.model = ModelSize::B7;
+    engine.requestReconfig(model.profile(smaller), 20.0);
+    EXPECT_FALSE(engine.accepting());
+
+    // Drain completes, blackout holds for 20 s after the drain.
+    double t = 0.1;
+    double drained_at = -1.0;
+    while (t < 120.0) {
+        engine.step(t, t + 0.5);
+        if (drained_at < 0.0 && !engine.lastCompletions().empty())
+            drained_at = engine.lastCompletions().front().finishS;
+        t += 0.5;
+    }
+    ASSERT_GT(drained_at, 0.0);
+    EXPECT_TRUE(engine.accepting());
+    EXPECT_EQ(engine.profile().config.model, ModelSize::B7);
+
+    // Requests served after the switch carry the new quality.
+    engine.enqueue(makeRequest(2, t, 128, 8));
+    engine.step(t, t + 30.0);
+    ASSERT_FALSE(engine.lastCompletions().empty());
+    EXPECT_LT(engine.lastCompletions().front().quality, 0.7);
+}
+
+TEST_F(EngineTest, BlackoutBlocksWorkForReloadDelay)
+{
+    InstanceConfig smaller = referenceConfig();
+    smaller.model = ModelSize::B13;
+    engine.requestReconfig(model.profile(smaller), 15.0);
+    // Engine was idle: blackout starts at the next step.
+    engine.step(0.0, 1.0);
+    EXPECT_FALSE(engine.accepting());
+    engine.step(1.0, 10.0);
+    EXPECT_FALSE(engine.accepting());
+    engine.step(10.0, 20.0);
+    EXPECT_TRUE(engine.accepting());
+    EXPECT_EQ(engine.profile().config.model, ModelSize::B13);
+}
+
+TEST_F(EngineTest, EnqueueDuringReconfigPanics)
+{
+    InstanceConfig smaller = referenceConfig();
+    smaller.model = ModelSize::B7;
+    engine.requestReconfig(model.profile(smaller), 5.0);
+    EXPECT_DEATH(engine.enqueue(makeRequest(9, 0.0)), "accepting");
+}
+
+TEST_F(EngineTest, LoadFractionGrowsWithQueue)
+{
+    const double empty = engine.loadFraction(60.0);
+    EXPECT_DOUBLE_EQ(empty, 0.0);
+    for (std::uint32_t i = 0; i < 50; ++i)
+        engine.enqueue(makeRequest(i, 0.0));
+    EXPECT_GT(engine.loadFraction(60.0), empty);
+}
+
+TEST_F(EngineTest, GoodputCountsOnlySloCompliantTokens)
+{
+    engine.enqueue(makeRequest(1, 0.0, 100, 10));
+    engine.step(0.0, 60.0);
+    ASSERT_EQ(engine.stats().completed, 1u);
+    EXPECT_TRUE(engine.lastCompletions().front().metSlo);
+    EXPECT_DOUBLE_EQ(engine.stats().goodputTokens, 110.0);
+}
+
+} // namespace
+} // namespace tapas

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the model catalog and configuration space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/config.hh"
+#include "llm/model.hh"
+
+namespace tapas {
+namespace {
+
+TEST(ModelCatalog, ParameterCounts)
+{
+    EXPECT_DOUBLE_EQ(modelParamsB(ModelSize::B70), 70.0);
+    EXPECT_DOUBLE_EQ(modelParamsB(ModelSize::B13), 13.0);
+    EXPECT_DOUBLE_EQ(modelParamsB(ModelSize::B7), 7.0);
+}
+
+TEST(ModelCatalog, QualityOrderingBySize)
+{
+    // Paper: 7B loses 30-40% quality vs 70B.
+    const double q70 = modelQuality(ModelSize::B70,
+                                    Quantization::FP16);
+    const double q13 = modelQuality(ModelSize::B13,
+                                    Quantization::FP16);
+    const double q7 = modelQuality(ModelSize::B7, Quantization::FP16);
+    EXPECT_GT(q70, q13);
+    EXPECT_GT(q13, q7);
+    EXPECT_GE(1.0 - q7 / q70, 0.30);
+    EXPECT_LE(1.0 - q7 / q70, 0.40);
+}
+
+TEST(ModelCatalog, QualityOrderingByQuant)
+{
+    for (ModelSize size : kAllModelSizes) {
+        const double fp16 = modelQuality(size, Quantization::FP16);
+        const double fp8 = modelQuality(size, Quantization::FP8);
+        const double int4 = modelQuality(size, Quantization::INT4);
+        EXPECT_GT(fp16, fp8);
+        EXPECT_GT(fp8, int4);
+        // Paper: quantization costs 2-20%.
+        EXPECT_GE(1.0 - fp8 / fp16, 0.02);
+        EXPECT_LE(1.0 - int4 / fp16, 0.20);
+    }
+}
+
+TEST(ModelCatalog, QuantSpeedupMonotonic)
+{
+    EXPECT_LT(quantSpeedup(Quantization::FP16),
+              quantSpeedup(Quantization::FP8));
+    EXPECT_LT(quantSpeedup(Quantization::FP8),
+              quantSpeedup(Quantization::INT4));
+}
+
+TEST(ModelCatalog, WeightFootprints)
+{
+    EXPECT_DOUBLE_EQ(modelWeightsGb(ModelSize::B70,
+                                    Quantization::FP16), 140.0);
+    EXPECT_DOUBLE_EQ(modelWeightsGb(ModelSize::B70,
+                                    Quantization::FP8), 70.0);
+    EXPECT_DOUBLE_EQ(modelWeightsGb(ModelSize::B7,
+                                    Quantization::INT4), 3.5);
+}
+
+TEST(ModelCatalog, Names)
+{
+    EXPECT_STREQ(modelSizeName(ModelSize::B70), "70B");
+    EXPECT_STREQ(quantizationName(Quantization::INT4), "INT4");
+}
+
+TEST(InstanceConfig, LabelFormat)
+{
+    InstanceConfig config;
+    EXPECT_EQ(config.label(), "70B/FP16/TP8/B64/F1.00");
+}
+
+TEST(InstanceConfig, ReloadRules)
+{
+    InstanceConfig base;
+    InstanceConfig freq_change = base;
+    freq_change.freqFrac = 0.7;
+    EXPECT_FALSE(freq_change.requiresReload(base));
+
+    InstanceConfig batch_change = base;
+    batch_change.maxBatchSize = 16;
+    EXPECT_FALSE(batch_change.requiresReload(base));
+
+    InstanceConfig model_change = base;
+    model_change.model = ModelSize::B13;
+    EXPECT_TRUE(model_change.requiresReload(base));
+
+    InstanceConfig quant_change = base;
+    quant_change.quant = Quantization::FP8;
+    EXPECT_TRUE(quant_change.requiresReload(base));
+
+    InstanceConfig tp_change = base;
+    tp_change.tensorParallel = 4;
+    EXPECT_TRUE(tp_change.requiresReload(base));
+}
+
+TEST(ConfigSpace, SeventyBFp16Tp2IsInfeasible)
+{
+    // 140 GB of weights cannot fit 2x80 GB with KV headroom.
+    InstanceConfig config;
+    config.model = ModelSize::B70;
+    config.quant = Quantization::FP16;
+    config.tensorParallel = 2;
+    EXPECT_FALSE(ConfigSpace::memoryFeasible(config,
+                                             ServerSpec::a100()));
+}
+
+TEST(ConfigSpace, SeventyBFp8Tp2IsFeasible)
+{
+    InstanceConfig config;
+    config.model = ModelSize::B70;
+    config.quant = Quantization::FP8;
+    config.tensorParallel = 2;
+    EXPECT_TRUE(ConfigSpace::memoryFeasible(config,
+                                            ServerSpec::a100()));
+}
+
+TEST(ConfigSpace, SmallModelsAlwaysFit)
+{
+    for (Quantization quant : kAllQuantizations) {
+        for (int tp : ConfigSpace::tpDegrees()) {
+            InstanceConfig config;
+            config.model = ModelSize::B7;
+            config.quant = quant;
+            config.tensorParallel = tp;
+            EXPECT_TRUE(ConfigSpace::memoryFeasible(
+                config, ServerSpec::a100()))
+                << config.label();
+        }
+    }
+}
+
+TEST(ConfigSpace, EnumerationOnlyYieldsFeasible)
+{
+    const ServerSpec spec = ServerSpec::a100();
+    const auto configs = ConfigSpace::enumerate(spec);
+    EXPECT_FALSE(configs.empty());
+    for (const InstanceConfig &config : configs)
+        EXPECT_TRUE(ConfigSpace::memoryFeasible(config, spec));
+}
+
+TEST(ConfigSpace, EnumerationCountsMatchFeasibility)
+{
+    // 3 models x 3 quants x 3 TP = 27 (model,quant,tp) combos; only
+    // 70B/FP16/TP2 violates memory, leaving 26. Each combo spans
+    // 4 batch x 5 freq = 20 points.
+    const auto configs = ConfigSpace::enumerate(ServerSpec::a100());
+    EXPECT_EQ(configs.size(), 26u * 20u);
+}
+
+TEST(ConfigSpace, KvHeadroomShrinksWithModelSize)
+{
+    const ServerSpec spec = ServerSpec::a100();
+    InstanceConfig big;
+    big.model = ModelSize::B70;
+    InstanceConfig small;
+    small.model = ModelSize::B7;
+    EXPECT_LT(ConfigSpace::kvHeadroomFraction(big, spec),
+              ConfigSpace::kvHeadroomFraction(small, spec));
+}
+
+} // namespace
+} // namespace tapas

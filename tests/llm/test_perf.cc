@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Property tests for the analytic performance model. The core suite
+ * verifies every direction in the paper's Table 1 across the config
+ * space using parameterized sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "llm/perf.hh"
+
+namespace tapas {
+namespace {
+
+PerfModel
+makeModel()
+{
+    return PerfModel::withReferenceSlo(
+        ServerSpec::a100(), PerfParams::forSku(GpuSku::A100));
+}
+
+TEST(PerfModel, ReferenceProfileIsSane)
+{
+    const PerfModel model = makeModel();
+    const ConfigProfile ref = model.profile(referenceConfig());
+    // Prefill in the thousands of tokens/s on 8xA100 for 70B.
+    EXPECT_GT(ref.prefill.throughputTps, 2000.0);
+    EXPECT_LT(ref.prefill.throughputTps, 50000.0);
+    // Decode at batch 64 also thousands of tokens/s.
+    EXPECT_GT(ref.decode.throughputTps, 500.0);
+    // Batch-1 decode tens of tokens/s.
+    EXPECT_GT(ref.decodeTpsAt(1), 20.0);
+    EXPECT_LT(ref.decodeTpsAt(1), 200.0);
+    EXPECT_GT(ref.goodputTps, 0.0);
+    EXPECT_DOUBLE_EQ(ref.quality, 1.0);
+}
+
+TEST(PerfModel, SloAnchorsOnReference)
+{
+    const PerfModel model = makeModel();
+    const ConfigProfile ref = model.profile(referenceConfig());
+    EXPECT_NEAR(model.slo().ttftS, 5.0 * ref.unloadedTtftS, 1e-9);
+    EXPECT_NEAR(model.slo().tbtS, 5.0 * ref.unloadedTbtS, 1e-9);
+}
+
+TEST(PerfModel, DecodeStepTimeAffineInBatch)
+{
+    const PerfModel model = makeModel();
+    const ConfigProfile ref = model.profile(referenceConfig());
+    const double t1 = 1.0 / ref.decodeTpsAt(1);
+    const double t2 = 2.0 / ref.decodeTpsAt(2);
+    const double t3 = 3.0 / ref.decodeTpsAt(3);
+    EXPECT_NEAR(t2 - t1, t3 - t2, 1e-12);
+}
+
+TEST(PerfModel, BatchingImprovesDecodeThroughput)
+{
+    const PerfModel model = makeModel();
+    const ConfigProfile ref = model.profile(referenceConfig());
+    EXPECT_GT(ref.decodeTpsAt(64), 10.0 * ref.decodeTpsAt(1));
+}
+
+// --- Table 1 direction properties ---------------------------------
+
+/** Table 1 row: Model size down => perf up, power down, quality down. */
+TEST(Table1, SmallerModelFasterCoolerWorse)
+{
+    const PerfModel model = makeModel();
+    InstanceConfig big = referenceConfig();
+    InstanceConfig small = big;
+    small.model = ModelSize::B7;
+    const ConfigProfile pb = model.profile(big);
+    const ConfigProfile ps = model.profile(small);
+    EXPECT_GT(ps.prefill.throughputTps, pb.prefill.throughputTps);
+    EXPECT_GT(ps.decode.throughputTps, pb.decode.throughputTps);
+    EXPECT_LT(ps.quality, pb.quality);
+    // Same TP/freq => same per-GPU saturated power, but the smaller
+    // model reaches a given token rate at far lower utilization, so
+    // power at equal load drops.
+    const double demand = 0.5 * pb.goodputTps;
+    const double util_big = demand / pb.capacityTps;
+    const double util_small = demand / ps.capacityTps;
+    EXPECT_LT(util_small, util_big);
+    EXPECT_LT(model.estimateServerPower(ps, util_small).value(),
+              model.estimateServerPower(pb, util_big).value());
+}
+
+/** Table 1 row: Quantization down => perf up, power down, quality
+ * slightly down. */
+TEST(Table1, QuantizationFasterCoolerSlightlyWorse)
+{
+    const PerfModel model = makeModel();
+    InstanceConfig fp16 = referenceConfig();
+    InstanceConfig fp8 = fp16;
+    fp8.quant = Quantization::FP8;
+    const ConfigProfile p16 = model.profile(fp16);
+    const ConfigProfile p8 = model.profile(fp8);
+    EXPECT_GT(p8.prefill.throughputTps, p16.prefill.throughputTps);
+    EXPECT_GT(p8.decode.throughputTps, p16.decode.throughputTps);
+    EXPECT_LT(p8.quality, p16.quality);
+    EXPECT_GT(p8.quality, 0.9 * p16.quality);
+}
+
+/** Table 1 row: TP8 -> TP2 => perf down, hottest-GPU temp up,
+ * server power down, quality unchanged. */
+TEST(Table1, NarrowTpConcentratesHeat)
+{
+    const PerfModel model = makeModel();
+    InstanceConfig wide = referenceConfig();
+    wide.quant = Quantization::FP8; // so TP2 is feasible
+    InstanceConfig narrow = wide;
+    narrow.tensorParallel = 2;
+    const ConfigProfile pw = model.profile(wide);
+    const ConfigProfile pn = model.profile(narrow);
+    // Fewer GPUs => lower aggregate throughput.
+    EXPECT_LT(pn.prefill.throughputTps, pw.prefill.throughputTps);
+    // Per-GPU power rises (hottest GPU gets hotter).
+    EXPECT_GT(pn.prefill.gpuPower.value(),
+              pw.prefill.gpuPower.value());
+    // Whole-server power at saturation falls (fewer active GPUs).
+    EXPECT_LT(model.estimateServerPower(pn, 1.0).value(),
+              model.estimateServerPower(pw, 1.0).value());
+    EXPECT_DOUBLE_EQ(pn.quality, pw.quality);
+}
+
+/** Table 1 row: Frequency down => perf down, power down (super-
+ * linearly), quality unchanged. */
+TEST(Table1, FrequencyScalingTradesPerfForPower)
+{
+    const PerfModel model = makeModel();
+    InstanceConfig fast = referenceConfig();
+    InstanceConfig slow = fast;
+    slow.freqFrac = 0.6;
+    const ConfigProfile pf = model.profile(fast);
+    const ConfigProfile ps = model.profile(slow);
+    EXPECT_LT(ps.prefill.throughputTps, pf.prefill.throughputTps);
+    EXPECT_LT(ps.prefill.gpuPower.value(),
+              pf.prefill.gpuPower.value());
+    EXPECT_DOUBLE_EQ(ps.quality, pf.quality);
+    // Power drops faster than performance (the DVFS win).
+    const double perf_ratio =
+        ps.prefill.throughputTps / pf.prefill.throughputTps;
+    const double dyn_f = pf.prefill.gpuPower.value() - 60.0;
+    const double dyn_s = ps.prefill.gpuPower.value() - 60.0;
+    EXPECT_LT(dyn_s / dyn_f, perf_ratio);
+}
+
+/** Table 1 row: Batch down => perf down, power down; decode memory
+ * gets relatively hotter (more fetch overhead). */
+TEST(Table1, SmallBatchCoolerButMoreMemBound)
+{
+    const PerfModel model = makeModel();
+    InstanceConfig big = referenceConfig();
+    InstanceConfig small = big;
+    small.maxBatchSize = 1;
+    const ConfigProfile pb = model.profile(big);
+    const ConfigProfile ps = model.profile(small);
+    EXPECT_LT(ps.decode.throughputTps, pb.decode.throughputTps);
+    EXPECT_LT(ps.decode.gpuPower.value(),
+              pb.decode.gpuPower.value());
+    EXPECT_GT(ps.decode.memBoundFrac, pb.decode.memBoundFrac);
+}
+
+/** Prefill draws more power than decode (compute vs memory bound). */
+TEST(Table1, PrefillHotterThanDecode)
+{
+    const PerfModel model = makeModel();
+    for (const ConfigProfile &profile : model.allProfiles()) {
+        EXPECT_GE(profile.prefill.gpuPower.value(),
+                  profile.decode.gpuPower.value())
+            << profile.config.label();
+        EXPECT_LT(profile.prefill.memBoundFrac,
+                  profile.decode.memBoundFrac);
+    }
+}
+
+// --- Sweeps across the whole space --------------------------------
+
+class ProfileSweep
+    : public ::testing::TestWithParam<InstanceConfig>
+{
+};
+
+TEST_P(ProfileSweep, InvariantsHold)
+{
+    const PerfModel model = makeModel();
+    const ConfigProfile profile = model.profile(GetParam());
+    EXPECT_GT(profile.prefill.throughputTps, 0.0);
+    EXPECT_GT(profile.decode.throughputTps, 0.0);
+    EXPECT_GT(profile.quality, 0.0);
+    EXPECT_LE(profile.quality, 1.0);
+    EXPECT_GE(profile.goodputTps, 0.0);
+    EXPECT_LE(profile.goodputTps, profile.capacityTps + 1e-9);
+    EXPECT_GT(profile.unloadedTtftS, 0.0);
+    EXPECT_GT(profile.unloadedTbtS, 0.0);
+    // Per-GPU power bounded by the envelope (with concentration
+    // factor never exceeding max).
+    EXPECT_LE(profile.prefill.gpuPower.value(), 400.0 * 1.01);
+    EXPECT_GE(profile.decode.gpuPower.value(), 60.0);
+    // Server power estimates bounded by TDP.
+    EXPECT_LE(model.estimateServerPower(profile, 1.0).value(),
+              ServerSpec::a100().tdp().value() + 1e-6);
+    EXPECT_GE(model.estimateServerPower(profile, 0.0).value(),
+              ServerSpec::a100().chassisIdlePower.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFeasibleConfigs, ProfileSweep,
+    ::testing::ValuesIn(ConfigSpace::enumerate(ServerSpec::a100())),
+    [](const ::testing::TestParamInfo<InstanceConfig> &info) {
+        std::string name = info.param.label();
+        for (char &ch : name) {
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return name;
+    });
+
+// --- Pareto frontier ----------------------------------------------
+
+TEST(Pareto, FrontierIsNonDominatedAndSorted)
+{
+    const PerfModel model = makeModel();
+    const auto profiles = model.allProfiles();
+    for (bool use_power : {false, true}) {
+        const auto frontier =
+            PerfModel::paretoFrontier(profiles, use_power);
+        ASSERT_FALSE(frontier.empty());
+        auto metric = [&](const ConfigProfile &p) {
+            return use_power
+                ? p.prefill.gpuPower.value() * p.activeGpus
+                : p.prefill.gpuPower.value();
+        };
+        for (std::size_t i = 1; i < frontier.size(); ++i) {
+            EXPECT_GE(frontier[i].goodputTps,
+                      frontier[i - 1].goodputTps);
+            // Strictly better goodput must cost metric (otherwise
+            // the previous point would be dominated).
+            EXPECT_GE(metric(frontier[i]),
+                      metric(frontier[i - 1]) - 1e-9);
+        }
+        // No frontier point dominated by any profile.
+        for (const ConfigProfile &f : frontier) {
+            for (const ConfigProfile &other : profiles) {
+                const bool dominates =
+                    other.goodputTps > f.goodputTps &&
+                    metric(other) < metric(f);
+                EXPECT_FALSE(dominates)
+                    << other.config.label() << " dominates "
+                    << f.config.label();
+            }
+        }
+    }
+}
+
+TEST(Pareto, FrontierContainsReferenceClassConfig)
+{
+    // The highest-goodput point should be a large-batch config.
+    const PerfModel model = makeModel();
+    const auto frontier =
+        PerfModel::paretoFrontier(model.allProfiles(), true);
+    EXPECT_GE(frontier.back().config.maxBatchSize, 16);
+}
+
+TEST(PerfModel, H100OutperformsA100)
+{
+    const PerfModel a100 = makeModel();
+    const PerfModel h100 = PerfModel::withReferenceSlo(
+        ServerSpec::h100(), PerfParams::forSku(GpuSku::H100));
+    const ConfigProfile pa = a100.profile(referenceConfig());
+    const ConfigProfile ph = h100.profile(referenceConfig());
+    EXPECT_GT(ph.prefill.throughputTps, pa.prefill.throughputTps);
+    EXPECT_GT(ph.decode.throughputTps, pa.decode.throughputTps);
+}
+
+TEST(PerfModel, MixMemBoundFracBetweenPhases)
+{
+    const PerfModel model = makeModel();
+    const ConfigProfile ref = model.profile(referenceConfig());
+    const double mix = model.mixMemBoundFrac(ref);
+    EXPECT_GT(mix, ref.prefill.memBoundFrac);
+    EXPECT_LT(mix, ref.decode.memBoundFrac);
+}
+
+} // namespace
+} // namespace tapas

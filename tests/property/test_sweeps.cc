@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Cross-module property sweeps (TEST_P): invariants that must hold
+ * for every point of a parameter grid, not just hand-picked cases —
+ * engine token conservation, allocator placement safety, router
+ * liveness, and thermal monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/allocator.hh"
+#include "core/router.hh"
+#include "dcsim/layout.hh"
+#include "dcsim/power.hh"
+#include "dcsim/thermal.hh"
+#include "llm/engine.hh"
+#include "telemetry/profiles.hh"
+
+namespace tapas {
+namespace {
+
+// --- Engine conservation across request shapes ---------------------
+
+using EngineParam = std::tuple<int, int, int>; // prompt, output, count
+
+class EngineConservation
+    : public ::testing::TestWithParam<EngineParam>
+{
+};
+
+TEST_P(EngineConservation, TokensInEqualTokensOut)
+{
+    const auto [prompt, output, count] = GetParam();
+    const PerfModel perf = PerfModel::withReferenceSlo(
+        ServerSpec::a100(), PerfParams::forSku(GpuSku::A100));
+    InferenceEngine engine(perf.profile(referenceConfig()),
+                           perf.slo());
+
+    for (int i = 0; i < count; ++i) {
+        Request request;
+        request.id = RequestId(static_cast<std::uint32_t>(i));
+        request.endpoint = EndpointId(0);
+        request.customer = CustomerId(0);
+        request.arrivalS = 0.1 * i;
+        request.promptTokens = prompt;
+        request.outputTokens = output;
+        engine.enqueue(request);
+    }
+    double t = 0.0;
+    while (engine.stats().completed <
+           static_cast<std::uint64_t>(count)) {
+        engine.step(t, t + 10.0);
+        t += 10.0;
+        ASSERT_LT(t, 24.0 * 3600.0) << "engine failed to drain";
+    }
+
+    // Processed work = prompts + (output - 1) decode tokens each
+    // (the first output token is produced by prefill completion).
+    const double expected = static_cast<double>(count) *
+        (prompt + std::max(0, output - 1));
+    EXPECT_NEAR(engine.stats().totalTokens, expected,
+                expected * 1e-6 + 1.0);
+    EXPECT_EQ(engine.stats().completed,
+              static_cast<std::uint64_t>(count));
+    EXPECT_EQ(engine.outstanding(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RequestShapes, EngineConservation,
+    ::testing::Values(EngineParam{16, 8, 5},
+                      EngineParam{512, 128, 12},
+                      EngineParam{2048, 32, 4},
+                      EngineParam{4096, 1, 3},
+                      EngineParam{64, 1024, 6},
+                      EngineParam{1024, 512, 80}));
+
+// --- Allocator safety across random workloads ----------------------
+
+class AllocatorSafety : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllocatorSafety, PlacementsRespectBudgetsAndOccupancy)
+{
+    const int seed = GetParam();
+    LayoutConfig layout_cfg;
+    layout_cfg.aisleCount = 2;
+    layout_cfg.rowsPerAisle = 2;
+    layout_cfg.racksPerRow = 4;
+    layout_cfg.serversPerRack = 4;
+    DatacenterLayout dc(layout_cfg);
+    ThermalModel thermal(dc, ThermalConfig{},
+                         static_cast<std::uint64_t>(seed));
+    PowerModel power{PowerConfig{}};
+    CoolingPlant cooling(dc, thermal);
+    PowerHierarchy hierarchy(dc, power);
+    ProfileBank bank(dc);
+    bank.offlineProfile(thermal, power,
+                        static_cast<std::uint64_t>(seed) + 1);
+
+    ClusterView view;
+    view.layout = &dc;
+    view.cooling = &cooling;
+    view.power = &hierarchy;
+    view.profiles = &bank;
+    view.outsideC = 27.0;
+    view.dcLoadFrac = 0.7;
+    view.serverLoads.assign(dc.serverCount(), 0.0);
+    view.occupied.assign(dc.serverCount(), false);
+
+    TapasAllocator allocator{TapasPolicyConfig{}};
+    Rng rng(static_cast<std::uint64_t>(seed) * 7 + 3);
+    int placed = 0;
+    for (int i = 0; i < 40; ++i) {
+        PlacementRequest request;
+        request.id = VmId(static_cast<std::uint32_t>(i));
+        request.kind =
+            rng.bernoulli(0.5) ? VmKind::SaaS : VmKind::IaaS;
+        request.predictedPeakLoad = rng.uniform(0.3, 1.0);
+        const auto pick = allocator.place(request, view);
+        if (!pick.has_value())
+            continue;
+        // Never an occupied server.
+        ASSERT_FALSE(view.occupied[pick->index]);
+        view.occupied[pick->index] = true;
+        PlacedVmView vm;
+        vm.id = request.id;
+        vm.kind = request.kind;
+        vm.server = *pick;
+        vm.predictedPeakLoad = request.predictedPeakLoad;
+        view.vms.push_back(vm);
+        ++placed;
+    }
+    EXPECT_GT(placed, 30);
+
+    // Predicted peaks stay within every budget after the run.
+    for (const Row &row : dc.rows()) {
+        EXPECT_LE(TapasAllocator::predictedRowPower(
+                      view, row.id, ServerId(), 0.0),
+                  hierarchy.effectiveRowProvision(row.id).value() *
+                      1.0001);
+    }
+    for (const Aisle &aisle : dc.aisles()) {
+        EXPECT_LE(TapasAllocator::predictedAisleAirflow(
+                      view, aisle.id, ServerId(), 0.0),
+                  cooling.effectiveProvision(aisle.id).value() *
+                      1.0001);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorSafety,
+                         ::testing::Range(1, 9));
+
+// --- Router liveness across load patterns ---------------------------
+
+class RouterLiveness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RouterLiveness, AlwaysPicksAnAcceptingEngine)
+{
+    const int seed = GetParam();
+    const PerfModel perf = PerfModel::withReferenceSlo(
+        ServerSpec::a100(), PerfParams::forSku(GpuSku::A100));
+    const ConfigProfile profile = perf.profile(referenceConfig());
+
+    std::vector<std::unique_ptr<InferenceEngine>> engines;
+    std::vector<RouteCandidate> candidates;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        engines.push_back(std::make_unique<InferenceEngine>(
+            profile, perf.slo()));
+        candidates.push_back(
+            {VmId(i), ServerId(i), engines.back().get()});
+    }
+    // Randomly reconfigure some engines away (non-accepting).
+    Rng rng(static_cast<std::uint64_t>(seed));
+    InstanceConfig smaller = referenceConfig();
+    smaller.model = ModelSize::B13;
+    bool any_accepting = false;
+    for (auto &engine : engines) {
+        if (rng.bernoulli(0.5)) {
+            engine->requestReconfig(perf.profile(smaller), 60.0);
+        } else {
+            any_accepting = true;
+        }
+    }
+
+    TapasRouter router{TapasPolicyConfig{}};
+    for (std::uint32_t r = 0; r < 50; ++r) {
+        Request request;
+        request.id = RequestId(r);
+        request.customer = CustomerId(r % 9);
+        request.promptTokens = 256;
+        request.outputTokens = 64;
+        const VmId pick = router.route(request, candidates, nullptr);
+        if (!any_accepting) {
+            EXPECT_FALSE(pick.valid());
+            continue;
+        }
+        ASSERT_TRUE(pick.valid());
+        EXPECT_TRUE(engines[pick.index]->accepting());
+        engines[pick.index]->enqueue(request);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterLiveness,
+                         ::testing::Range(1, 9));
+
+// --- Thermal monotonicity across the fleet --------------------------
+
+class ThermalMonotonicity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ThermalMonotonicity, TempsIncreaseWithPowerAndOutside)
+{
+    const int server = GetParam();
+    LayoutConfig layout_cfg;
+    layout_cfg.aisleCount = 2;
+    layout_cfg.rowsPerAisle = 2;
+    layout_cfg.racksPerRow = 4;
+    layout_cfg.serversPerRack = 4;
+    DatacenterLayout dc(layout_cfg);
+    ThermalModel thermal(dc, ThermalConfig{}, 99);
+    const ServerId sid(static_cast<std::uint32_t>(server));
+
+    for (int g = 0; g < 8; ++g) {
+        double prev = -1e9;
+        for (double watts = 60.0; watts <= 400.0; watts += 20.0) {
+            const double t =
+                thermal
+                    .gpuTemperature(sid, g, Celsius(24.0),
+                                    Watts(watts))
+                    .value();
+            EXPECT_GT(t, prev);
+            prev = t;
+        }
+    }
+    double prev_inlet = -1e9;
+    for (double outside = 0.0; outside <= 40.0; outside += 2.0) {
+        const double t =
+            thermal.inletTemperature(sid, Celsius(outside), 0.5, 0.0)
+                .value();
+        EXPECT_GE(t, prev_inlet);
+        prev_inlet = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Servers, ThermalMonotonicity,
+                         ::testing::Values(0, 7, 15, 23, 31, 47,
+                                           55, 63));
+
+} // namespace
+} // namespace tapas

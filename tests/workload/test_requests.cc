@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for SaaS request generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "workload/requests.hh"
+
+namespace tapas {
+namespace {
+
+std::vector<EndpointDemand>
+twoEndpoints()
+{
+    EndpointDemand a;
+    a.id = EndpointId(0);
+    a.peakTokensPerS = 5000.0;
+    a.peakHour = 14.0;
+    EndpointDemand b;
+    b.id = EndpointId(1);
+    b.peakTokensPerS = 1000.0;
+    b.peakHour = 2.0;
+    return {a, b};
+}
+
+class RequestGenTest : public ::testing::Test
+{
+  protected:
+    RequestGenTest()
+        : gen(twoEndpoints(), LengthDistribution{}, 77)
+    {}
+
+    RequestGenerator gen;
+};
+
+TEST_F(RequestGenTest, DemandPeaksAtConfiguredHour)
+{
+    const double at_peak =
+        gen.demandTokensPerS(EndpointId(0), 14 * kHour);
+    const double at_trough =
+        gen.demandTokensPerS(EndpointId(0), 2 * kHour);
+    EXPECT_NEAR(at_peak, 5000.0, 1.0);
+    EXPECT_NEAR(at_trough, 5000.0 * 0.35, 5.0);
+}
+
+TEST_F(RequestGenTest, DemandPerEndpointPhase)
+{
+    // Endpoint 1 peaks at 02:00.
+    const double b_peak =
+        gen.demandTokensPerS(EndpointId(1), 2 * kHour);
+    const double b_day =
+        gen.demandTokensPerS(EndpointId(1), 14 * kHour);
+    EXPECT_GT(b_peak, b_day);
+}
+
+TEST_F(RequestGenTest, MeanTokensPerRequestIsPlausible)
+{
+    // Lognormal(6, 0.7) prompts + lognormal(4.8, 0.6) outputs land
+    // around 500-700 tokens total.
+    EXPECT_GT(gen.meanTokensPerRequest(), 400.0);
+    EXPECT_LT(gen.meanTokensPerRequest(), 900.0);
+}
+
+TEST_F(RequestGenTest, PoissonRateMatchesDemand)
+{
+    // Generate an hour at peak; token volume should approximate the
+    // demand integral.
+    const auto reqs =
+        gen.generate(EndpointId(0), 14 * kHour, 15 * kHour);
+    double tokens = 0.0;
+    for (const Request &r : reqs)
+        tokens += r.promptTokens + r.outputTokens;
+    const double expected = 5000.0 * 3600.0;
+    EXPECT_NEAR(tokens / expected, 1.0, 0.1);
+}
+
+TEST_F(RequestGenTest, ArrivalsWithinWindowAndOrdered)
+{
+    const auto reqs = gen.generate(EndpointId(0), 1000, 2000);
+    ASSERT_FALSE(reqs.empty());
+    double prev = 1000.0;
+    for (const Request &r : reqs) {
+        EXPECT_GE(r.arrivalS, prev);
+        EXPECT_LT(r.arrivalS, 2000.0);
+        prev = r.arrivalS;
+    }
+}
+
+TEST_F(RequestGenTest, LengthsRespectClamps)
+{
+    const auto reqs =
+        gen.generate(EndpointId(0), 0, 2 * kHour);
+    for (const Request &r : reqs) {
+        EXPECT_GE(r.promptTokens, 16);
+        EXPECT_LE(r.promptTokens, 4096);
+        EXPECT_GE(r.outputTokens, 8);
+        EXPECT_LE(r.outputTokens, 1024);
+    }
+}
+
+TEST_F(RequestGenTest, CustomersAreZipfSkewed)
+{
+    const auto reqs =
+        gen.generate(EndpointId(0), 0, 4 * kHour);
+    ASSERT_GT(reqs.size(), 100u);
+    std::vector<int> counts(50, 0);
+    for (const Request &r : reqs)
+        ++counts[r.customer.index];
+    // Rank-0 customer should dominate rank-10.
+    EXPECT_GT(counts[0], 3 * std::max(1, counts[10]));
+}
+
+TEST_F(RequestGenTest, RequestIdsAreUnique)
+{
+    const auto a = gen.generate(EndpointId(0), 0, kHour);
+    const auto b = gen.generate(EndpointId(1), 0, kHour);
+    std::vector<std::uint32_t> ids;
+    for (const Request &r : a)
+        ids.push_back(r.id.index);
+    for (const Request &r : b)
+        ids.push_back(r.id.index);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST_F(RequestGenTest, EndpointTagging)
+{
+    const auto reqs = gen.generate(EndpointId(1), 0, kHour);
+    for (const Request &r : reqs)
+        EXPECT_EQ(r.endpoint, EndpointId(1));
+}
+
+} // namespace
+} // namespace tapas

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the VM trace generator: demographics (Fig. 12) and
+ * diurnal load patterns (Fig. 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "workload/vmtrace.hh"
+
+namespace tapas {
+namespace {
+
+VmTraceConfig
+defaultConfig()
+{
+    VmTraceConfig cfg;
+    cfg.targetVmCount = 400;
+    cfg.horizon = kWeek;
+    return cfg;
+}
+
+TEST(VmTrace, DeterministicForSeed)
+{
+    VmTraceGenerator a(defaultConfig(), 5);
+    VmTraceGenerator b(defaultConfig(), 5);
+    ASSERT_EQ(a.records().size(), b.records().size());
+    for (std::size_t i = 0; i < a.records().size(); ++i) {
+        EXPECT_EQ(a.records()[i].arrival, b.records()[i].arrival);
+        EXPECT_EQ(a.records()[i].kind, b.records()[i].kind);
+    }
+}
+
+TEST(VmTrace, InitialPopulationMatchesTarget)
+{
+    VmTraceGenerator gen(defaultConfig(), 7);
+    int at_zero = 0;
+    for (const VmRecord &vm : gen.records()) {
+        if (vm.arrival == 0)
+            ++at_zero;
+    }
+    EXPECT_EQ(at_zero, 400);
+}
+
+TEST(VmTrace, PopulationStaysNearTarget)
+{
+    VmTraceGenerator gen(defaultConfig(), 7);
+    for (SimTime t = 0; t <= kWeek; t += 12 * kHour) {
+        int alive = 0;
+        for (const VmRecord &vm : gen.records()) {
+            if (vm.arrival <= t && vm.departure > t)
+                ++alive;
+        }
+        EXPECT_GT(alive, 340);
+        EXPECT_LE(alive, 440);
+    }
+}
+
+TEST(VmTrace, SaasFractionRespected)
+{
+    VmTraceGenerator gen(defaultConfig(), 11);
+    int saas = 0;
+    for (const VmRecord &vm : gen.records()) {
+        if (vm.kind == VmKind::SaaS)
+            ++saas;
+    }
+    const double frac =
+        static_cast<double>(saas) / gen.records().size();
+    EXPECT_NEAR(frac, 0.5, 0.06);
+}
+
+TEST(VmTrace, AllIaasWhenFractionZero)
+{
+    VmTraceConfig cfg = defaultConfig();
+    cfg.saasFraction = 0.0;
+    VmTraceGenerator gen(cfg, 11);
+    for (const VmRecord &vm : gen.records())
+        EXPECT_EQ(vm.kind, VmKind::IaaS);
+}
+
+TEST(VmTrace, LifetimesAreHeavyTailed)
+{
+    // Fig. 12a: >60% of VMs run for two weeks or more. Measure on
+    // fresh arrivals (initial population carries residual lifetimes).
+    VmTraceGenerator gen(defaultConfig(), 13);
+    int fresh = 0;
+    int long_lived = 0;
+    for (const VmRecord &vm : gen.records()) {
+        if (vm.arrival == 0)
+            continue;
+        ++fresh;
+        if (vm.lifetime() >= 14 * kDay)
+            ++long_lived;
+    }
+    ASSERT_GT(fresh, 50);
+    EXPECT_GT(static_cast<double>(long_lived) / fresh, 0.55);
+}
+
+TEST(VmTrace, EndpointSizesSkewed)
+{
+    // Fig. 12b: about half the SaaS VMs belong to the largest
+    // endpoints.
+    VmTraceConfig cfg = defaultConfig();
+    cfg.targetVmCount = 1000;
+    VmTraceGenerator gen(cfg, 17);
+    std::vector<int> sizes = gen.endpointVmCounts();
+    std::sort(sizes.begin(), sizes.end(), std::greater<int>());
+    int total = 0;
+    for (int s : sizes)
+        total += s;
+    // Top 2 of 10 endpoints hold a large share.
+    const double top2 =
+        static_cast<double>(sizes[0] + sizes[1]) / total;
+    EXPECT_GT(top2, 0.35);
+}
+
+TEST(VmTrace, ArrivalsSorted)
+{
+    VmTraceGenerator gen(defaultConfig(), 19);
+    for (std::size_t i = 1; i < gen.records().size(); ++i) {
+        EXPECT_LE(gen.records()[i - 1].arrival,
+                  gen.records()[i].arrival);
+    }
+}
+
+TEST(VmTrace, IaasLoadWithinBounds)
+{
+    VmTraceGenerator gen(defaultConfig(), 23);
+    for (const VmRecord &vm : gen.records()) {
+        if (vm.kind != VmKind::IaaS)
+            continue;
+        for (SimTime t = 0; t < kDay; t += kHour) {
+            const double load = gen.iaasLoadAt(vm, t);
+            EXPECT_GE(load, 0.0);
+            EXPECT_LE(load, 1.0);
+        }
+    }
+}
+
+TEST(VmTrace, IaasLoadIsDiurnal)
+{
+    VmTraceGenerator gen(defaultConfig(), 29);
+    const VmRecord *iaas = nullptr;
+    for (const VmRecord &vm : gen.records()) {
+        if (vm.kind == VmKind::IaaS) {
+            iaas = &vm;
+            break;
+        }
+    }
+    ASSERT_NE(iaas, nullptr);
+    std::vector<double> samples;
+    for (SimTime t = 0; t < 7 * kDay; t += kHour)
+        samples.push_back(gen.iaasLoadAt(*iaas, t));
+    EXPECT_GT(autocorrelation(samples, 24), 0.4);
+}
+
+TEST(VmTrace, IaasLoadReplayIsExact)
+{
+    VmTraceGenerator gen(defaultConfig(), 31);
+    const VmRecord &vm = gen.records().front();
+    if (vm.kind == VmKind::IaaS) {
+        EXPECT_DOUBLE_EQ(gen.iaasLoadAt(vm, 12345),
+                         gen.iaasLoadAt(vm, 12345));
+    }
+}
+
+TEST(VmTrace, CustomersShareLoadShape)
+{
+    // VMs of the same customer must correlate more strongly than VMs
+    // of different customers (this powers customer-template power
+    // prediction, Fig. 14b).
+    VmTraceConfig cfg = defaultConfig();
+    cfg.saasFraction = 0.0;
+    cfg.iaasCustomerCount = 5;
+    cfg.targetVmCount = 200;
+    VmTraceGenerator gen(cfg, 37);
+
+    std::map<std::uint32_t, std::vector<const VmRecord *>> by_customer;
+    for (const VmRecord &vm : gen.records())
+        by_customer[vm.customer.index].push_back(&vm);
+
+    auto series = [&](const VmRecord *vm) {
+        std::vector<double> out;
+        for (SimTime t = 0; t < 3 * kDay; t += kHour)
+            out.push_back(gen.iaasLoadAt(*vm, t));
+        return out;
+    };
+
+    // Same-customer correlation.
+    StatAccumulator same;
+    StatAccumulator cross;
+    const auto &group0 = by_customer.begin()->second;
+    const auto &group1 = std::next(by_customer.begin())->second;
+    ASSERT_GE(group0.size(), 2u);
+    ASSERT_GE(group1.size(), 1u);
+    same.add(pearsonCorrelation(series(group0[0]),
+                                series(group0[1])));
+    cross.add(pearsonCorrelation(series(group0[0]),
+                                 series(group1[0])));
+    EXPECT_GT(same.mean(), 0.55);
+    EXPECT_LT(cross.mean(), same.mean());
+}
+
+} // namespace
+} // namespace tapas

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the synthetic weather model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "workload/weather.hh"
+
+namespace tapas {
+namespace {
+
+TEST(Weather, DeterministicForSeed)
+{
+    WeatherConfig cfg;
+    cfg.horizon = 7 * kDay;
+    WeatherModel a(cfg, 99);
+    WeatherModel b(cfg, 99);
+    for (SimTime t = 0; t < cfg.horizon; t += kHour)
+        EXPECT_DOUBLE_EQ(a.outsideAt(t).value(), b.outsideAt(t).value());
+}
+
+TEST(Weather, SeedChangesFronts)
+{
+    WeatherConfig cfg;
+    cfg.horizon = 7 * kDay;
+    WeatherModel a(cfg, 1);
+    WeatherModel b(cfg, 2);
+    int differs = 0;
+    for (SimTime t = 0; t < cfg.horizon; t += kHour) {
+        if (std::abs(a.outsideAt(t).value() - b.outsideAt(t).value()) >
+            0.01) {
+            ++differs;
+        }
+    }
+    EXPECT_GT(differs, 100);
+}
+
+TEST(Weather, DiurnalCyclePeaksAfternoon)
+{
+    WeatherConfig cfg;
+    cfg.horizon = 14 * kDay;
+    cfg.frontSigmaC = 0.0; // isolate the deterministic part
+    WeatherModel model(cfg, 7);
+    // Average by hour-of-day across two weeks.
+    std::vector<double> by_hour(24, 0.0);
+    for (int day = 0; day < 14; ++day) {
+        for (int h = 0; h < 24; ++h) {
+            by_hour[h] +=
+                model.outsideAt(day * kDay + h * kHour).value() / 14.0;
+        }
+    }
+    int hottest = 0;
+    int coldest = 0;
+    for (int h = 0; h < 24; ++h) {
+        if (by_hour[h] > by_hour[hottest])
+            hottest = h;
+        if (by_hour[h] < by_hour[coldest])
+            coldest = h;
+    }
+    EXPECT_EQ(hottest, 15);
+    EXPECT_EQ(coldest, 3);
+}
+
+TEST(Weather, DiurnalPeriodicityVisibleInAutocorrelation)
+{
+    WeatherConfig cfg;
+    cfg.horizon = 30 * kDay;
+    WeatherModel model(cfg, 11);
+    std::vector<double> hourly;
+    for (SimTime t = 0; t < cfg.horizon; t += kHour)
+        hourly.push_back(model.outsideAt(t).value());
+    EXPECT_GT(autocorrelation(hourly, 24), 0.5);
+}
+
+TEST(Weather, ClimateOrdering)
+{
+    WeatherConfig cfg;
+    cfg.horizon = 7 * kDay;
+    cfg.climate = Climate::Mild;
+    WeatherModel mild(cfg, 3);
+    cfg.climate = Climate::Hot;
+    WeatherModel hot(cfg, 3);
+    StatAccumulator mild_acc;
+    StatAccumulator hot_acc;
+    for (SimTime t = 0; t < cfg.horizon; t += kHour) {
+        mild_acc.add(mild.outsideAt(t).value());
+        hot_acc.add(hot.outsideAt(t).value());
+    }
+    EXPECT_GT(hot_acc.mean(), mild_acc.mean() + 8.0);
+}
+
+TEST(Weather, FrontsHaveConfiguredSpread)
+{
+    WeatherConfig cfg;
+    cfg.horizon = 60 * kDay;
+    cfg.seasonalAmpC = 0.0;
+    cfg.diurnalAmpC = 0.0;
+    cfg.frontSigmaC = 2.5;
+    WeatherModel model(cfg, 13);
+    StatAccumulator acc;
+    for (SimTime t = 0; t < cfg.horizon; t += kHour)
+        acc.add(model.outsideAt(t).value());
+    EXPECT_NEAR(acc.stddev(), 2.5, 0.8);
+    EXPECT_NEAR(acc.mean(), model.meanC(), 1.5);
+}
+
+TEST(Weather, InterpolationIsContinuous)
+{
+    WeatherConfig cfg;
+    cfg.horizon = kDay;
+    WeatherModel model(cfg, 17);
+    for (SimTime t = kMinute; t < kDay; t += 7 * kMinute) {
+        const double a = model.outsideAt(t - 30).value();
+        const double b = model.outsideAt(t + 30).value();
+        EXPECT_LT(std::abs(a - b), 0.5);
+    }
+}
+
+} // namespace
+} // namespace tapas
