@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Step-loop micro-benchmark: steps/second of the ClusterSim hot path
+ * for small/medium/large layouts, emitted as `BENCH_step_loop.json`.
+ *
+ * This is the perf trajectory anchor for the simulator: run it before
+ * and after a hot-path change and compare `steps_per_s`. `--smoke`
+ * runs a shortened version suitable for CI gates.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "common/timer.hh"
+#include "sim/cluster.hh"
+#include "sim/scenario.hh"
+
+using namespace tapas;
+
+namespace {
+
+struct LayoutCase
+{
+    const char *name;
+    int aisles;
+    int rowsPerAisle;
+    int racksPerRow;
+    int serversPerRack;
+    /** Timed steps in full mode (smoke mode divides by 10). */
+    int steps;
+};
+
+SimConfig
+benchScenario(const LayoutCase &lc)
+{
+    SimConfig cfg = smallTestScenario(7);
+    cfg.layout.aisleCount = lc.aisles;
+    cfg.layout.rowsPerAisle = lc.rowsPerAisle;
+    cfg.layout.racksPerRow = lc.racksPerRow;
+    cfg.layout.serversPerRack = lc.serversPerRack;
+    cfg.layout.upsCount = 4;
+    cfg.vmTrace.endpointCount = 10;
+    cfg.mode = SimMode::FlowLevel;
+    cfg.stepLength = 5 * kMinute;
+    cfg.horizon = kWeek; // never reached; we drive steps manually
+    return cfg.asTapas();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    printBanner(std::cout, "Step-loop throughput (steps/second)");
+
+    const LayoutCase cases[] = {
+        // 40 / 320 / 960 servers; "large" is the paper's Fig. 19
+        // week-long large-scale setup.
+        {"small", 1, 2, 5, 4, 2000},
+        {"medium", 4, 2, 10, 4, 500},
+        {"large", 12, 2, 10, 4, 150},
+    };
+
+    ConsoleTable table(
+        {"layout", "servers", "steps", "wall (s)", "steps/s"});
+    std::vector<BenchCase> results;
+
+    for (const LayoutCase &lc : cases) {
+        const SimConfig cfg = benchScenario(lc);
+        ClusterSim sim(cfg);
+
+        // Warm up past the initial placement wave so the timed window
+        // measures the steady-state step loop.
+        const int timed = smoke ? lc.steps / 10 : lc.steps;
+        const int warmup = timed / 5 + 5;
+        sim.runSteps(warmup);
+
+        WallTimer timer;
+        sim.runSteps(timed);
+        const double wall = timer.elapsedS();
+        const double rate = timed / wall;
+        const double servers =
+            static_cast<double>(sim.datacenter().serverCount());
+
+        table.addRow({lc.name, ConsoleTable::num(servers, 0),
+                      ConsoleTable::num(timed, 0),
+                      ConsoleTable::num(wall, 3),
+                      ConsoleTable::num(rate, 1)});
+
+        BenchCase result;
+        result.name = lc.name;
+        result.set("servers", servers);
+        result.set("steps", timed);
+        result.set("wall_s", wall);
+        result.set("steps_per_s", rate);
+        results.push_back(result);
+    }
+
+    table.print(std::cout);
+    const std::string path = "BENCH_step_loop.json";
+    if (writeBenchJson(path, "step_loop", smoke ? "smoke" : "full",
+                       results)) {
+        std::cout << "\nResults written to " << path << "\n";
+    }
+    return 0;
+}

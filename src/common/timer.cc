@@ -1,0 +1,84 @@
+#include "common/timer.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+namespace {
+
+/** Shortest decimal form that round-trips a double. */
+std::string
+formatNumber(double v)
+{
+    // JSON has no representation for non-finite numbers.
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    if (std::abs(v) < 1e15 && v == std::floor(v)) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    double parsed = 0.0;
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        std::sscanf(buf, "%lf", &parsed);
+        if (parsed == v)
+            break;
+    }
+    return buf;
+}
+
+/** JSON string escaping for names (quotes, backslashes, controls). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += static_cast<char>(c);
+        } else if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+writeBenchJson(const std::string &path, const std::string &bench,
+               const std::string &mode,
+               const std::vector<BenchCase> &cases)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write benchmark results to %s", path.c_str());
+        return false;
+    }
+    out << "{\n  \"bench\": \"" << escapeJson(bench) << "\",\n"
+        << "  \"mode\": \"" << escapeJson(mode)
+        << "\",\n  \"cases\": [\n";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const BenchCase &c = cases[i];
+        out << "    {\"name\": \"" << escapeJson(c.name) << "\"";
+        for (const auto &[key, value] : c.metrics)
+            out << ", \"" << escapeJson(key)
+                << "\": " << formatNumber(value);
+        out << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace tapas

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Wall-clock timing and benchmark-result emission shared by the bench
+ * harnesses. Every perf bench writes a machine-readable
+ * `BENCH_<name>.json` next to its console output so successive runs
+ * form a trajectory that tooling can diff.
+ */
+
+#ifndef TAPAS_COMMON_TIMER_HH
+#define TAPAS_COMMON_TIMER_HH
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tapas {
+
+/** Monotonic wall-clock stopwatch; starts on construction. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    void reset() { start = std::chrono::steady_clock::now(); }
+
+    /** Seconds since construction or the last reset(). */
+    double
+    elapsedS() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/** One named benchmark case: ordered (metric, value) pairs. */
+struct BenchCase
+{
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+
+    void
+    set(const std::string &key, double value)
+    {
+        metrics.emplace_back(key, value);
+    }
+};
+
+/**
+ * Write benchmark results as JSON:
+ *   {"bench": ..., "mode": ..., "cases": [{"name": ..., <metrics>}]}
+ * Numeric values are emitted with enough precision to round-trip.
+ * Returns false (after warning) if the file cannot be written.
+ */
+bool writeBenchJson(const std::string &path, const std::string &bench,
+                    const std::string &mode,
+                    const std::vector<BenchCase> &cases);
+
+} // namespace tapas
+
+#endif // TAPAS_COMMON_TIMER_HH
