@@ -15,6 +15,7 @@
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/threadpool.hh"
 #include "dcsim/layout.hh"
 #include "dcsim/power.hh"
 #include "dcsim/thermal.hh"
@@ -37,61 +38,106 @@ main()
 
     // 60 VMs with heterogeneous peak loads onto 80 servers.
     const int vm_count = 60;
-    Rng rng(99);
+    Rng load_rng(99);
     std::vector<double> vm_loads;
     for (int i = 0; i < vm_count; ++i)
-        vm_loads.push_back(rng.uniform(0.35, 1.0));
+        vm_loads.push_back(load_rng.uniform(0.35, 1.0));
 
     // Worst-case planning conditions: a hot afternoon at high
     // datacenter load (the regime provisioning must survive).
     const Celsius outside(33.0);
+
+    // Trials fan out across the pool in a fixed number of chunks,
+    // each with its own seeded RNG stream, so the output is
+    // deterministic regardless of thread count.
+    const int trials = 100000;
+    constexpr std::size_t kChunks = 64;
+    struct ChunkStats
+    {
+        QuantileSample maxTemps;
+        QuantileSample peakPowers;
+        std::vector<double> tempSeries;
+        std::vector<double> powerSeries;
+    };
+    std::vector<ChunkStats> chunk_stats(kChunks);
+
+    ThreadPool pool;
+    pool.parallelChunks(
+        static_cast<std::size_t>(trials),
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            ChunkStats &stats = chunk_stats[chunk];
+            Rng rng(mixSeed(99, chunk));
+            std::vector<int> slots(dc.serverCount());
+            for (std::size_t i = 0; i < slots.size(); ++i)
+                slots[i] = static_cast<int>(i);
+
+            for (std::size_t trial = begin; trial < end; ++trial) {
+                // Fisher-Yates prefix shuffle: first vm_count slots.
+                for (int i = 0; i < vm_count; ++i) {
+                    const auto j = static_cast<std::size_t>(
+                        rng.uniformInt(
+                            i,
+                            static_cast<std::int64_t>(slots.size()) -
+                                1));
+                    std::swap(slots[static_cast<std::size_t>(i)],
+                              slots[j]);
+                }
+
+                double hottest = 0.0;
+                double row_power[2] = {0.0, 0.0};
+                for (int i = 0; i < vm_count; ++i) {
+                    const ServerId sid(
+                        static_cast<std::uint32_t>(slots[i]));
+                    const double load =
+                        vm_loads[static_cast<std::size_t>(i)];
+                    const Server &server = dc.server(sid);
+                    const ServerSpec &spec = dc.specOf(sid);
+                    const Watts gpu_w = power.gpuPower(spec, load);
+                    const double inlet =
+                        thermal
+                            .inletTemperature(sid, outside, 0.9, 0.0)
+                            .value();
+                    // Hottest GPU on the server (odd positions +
+                    // tails).
+                    for (int g = 0; g < spec.gpusPerServer; ++g) {
+                        hottest = std::max(
+                            hottest,
+                            thermal
+                                .gpuTemperature(sid, g,
+                                                Celsius(inlet),
+                                                gpu_w)
+                                .value());
+                    }
+                    row_power[server.row.index] +=
+                        power.serverPowerAtLoad(spec, load).value();
+                }
+                const double peak_row =
+                    std::max(row_power[0], row_power[1]);
+                stats.maxTemps.add(hottest);
+                stats.peakPowers.add(peak_row);
+                if (trial % 10 == 0) {
+                    stats.tempSeries.push_back(hottest);
+                    stats.powerSeries.push_back(peak_row);
+                }
+            }
+        },
+        kChunks);
+
     QuantileSample max_temps;
     QuantileSample peak_powers;
     std::vector<double> temp_series;
     std::vector<double> power_series;
-
-    std::vector<int> slots(dc.serverCount());
-    for (std::size_t i = 0; i < slots.size(); ++i)
-        slots[i] = static_cast<int>(i);
-
-    const int trials = 100000;
-    for (int trial = 0; trial < trials; ++trial) {
-        // Fisher-Yates prefix shuffle: first vm_count slots.
-        for (int i = 0; i < vm_count; ++i) {
-            const auto j = static_cast<std::size_t>(rng.uniformInt(
-                i, static_cast<std::int64_t>(slots.size()) - 1));
-            std::swap(slots[static_cast<std::size_t>(i)], slots[j]);
-        }
-
-        double hottest = 0.0;
-        double row_power[2] = {0.0, 0.0};
-        for (int i = 0; i < vm_count; ++i) {
-            const ServerId sid(
-                static_cast<std::uint32_t>(slots[i]));
-            const double load = vm_loads[static_cast<std::size_t>(i)];
-            const Server &server = dc.server(sid);
-            const ServerSpec &spec = dc.specOf(sid);
-            const Watts gpu_w = power.gpuPower(spec, load);
-            const double inlet =
-                thermal.inletTemperature(sid, outside, 0.9, 0.0)
-                    .value();
-            // Hottest GPU on the server (odd positions + tails).
-            for (int g = 0; g < spec.gpusPerServer; ++g) {
-                hottest = std::max(
-                    hottest,
-                    thermal.gpuTemperature(sid, g, Celsius(inlet),
-                                           gpu_w).value());
-            }
-            row_power[server.row.index] +=
-                power.serverPowerAtLoad(spec, load).value();
-        }
-        const double peak_row = std::max(row_power[0], row_power[1]);
-        max_temps.add(hottest);
-        peak_powers.add(peak_row);
-        if (trial % 10 == 0) {
-            temp_series.push_back(hottest);
-            power_series.push_back(peak_row);
-        }
+    for (const ChunkStats &stats : chunk_stats) {
+        for (double v : stats.maxTemps.raw())
+            max_temps.add(v);
+        for (double v : stats.peakPowers.raw())
+            peak_powers.add(v);
+        temp_series.insert(temp_series.end(),
+                           stats.tempSeries.begin(),
+                           stats.tempSeries.end());
+        power_series.insert(power_series.end(),
+                            stats.powerSeries.begin(),
+                            stats.powerSeries.end());
     }
 
     ConsoleTable table({"metric", "paper shape", "measured"});

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "common/threadpool.hh"
 #include "llm/perf.hh"
 
 using namespace tapas;
@@ -23,7 +24,18 @@ main()
 
     const PerfModel perf = PerfModel::withReferenceSlo(
         ServerSpec::a100(), PerfParams::forSku(GpuSku::A100));
-    const auto profiles = perf.allProfiles();
+
+    // Evaluate the config space in parallel; profile() is memoized
+    // behind a lock, so concurrent derivation is safe and the
+    // result is index-ordered (identical to a serial allProfiles()).
+    const auto configs = ConfigSpace::enumerate(perf.spec());
+    std::vector<ConfigProfile> profiles(configs.size());
+    {
+        ThreadPool pool;
+        pool.parallelFor(configs.size(), [&](std::size_t i) {
+            profiles[i] = perf.profile(configs[i]);
+        });
+    }
 
     // Normalizers: the reference config's saturated numbers.
     const ConfigProfile ref = perf.profile(referenceConfig());

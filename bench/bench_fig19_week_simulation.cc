@@ -10,8 +10,9 @@
 #include <iostream>
 
 #include "common/table.hh"
-#include "sim/cluster.hh"
+#include "common/threadpool.hh"
 #include "sim/scenario.hh"
+#include "sim/sweep.hh"
 
 using namespace tapas;
 
@@ -23,13 +24,16 @@ main()
 
     const SimConfig cfg = largeScaleScenario(7);
 
-    ClusterSim baseline(cfg.asBaseline());
-    baseline.run();
-    ClusterSim tapas(cfg.asTapas());
-    tapas.run();
+    // Both week-long replications run concurrently; each job is a
+    // self-contained simulation, so results match the serial runs.
+    ThreadPool pool;
+    ScenarioSweep sweep(pool);
+    const auto outcomes =
+        sweep.run({{"baseline", cfg.asBaseline()},
+                   {"tapas", cfg.asTapas()}});
 
-    const SimMetrics &bm = baseline.metrics();
-    const SimMetrics &tm = tapas.metrics();
+    const SimMetrics &bm = outcomes[0].metrics;
+    const SimMetrics &tm = outcomes[1].metrics;
 
     // Daily-noon samples of both series.
     std::cout << "Max temperature (C) and peak row power "

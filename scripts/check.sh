@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local pre-PR gate: the tier-1 verify line plus the step-loop bench
+# in smoke mode. Run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== configure =="
+cmake -B build -S .
+
+echo "== build =="
+cmake --build build -j
+
+echo "== tier-1 tests =="
+(cd build && ctest --output-on-failure -j --no-tests=error)
+
+echo "== step-loop bench (smoke) =="
+# Emit the JSON into build/ so the repo root stays clean.
+(cd build && ./bench_step_loop --smoke)
+
+echo "OK: all checks passed"

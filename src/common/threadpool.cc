@@ -1,0 +1,112 @@
+#include "common/threadpool.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace tapas {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned n = threads;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        stopping = true;
+    }
+    queueCv.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex);
+            queueCv.wait(lock, [this]() {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty()) {
+                // stopping && drained
+                return;
+            }
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelChunks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        &fn,
+    std::size_t chunks)
+{
+    if (count == 0)
+        return;
+    std::size_t n = chunks != 0
+        ? chunks
+        : static_cast<std::size_t>(size()) * 4;
+    n = std::clamp<std::size_t>(n, 1, count);
+
+    std::vector<std::future<void>> pending;
+    pending.reserve(n);
+    const std::size_t per = count / n;
+    const std::size_t extra = count % n;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t len = per + (c < extra ? 1 : 0);
+        const std::size_t end = begin + len;
+        pending.push_back(
+            submit([&fn, c, begin, end]() { fn(c, begin, end); }));
+        begin = end;
+    }
+    tapas_assert(begin == count, "chunking must cover the range");
+    // Drain every chunk before rethrowing: unwinding while workers
+    // still run tasks that reference the caller's frame would be a
+    // use-after-free. The first exception wins; later ones drop.
+    std::exception_ptr first_error;
+    for (std::future<void> &f : pending) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn,
+                        std::size_t chunks)
+{
+    parallelChunks(
+        count,
+        [&fn](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                fn(i);
+        },
+        chunks);
+}
+
+} // namespace tapas

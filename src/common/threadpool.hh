@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fixed-size worker pool for embarrassingly parallel simulation work:
+ * independent scenario replications, sweep grids, and bench trial
+ * fan-out. Tasks must not submit further tasks and then block on
+ * them from inside a worker (classic self-deadlock); the intended
+ * pattern is a driver thread submitting leaf work.
+ */
+
+#ifndef TAPAS_COMMON_THREADPOOL_HH
+#define TAPAS_COMMON_THREADPOOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tapas {
+
+/** Work-queue thread pool; destruction drains and joins. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned size() const
+    { return static_cast<unsigned>(workers.size()); }
+
+    /** Enqueue a task; the future carries its result/exception. */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(queueMutex);
+            queue.emplace_back([task]() { (*task)(); });
+        }
+        queueCv.notify_one();
+        return result;
+    }
+
+    /**
+     * Run fn(index) for every index in [0, count), distributing
+     * fixed chunks across the pool; blocks until all complete. The
+     * chunking is deterministic in @p chunks (not in thread count),
+     * so per-chunk seeding yields machine-independent results.
+     * @p chunks 0 picks 4 chunks per worker.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn,
+                     std::size_t chunks = 0);
+
+    /**
+     * Chunk-granular variant: fn(chunk_index, begin, end) per chunk.
+     * Use when each chunk carries its own state (e.g. an Rng seeded
+     * by chunk index).
+     */
+    void parallelChunks(
+        std::size_t count,
+        const std::function<void(std::size_t, std::size_t,
+                                 std::size_t)> &fn,
+        std::size_t chunks = 0);
+
+  private:
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex queueMutex;
+    std::condition_variable queueCv;
+    bool stopping = false;
+
+    void workerLoop();
+};
+
+} // namespace tapas
+
+#endif // TAPAS_COMMON_THREADPOOL_HH

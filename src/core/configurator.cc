@@ -38,7 +38,17 @@ InstanceConfigurator::feasible(ServerId server,
         perf.operatingPointAt(profile,
                               std::min(demand_tps,
                                        profile.goodputTps));
+    return feasibleAt(server, profiles, limits, profile, op);
+}
 
+bool
+InstanceConfigurator::feasibleAt(ServerId server,
+                                 const ProfileBank &profiles,
+                                 const InstanceLimits &limits,
+                                 const ConfigProfile &profile,
+                                 const PerfModel::OperatingPoint &op)
+    const
+{
     if (op.serverPower.value() > limits.maxServerPowerW)
         return false;
 
@@ -83,15 +93,9 @@ InstanceConfigurator::choose(ServerId server,
         return perf.operatingPointAt(p, capped)
             .serverPower.value();
     };
-    // Bias candidate ranking against reload-requiring switches: a
+    // Candidate ranking biases against reload-requiring switches: a
     // TP/model/quant change must beat free alternatives by the
     // reload margin to be worth the blackout.
-    auto ranking_power = [&](const ConfigProfile &p) {
-        const double power = power_at_demand(p);
-        return p.config.requiresReload(current.config)
-            ? power * cfg.reloadHysteresisGain
-            : power;
-    };
 
     // Selection: among feasible configs at/above the quality floor,
     // prefer (1) highest quality, (2) meeting demand+headroom,
@@ -104,10 +108,28 @@ InstanceConfigurator::choose(ServerId server,
     for (const ConfigProfile &cand : space) {
         if (cand.quality < quality_floor)
             continue;
-        if (!feasible(server, profiles, limits, cand, demand_tps))
+        if (cand.goodputTps <= 0.0)
             continue;
+        // One operating-point evaluation per candidate, shared
+        // between the limit checks and the power ranking (they use
+        // the same demand whenever goodput can serve one token/s).
+        const double feas_demand =
+            std::min(demand_tps, cand.goodputTps);
+        const PerfModel::OperatingPoint op =
+            perf.operatingPointAt(cand, feas_demand);
+        if (!feasibleAt(server, profiles, limits, cand, op))
+            continue;
+        const double rank_demand =
+            std::min(demand_tps, std::max(1.0, cand.goodputTps));
+        const double rank_power_w = rank_demand == feas_demand
+            ? op.serverPower.value()
+            : perf.operatingPointAt(cand, rank_demand)
+                  .serverPower.value();
         const bool meets = cand.goodputTps >= target_tps;
-        const double power = ranking_power(cand);
+        const double power =
+            cand.config.requiresReload(current.config)
+            ? rank_power_w * cfg.reloadHysteresisGain
+            : rank_power_w;
         bool take = false;
         if (!best) {
             take = true;

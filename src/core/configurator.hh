@@ -81,6 +81,16 @@ class InstanceConfigurator
     const PerfModel &perf;
     TapasPolicyConfig cfg;
     std::vector<ConfigProfile> space;
+
+    /**
+     * Limit checks with the operating point already evaluated; lets
+     * choose() share one operatingPointAt() per candidate between
+     * feasibility and power ranking (the step loop's hottest call).
+     */
+    bool feasibleAt(ServerId server, const ProfileBank &profiles,
+                    const InstanceLimits &limits,
+                    const ConfigProfile &profile,
+                    const PerfModel::OperatingPoint &op) const;
 };
 
 } // namespace tapas

@@ -61,15 +61,10 @@ RiskAssessor::refresh(const ClusterView &view,
     for (const Server &server : layout.servers()) {
         const double inlet = profiles.predictInletC(
             server.id, view.outsideC, view.dcLoadFrac);
-        double hottest = -1e9;
-        for (int g = 0; g < gpus; ++g) {
-            const double watts = gpu_power_w[
-                server.id.index * static_cast<std::size_t>(gpus) +
-                static_cast<std::size_t>(g)];
-            hottest = std::max(
-                hottest, profiles.predictGpuTempC(server.id, g,
-                                                  inlet, watts));
-        }
+        const double hottest = profiles.predictHottestGpuC(
+            server.id, inlet,
+            &gpu_power_w[server.id.index *
+                         static_cast<std::size_t>(gpus)]);
         ServerRisk &entry = risks[server.id.index];
         entry.predictedHottestGpuC = hottest;
         const double limit =

@@ -57,6 +57,14 @@ class RiskAssessor
     bool fresh() const { return !risks.empty(); }
     SimTime lastRefresh() const { return lastRefreshAt; }
 
+    /** Whether maybeRefresh() would recompute at the given time. */
+    bool
+    refreshDue(SimTime now) const
+    {
+        return lastRefreshAt < 0 ||
+            now - lastRefreshAt >= cfg.riskRefreshPeriod;
+    }
+
     const ServerRisk &risk(ServerId id) const;
 
     /** Count of servers currently flagged (for tests/metrics). */

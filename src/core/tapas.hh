@@ -56,6 +56,17 @@ class TapasController
                           const std::vector<double> &gpu_power_w);
 
     /**
+     * Whether the next maybeRefreshRisk() would actually recompute.
+     * Lets the simulator skip building the cluster view entirely on
+     * steps where the cache is still fresh.
+     */
+    bool
+    riskRefreshDue(SimTime now) const
+    {
+        return risk && risk->refreshDue(now);
+    }
+
+    /**
      * Run the instance-configuration pass over all SaaS instances:
      * derive per-instance limits from row/aisle budgets (after
      * subtracting unreconfigurable IaaS draw) and issue reconfigs.

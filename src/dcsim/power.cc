@@ -95,6 +95,9 @@ PowerHierarchy::PowerHierarchy(const DatacenterLayout &layout_,
             total += rowProvisionW[rid.index];
         upsProvisionW[ups.id.index] = total * ups_factor;
     }
+    rowUps.reserve(layout.rowCount());
+    for (const Row &row : layout.rows())
+        rowUps.push_back(layout.pdu(row.pdu).ups.index);
 }
 
 Watts
@@ -175,11 +178,20 @@ PowerHierarchy::anyFailure() const
 PowerAssessment
 PowerHierarchy::assess(const std::vector<Watts> &server_draws) const
 {
+    PowerAssessment out;
+    assess(server_draws, out);
+    return out;
+}
+
+void
+PowerHierarchy::assess(const std::vector<Watts> &server_draws,
+                       PowerAssessment &out) const
+{
     tapas_assert(server_draws.size() == layout.serverCount(),
                  "per-server draw vector has wrong size: %zu vs %zu",
                  server_draws.size(), layout.serverCount());
 
-    PowerAssessment out;
+    out.clear();
     out.rowDrawW.resize(layout.rowCount(), 0.0);
     out.rowBudgetW.resize(layout.rowCount(), 0.0);
     out.upsDrawW.resize(layout.upsCount(), 0.0);
@@ -192,7 +204,7 @@ PowerHierarchy::assess(const std::vector<Watts> &server_draws) const
     for (const Row &row : layout.rows()) {
         out.rowBudgetW[row.id.index] =
             effectiveRowProvision(row.id).value();
-        out.upsDrawW[layout.pdu(row.pdu).ups.index] +=
+        out.upsDrawW[rowUps[row.id.index]] +=
             out.rowDrawW[row.id.index];
         if (out.rowDrawW[row.id.index] >
             out.rowBudgetW[row.id.index]) {
@@ -205,7 +217,6 @@ PowerHierarchy::assess(const std::vector<Watts> &server_draws) const
         if (out.upsDrawW[ups.id.index] > out.upsBudgetW[ups.id.index])
             out.overBudgetUpses.push_back(ups.id);
     }
-    return out;
 }
 
 } // namespace tapas

@@ -97,6 +97,18 @@ struct PowerAssessment
     bool anyViolation() const
     { return !overBudgetRows.empty() || !overBudgetUpses.empty(); }
 
+    /** Reset for reuse as assess() scratch, keeping capacity. */
+    void
+    clear()
+    {
+        rowDrawW.clear();
+        rowBudgetW.clear();
+        upsDrawW.clear();
+        upsBudgetW.clear();
+        overBudgetRows.clear();
+        overBudgetUpses.clear();
+    }
+
     /** Row headroom in watts (can be negative). */
     double rowHeadroomW(RowId id) const
     { return rowBudgetW[id.index] - rowDrawW[id.index]; }
@@ -144,11 +156,21 @@ class PowerHierarchy
     PowerAssessment assess(const std::vector<Watts> &server_draws)
         const;
 
+    /**
+     * Allocation-free variant: writes into a caller-owned scratch
+     * assessment, reusing its vectors' capacity. The step loop calls
+     * this up to 7x per step during capping convergence.
+     */
+    void assess(const std::vector<Watts> &server_draws,
+                PowerAssessment &out) const;
+
   private:
     const DatacenterLayout &layout;
     std::vector<double> rowProvisionW;
     std::vector<double> upsProvisionW;
     std::vector<bool> upsFailed;
+    /** Cached row -> UPS index (avoids PDU hops in assess()). */
+    std::vector<std::uint32_t> rowUps;
     double deratingFrac = 1.0;
 
     void recomputeDerating();

@@ -131,6 +131,46 @@ ThermalModel::gpuTemperature(ServerId id, int gpu, Celsius inlet,
     return inlet + gpuOffsets[idx] + gpuCoeffs[idx] * gpu_power.value();
 }
 
+void
+ThermalModel::inletTemperatures(Celsius outside, double dc_load_frac,
+                                const std::vector<double>
+                                    &aisle_overdraw_frac,
+                                std::vector<double> &out_inlet_c)
+    const
+{
+    tapas_assert(dc_load_frac >= 0.0 && dc_load_frac <= 1.5,
+                 "implausible datacenter load fraction %f",
+                 dc_load_frac);
+    tapas_assert(aisle_overdraw_frac.size() == layout.aisleCount(),
+                 "per-aisle overdraw vector has wrong size");
+
+    const double base =
+        coolingCurve(outside) + cfg.loadSlopeC * dc_load_frac;
+    out_inlet_c.resize(layout.serverCount());
+    for (const Server &server : layout.servers()) {
+        const std::size_t s = server.id.index;
+        out_inlet_c[s] = base + serverOffsets[s] +
+            cfg.recircSlopeC *
+                aisle_overdraw_frac[server.aisle.index];
+    }
+}
+
+void
+ThermalModel::gpuTemperatures(ServerId id, Celsius inlet,
+                              const double *gpu_power_w,
+                              double *out_c) const
+{
+    const std::size_t base =
+        id.index * static_cast<std::size_t>(gpusPerServer);
+    const double inlet_c = inlet.value();
+    for (int g = 0; g < gpusPerServer; ++g) {
+        const std::size_t idx =
+            base + static_cast<std::size_t>(g);
+        out_c[g] =
+            inlet_c + gpuOffsets[idx] + gpuCoeffs[idx] * gpu_power_w[g];
+    }
+}
+
 Celsius
 ThermalModel::memTemperature(ServerId id, int gpu, Celsius inlet,
                              Watts gpu_power,
@@ -203,6 +243,76 @@ CoolingPlant::CoolingPlant(const DatacenterLayout &layout_,
         provisionCfm[aisle.id.index] =
             total * thermal.config().airflowProvisionFactor;
     }
+    demandCfm.resize(layout.aisleCount(), 0.0);
+    extendDecomposition();
+}
+
+void
+CoolingPlant::extendDecomposition()
+{
+    baseCfm.resize(layout.aisleCount(), 0.0);
+    for (std::size_t s = slopeCfm.size(); s < layout.serverCount();
+         ++s) {
+        const ServerId sid(static_cast<std::uint32_t>(s));
+        // serverAirflow is linear in load: f(l) = f(0) + slope * l.
+        const double idle = thermal.serverAirflow(sid, 0.0).value();
+        const double full = thermal.serverAirflow(sid, 1.0).value();
+        slopeCfm.push_back(full - idle);
+        const std::uint32_t aisle =
+            layout.server(sid).aisle.index;
+        serverAisle.push_back(aisle);
+        baseCfm[aisle] += idle;
+    }
+}
+
+void
+CoolingPlant::updateDemands(const std::vector<double> &server_loads)
+{
+    tapas_assert(server_loads.size() == layout.serverCount(),
+                 "per-server load vector has wrong size");
+    if (slopeCfm.size() < layout.serverCount())
+        extendDecomposition();
+
+    demandCfm.assign(layout.aisleCount(), 0.0);
+    for (std::size_t s = 0; s < server_loads.size(); ++s) {
+        const double load =
+            std::clamp(server_loads[s], 0.0, 1.0);
+        demandCfm[serverAisle[s]] += slopeCfm[s] * load;
+    }
+    for (std::size_t a = 0; a < demandCfm.size(); ++a)
+        demandCfm[a] += baseCfm[a];
+    demandsFresh = true;
+
+#ifndef NDEBUG
+    // Cross-check the decomposition against the full recompute.
+    for (const Aisle &aisle : layout.aisles()) {
+        const double full = demand(aisle.id, server_loads).value();
+        const double inc = demandCfm[aisle.id.index];
+        tapas_assert(std::abs(full - inc) <=
+                     1e-9 * std::max(1.0, std::abs(full)),
+                     "incremental aisle demand diverged: %f vs %f",
+                     inc, full);
+    }
+#endif
+}
+
+Cfm
+CoolingPlant::cachedDemand(AisleId id) const
+{
+    tapas_assert(demandsFresh,
+                 "cachedDemand before any updateDemands pass");
+    tapas_assert(id.index < demandCfm.size(), "unknown aisle %u",
+                 id.index);
+    return Cfm(demandCfm[id.index]);
+}
+
+double
+CoolingPlant::cachedOverdrawFraction(AisleId id) const
+{
+    const double prov = effectiveProvision(id).value();
+    if (prov <= 0.0)
+        return 0.0;
+    return std::max(0.0, cachedDemand(id).value() / prov - 1.0);
 }
 
 Cfm

@@ -1,6 +1,8 @@
 #include "llm/config.hh"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -21,6 +23,25 @@ InstanceConfig::requiresReload(const InstanceConfig &from) const
 {
     return model != from.model || quant != from.quant ||
         tensorParallel != from.tensorParallel;
+}
+
+std::size_t
+InstanceConfigHash::operator()(const InstanceConfig &c) const
+{
+    // SplitMix64-style mix over the packed discrete knobs plus the
+    // bit pattern of the frequency fraction.
+    std::uint64_t h = static_cast<std::uint64_t>(c.model);
+    h = h * 31 + static_cast<std::uint64_t>(c.quant);
+    h = h * 31 + static_cast<std::uint64_t>(c.tensorParallel);
+    h = h * 31 + static_cast<std::uint64_t>(c.maxBatchSize);
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(c.freqFrac));
+    std::memcpy(&bits, &c.freqFrac, sizeof(bits));
+    h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    return static_cast<std::size_t>(h);
 }
 
 const std::vector<int> &

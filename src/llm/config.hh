@@ -41,6 +41,12 @@ struct InstanceConfig
     bool requiresReload(const InstanceConfig &from) const;
 };
 
+/** Hash for InstanceConfig (profile caches and lookup tables). */
+struct InstanceConfigHash
+{
+    std::size_t operator()(const InstanceConfig &c) const;
+};
+
 /** Enumeration and feasibility rules for the config space. */
 class ConfigSpace
 {

@@ -83,6 +83,31 @@ PerfModel::PerfModel(const ServerSpec &spec, const PerfParams &params,
 {
 }
 
+PerfModel::PerfModel(const PerfModel &other)
+    : hwSpec(other.hwSpec), perfParams(other.perfParams),
+      sloSpec(other.sloSpec)
+{
+    std::lock_guard<std::mutex> lock(other.cacheMutex);
+    profileCache = other.profileCache;
+    cacheHits = other.cacheHits;
+    cacheMisses = other.cacheMisses;
+}
+
+PerfModel &
+PerfModel::operator=(const PerfModel &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(cacheMutex, other.cacheMutex);
+    hwSpec = other.hwSpec;
+    perfParams = other.perfParams;
+    sloSpec = other.sloSpec;
+    profileCache = other.profileCache;
+    cacheHits = other.cacheHits;
+    cacheMisses = other.cacheMisses;
+    return *this;
+}
+
 PerfModel
 PerfModel::withReferenceSlo(const ServerSpec &spec,
                             const PerfParams &params,
@@ -116,6 +141,38 @@ PerfModel::perGpuPowerFactor(int tp)
 
 ConfigProfile
 PerfModel::profile(const InstanceConfig &config) const
+{
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = profileCache.find(config);
+        if (it != profileCache.end()) {
+            ++cacheHits;
+#ifndef NDEBUG
+            // Cross-check: cached profiles must match a recompute.
+            const ConfigProfile fresh = computeProfile(config);
+            tapas_assert(fresh.goodputTps == it->second.goodputTps &&
+                         fresh.capacityTps ==
+                             it->second.capacityTps &&
+                         fresh.quality == it->second.quality &&
+                         fresh.prefill.gpuPower.value() ==
+                             it->second.prefill.gpuPower.value() &&
+                         fresh.decode.gpuPower.value() ==
+                             it->second.decode.gpuPower.value(),
+                         "profile cache diverged for %s",
+                         config.label().c_str());
+#endif
+            return it->second;
+        }
+    }
+    ConfigProfile out = computeProfile(config);
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    ++cacheMisses;
+    profileCache.emplace(config, out);
+    return out;
+}
+
+ConfigProfile
+PerfModel::computeProfile(const InstanceConfig &config) const
 {
     tapas_assert(ConfigSpace::memoryFeasible(config, hwSpec),
                  "profiling infeasible config %s",
@@ -175,8 +232,7 @@ PerfModel::profile(const InstanceConfig &config) const
         span * prefill_intensity * concentration * freq_pow);
     out.decode.gpuPower = Watts(
         hwSpec.gpuIdlePower.value() +
-        span * decode_intensity * concentration *
-        std::pow(freq, 2.0));
+        span * decode_intensity * concentration * freq * freq);
 
     // --- Latency anchors. ---
     out.unloadedTtftS =
@@ -298,7 +354,7 @@ PerfModel::decodeGpuPowerAt(const ConfigProfile &profile,
     const double concentration =
         perGpuPowerFactor(profile.config.tensorParallel);
     const double freq_pow =
-        std::pow(profile.config.freqFrac, 2.0);
+        profile.config.freqFrac * profile.config.freqFrac;
     return Watts(hwSpec.gpuIdlePower.value() +
                  span * intensity * concentration * freq_pow);
 }

@@ -25,6 +25,9 @@
 #define TAPAS_LLM_PERF_HH
 
 #include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.hh"
@@ -144,6 +147,9 @@ class PerfModel
     PerfModel(const ServerSpec &spec, const PerfParams &params,
               const SloSpec &slo);
 
+    PerfModel(const PerfModel &other);
+    PerfModel &operator=(const PerfModel &other);
+
     /**
      * Convenience: model with the paper's SLO definition — 5x the
      * unloaded latencies of the reference (largest) configuration.
@@ -156,8 +162,18 @@ class PerfModel
     const PerfParams &params() const { return perfParams; }
     const SloSpec &slo() const { return sloSpec; }
 
-    /** Derive the full profile of one configuration. */
+    /**
+     * Derive the full profile of one configuration. Memoized: the
+     * config space is small and profiles are pure functions of the
+     * config, so repeated queries hit a cache keyed on the config.
+     * Safe to call concurrently (the cache is internally locked).
+     */
     ConfigProfile profile(const InstanceConfig &config) const;
+
+    /** Profile cache hits so far (perf counters for tests/benches). */
+    std::uint64_t profileCacheHits() const { return cacheHits; }
+    /** Profile cache misses so far. */
+    std::uint64_t profileCacheMisses() const { return cacheMisses; }
 
     /** Profiles for every feasible configuration. */
     std::vector<ConfigProfile> allProfiles() const;
@@ -228,6 +244,16 @@ class PerfModel
     ServerSpec hwSpec;
     PerfParams perfParams;
     SloSpec sloSpec;
+
+    /** Uncached profile derivation (the actual analytic model). */
+    ConfigProfile computeProfile(const InstanceConfig &config) const;
+
+    mutable std::unordered_map<InstanceConfig, ConfigProfile,
+                               InstanceConfigHash>
+        profileCache;
+    mutable std::uint64_t cacheHits = 0;
+    mutable std::uint64_t cacheMisses = 0;
+    mutable std::mutex cacheMutex;
 };
 
 /** The reference configuration the paper's SLOs anchor on. */

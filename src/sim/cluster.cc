@@ -119,13 +119,23 @@ ClusterSim::ClusterSim(const SimConfig &config)
     serverVm.assign(layout.serverCount(), npos);
     serverLoads.assign(layout.serverCount(), 0.0);
     serverDrawW.assign(layout.serverCount(), 0.0);
+    gpusPerServer = layout.specs().front().gpusPerServer;
     const std::size_t gpus = layout.serverCount() *
-        static_cast<std::size_t>(
-            layout.specs().front().gpusPerServer);
+        static_cast<std::size_t>(gpusPerServer);
     gpuPowerW.assign(gpus, 0.0);
     gpuTempC.assign(gpus, 25.0);
     inletC.assign(layout.serverCount(), 22.0);
     activeFailures.assign(cfg.failures.size(), 0);
+
+    throttleAtC.reserve(layout.serverCount());
+    for (const Server &server : layout.servers())
+        throttleAtC.push_back(
+            layout.specOf(server.id).throttleTemp.value());
+
+    routeIndex.resize(vmGen.endpointVmCounts().size());
+    serverDrawWatts.assign(layout.serverCount(), Watts(0.0));
+    drawsScratch.assign(static_cast<std::size_t>(gpusPerServer),
+                        Watts(0.0));
 }
 
 std::size_t
@@ -156,20 +166,18 @@ ClusterSim::runSteps(int steps)
 double
 ClusterSim::vmPredictedPeakLoad(const VmRecord &record) const
 {
-    if (record.kind == VmKind::IaaS) {
-        if (store.customerLoadSpan(record.customer) >= kMinHistory)
-            return store.customerPeakLoad(record.customer);
-        return 1.0;
-    }
-    if (store.endpointLoadSpan(record.endpoint) >= kMinHistory)
-        return store.endpointPeakLoad(record.endpoint);
-    return 1.0;
+    if (record.kind == VmKind::IaaS)
+        return store.customerPredictedPeak(record.customer,
+                                           kMinHistory);
+    return store.endpointPredictedPeak(record.endpoint, kMinHistory);
 }
 
-ClusterView
-ClusterSim::makeView() const
+const ClusterView &
+ClusterSim::makeView()
 {
-    ClusterView view;
+    // Full rebuild into the member scratch: vector capacity is
+    // retained across steps, so the steady state allocates nothing.
+    ClusterView &view = viewScratch;
     view.layout = &layout;
     view.cooling = &cooling;
     view.power = &hierarchy;
@@ -181,6 +189,7 @@ ClusterSim::makeView() const
     view.occupied.assign(layout.serverCount(), false);
     for (std::size_t s = 0; s < serverVm.size(); ++s)
         view.occupied[s] = serverVm[s] != npos;
+    view.vms.clear();
     for (const SimVm &vm : vmTable) {
         if (!vm.active())
             continue;
@@ -238,6 +247,8 @@ ClusterSim::processDepartures()
 {
     for (SimVm &vm : vmTable) {
         if (vm.active() && vm.record.departure <= currentTime) {
+            if (vm.record.kind == VmKind::SaaS)
+                routeIndexRemove(vm);
             serverVm[vm.server.index] = npos;
             vm.server = ServerId();
             vm.engine.reset();
@@ -245,6 +256,93 @@ ClusterSim::processDepartures()
             vm.demandTps = 0.0;
         }
     }
+}
+
+void
+ClusterSim::routeIndexAdd(const SimVm &vm)
+{
+    tapas_assert(vm.record.endpoint.index < routeIndex.size(),
+                 "endpoint %u beyond routing index",
+                 vm.record.endpoint.index);
+    std::vector<RouteCandidate> &list =
+        routeIndex[vm.record.endpoint.index];
+    RouteCandidate cand;
+    cand.vm = vm.record.id;
+    cand.server = vm.server;
+    cand.engine = vm.engine.get();
+    // Keep the list sorted by VM id so candidates appear in the same
+    // order a fresh VM-table scan would produce them.
+    auto it = list.begin();
+    while (it != list.end() && it->vm.index < cand.vm.index)
+        ++it;
+    list.insert(it, cand);
+}
+
+void
+ClusterSim::routeIndexRemove(const SimVm &vm)
+{
+    tapas_assert(vm.record.endpoint.index < routeIndex.size(),
+                 "endpoint %u beyond routing index",
+                 vm.record.endpoint.index);
+    std::vector<RouteCandidate> &list =
+        routeIndex[vm.record.endpoint.index];
+    for (auto it = list.begin(); it != list.end(); ++it) {
+        if (it->vm.index == vm.record.id.index) {
+            list.erase(it);
+            return;
+        }
+    }
+    panic("VM %u missing from its endpoint's routing index",
+          vm.record.id.index);
+}
+
+void
+ClusterSim::routeIndexUpdateServer(const SimVm &vm)
+{
+    std::vector<RouteCandidate> &list =
+        routeIndex[vm.record.endpoint.index];
+    for (RouteCandidate &cand : list) {
+        if (cand.vm.index == vm.record.id.index) {
+            cand.server = vm.server;
+            return;
+        }
+    }
+    panic("VM %u missing from its endpoint's routing index",
+          vm.record.id.index);
+}
+
+bool
+ClusterSim::verifyEndpointList(std::size_t endpoint_index) const
+{
+    std::size_t count = 0;
+    const std::vector<RouteCandidate> &list =
+        routeIndex[endpoint_index];
+    for (const SimVm &vm : vmTable) {
+        if (!vm.active() || vm.record.kind != VmKind::SaaS ||
+            vm.record.endpoint.index != endpoint_index) {
+            continue;
+        }
+        if (count >= list.size())
+            return false;
+        const RouteCandidate &cand = list[count];
+        if (cand.vm.index != vm.record.id.index ||
+            cand.server.index != vm.server.index ||
+            cand.engine != vm.engine.get()) {
+            return false;
+        }
+        ++count;
+    }
+    return count == list.size();
+}
+
+bool
+ClusterSim::verifyRoutingIndex() const
+{
+    for (std::size_t e = 0; e < routeIndex.size(); ++e) {
+        if (!verifyEndpointList(e))
+            return false;
+    }
+    return true;
 }
 
 bool
@@ -258,8 +356,14 @@ ClusterSim::tryPlace(std::uint32_t vm_index)
     request.customer = vm.record.customer;
     request.predictedPeakLoad = vmPredictedPeakLoad(vm.record);
 
-    const ClusterView view = makeView();
-    const auto pick = tapas->allocator().place(request, view);
+    // One view rebuild per placement phase; successful placements
+    // below keep it current incrementally.
+    if (!placementViewFresh) {
+        makeView();
+        placementViewFresh = true;
+    }
+    const auto pick =
+        tapas->allocator().place(request, viewScratch);
     if (!pick.has_value())
         return false;
     tapas_assert(serverVm[pick->index] == npos,
@@ -269,7 +373,18 @@ ClusterSim::tryPlace(std::uint32_t vm_index)
     if (vm.record.kind == VmKind::SaaS) {
         vm.engine = std::make_unique<InferenceEngine>(refProfile,
                                                       perf.slo());
+        routeIndexAdd(vm);
     }
+    viewScratch.occupied[pick->index] = true;
+    PlacedVmView pv;
+    pv.id = vm.record.id;
+    pv.kind = vm.record.kind;
+    pv.server = vm.server;
+    pv.endpoint = vm.record.endpoint;
+    pv.customer = vm.record.customer;
+    pv.predictedPeakLoad = request.predictedPeakLoad;
+    pv.currentLoad = vm.load;
+    viewScratch.vms.push_back(pv);
     ++simMetrics.vmsPlaced;
     return true;
 }
@@ -309,22 +424,18 @@ ClusterSim::tryPlaceWaiting()
     waitingVms.swap(still_waiting);
 }
 
-std::vector<RouteCandidate>
+const std::vector<RouteCandidate> &
 ClusterSim::endpointCandidates(EndpointId id)
 {
-    std::vector<RouteCandidate> out;
-    for (SimVm &vm : vmTable) {
-        if (!vm.active() || vm.record.kind != VmKind::SaaS ||
-            !(vm.record.endpoint == id)) {
-            continue;
-        }
-        RouteCandidate cand;
-        cand.vm = vm.record.id;
-        cand.server = vm.server;
-        cand.engine = vm.engine.get();
-        out.push_back(cand);
-    }
-    return out;
+    tapas_assert(id.index < routeIndex.size(),
+                 "unknown endpoint %u", id.index);
+#ifndef NDEBUG
+    // Per-endpoint check only: the full-index sweep would make
+    // debug routing quadratic in endpoint count per step.
+    tapas_assert(verifyEndpointList(id.index),
+                 "routing index diverged for endpoint %u", id.index);
+#endif
+    return routeIndex[id.index];
 }
 
 double
@@ -340,13 +451,15 @@ void
 ClusterSim::assignSaasLoadRequestMode(SimTime from, SimTime to)
 {
     const double dt = static_cast<double>(to - from);
-    const int gpus = layout.specs().front().gpusPerServer;
+    const int gpus = gpusPerServer;
 
     // Route this step's requests endpoint by endpoint.
-    std::vector<double> routed_tokens(vmTable.size(), 0.0);
-    std::vector<double> demand_floor(vmTable.size(), 0.0);
+    routedTokensScratch.assign(vmTable.size(), 0.0);
+    demandFloorScratch.assign(vmTable.size(), 0.0);
+    std::vector<double> &routed_tokens = routedTokensScratch;
+    std::vector<double> &demand_floor = demandFloorScratch;
     for (const EndpointDemand &ep : requestGen->endpoints()) {
-        auto candidates = endpointCandidates(ep.id);
+        const auto &candidates = endpointCandidates(ep.id);
         const auto requests = requestGen->generate(ep.id, from, to);
         if (candidates.empty())
             continue;
@@ -408,7 +521,7 @@ void
 ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
 {
     const SimTime mid = from + (to - from) / 2;
-    const int gpus = layout.specs().front().gpusPerServer;
+    const int gpus = gpusPerServer;
     const RiskAssessor *risk = tapas->riskAssessor();
 
     // Clear stale assignments (reconfiguring VMs receive nothing).
@@ -418,15 +531,16 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
     }
 
     for (const EndpointDemand &ep : requestGen->endpoints()) {
-        auto candidates = endpointCandidates(ep.id);
+        const auto &candidates = endpointCandidates(ep.id);
         const double demand =
             requestGen->demandTokensPerS(ep.id, mid);
         if (candidates.empty())
             continue;
 
         // Risk filter (TAPAS) with fallback to the full set.
-        std::vector<RouteCandidate *> safe;
-        for (RouteCandidate &cand : candidates) {
+        safeScratch.clear();
+        std::vector<const RouteCandidate *> &safe = safeScratch;
+        for (const RouteCandidate &cand : candidates) {
             if (!cand.engine->accepting())
                 continue;
             if (risk && risk->fresh() &&
@@ -436,7 +550,7 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
             safe.push_back(&cand);
         }
         if (safe.empty()) {
-            for (RouteCandidate &cand : candidates) {
+            for (const RouteCandidate &cand : candidates) {
                 if (cand.engine->accepting())
                     safe.push_back(&cand);
             }
@@ -449,7 +563,8 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
         // overload spill. Weight = capacity x row-power headroom.
         double total_cap = 0.0;
         double total_weight = 0.0;
-        std::vector<double> weights(safe.size(), 0.0);
+        weightsScratch.assign(safe.size(), 0.0);
+        std::vector<double> &weights = weightsScratch;
         for (std::size_t i = 0; i < safe.size(); ++i) {
             SimVm &vm = vmTable[safe[i]->vm.index];
             const double cap = vm.engine->profile().goodputTps;
@@ -514,14 +629,14 @@ ClusterSim::replayIaasLoads(SimTime t)
 void
 ClusterSim::computeDraws()
 {
-    const int gpus = layout.specs().front().gpusPerServer;
-    std::vector<Watts> draws(static_cast<std::size_t>(gpus));
+    const int gpus = gpusPerServer;
+    std::vector<Watts> &draws = drawsScratch;
+    draws.resize(static_cast<std::size_t>(gpus));
 
     for (const Server &server : layout.servers()) {
         const ServerSpec &spec = layout.specOf(server.id);
         const std::size_t s = server.id.index;
         const std::size_t vm_index = serverVm[s];
-        double load = 0.0;
 
         if (vm_index == npos) {
             for (int g = 0; g < gpus; ++g)
@@ -530,14 +645,12 @@ ClusterSim::computeDraws()
         } else {
             SimVm &vm = vmTable[vm_index];
             if (vm.record.kind == VmKind::IaaS) {
-                load = vm.load;
                 const Watts w =
-                    powerModel.gpuPower(spec, load, vm.freqCap);
+                    powerModel.gpuPower(spec, vm.load, vm.freqCap);
                 for (int g = 0; g < gpus; ++g)
                     draws[static_cast<std::size_t>(g)] = w;
             } else {
                 const ConfigProfile &profile = vm.engine->profile();
-                load = vm.load;
                 const double idle = spec.gpuIdlePower.value();
                 double base = idle;
                 if (cfg.mode == SimMode::RequestLevel) {
@@ -561,8 +674,11 @@ ClusterSim::computeDraws()
                                                  vm.demandTps)
                                .gpuPower.value();
                 }
-                const double capped = idle +
-                    (base - idle) * std::pow(vm.freqCap, 2.4);
+                // Most servers run uncapped; skip the pow() then.
+                const double capped = vm.freqCap == 1.0
+                    ? base
+                    : idle +
+                        (base - idle) * std::pow(vm.freqCap, 2.4);
                 for (int g = 0; g < gpus; ++g) {
                     draws[static_cast<std::size_t>(g)] =
                         g < profile.activeGpus ? Watts(capped)
@@ -580,36 +696,32 @@ ClusterSim::computeDraws()
                       static_cast<std::size_t>(g)] =
                 draws[static_cast<std::size_t>(g)].value();
         }
-        serverDrawW[s] =
+        const double draw_w =
             powerModel.serverPower(spec, draws, heat).value();
-        (void)load;
+        serverDrawW[s] = draw_w;
+        serverDrawWatts[s] = Watts(draw_w);
     }
 }
 
 void
 ClusterSim::enforcePowerBudgets()
 {
-    auto to_watts = [&]() {
-        std::vector<Watts> out;
-        out.reserve(serverDrawW.size());
-        for (double w : serverDrawW)
-            out.emplace_back(w);
-        return out;
-    };
-
-    PowerAssessment assessment = hierarchy.assess(to_watts());
+    // computeDraws keeps serverDrawWatts current; assess writes into
+    // the member scratch, so the capping loop allocates nothing.
+    PowerAssessment &assessment = assessScratch;
+    hierarchy.assess(serverDrawWatts, assessment);
     if (!assessment.anyViolation())
         return;
     ++simMetrics.powerCapSteps;
 
     const bool iaas_first = tapas->capIaasFirst();
     for (int iter = 0; iter < 6; ++iter) {
-        assessment = hierarchy.assess(to_watts());
         if (!assessment.anyViolation())
             break;
 
         // Collect rows needing reduction (row-level or via UPS).
-        std::vector<char> row_over(layout.rowCount(), 0);
+        rowOverScratch.assign(layout.rowCount(), 0);
+        std::vector<char> &row_over = rowOverScratch;
         for (RowId row : assessment.overBudgetRows)
             row_over[row.index] = 1;
         for (UpsId ups : assessment.overBudgetUpses) {
@@ -655,49 +767,52 @@ ClusterSim::enforcePowerBudgets()
             }
         }
         computeDraws();
+        hierarchy.assess(serverDrawWatts, assessment);
     }
 }
 
 void
 ClusterSim::evaluateThermal(bool enforce)
 {
-    const int gpus = layout.specs().front().gpusPerServer;
+    const int gpus = gpusPerServer;
     const Celsius outside = weatherModel.outsideAt(currentTime);
 
-    // One sensor-noise draw per server per step.
-    std::vector<double> noise(layout.serverCount());
-    for (double &n : noise)
-        n = noiseRng.gaussian(0.0, cfg.thermal.noiseSigmaC);
+    // One sensor-noise draw per server per step; a noiseless model
+    // needs no draws at all (gaussian(0, 0) is identically zero).
+    noiseScratch.resize(layout.serverCount());
+    if (cfg.thermal.noiseSigmaC > 0.0) {
+        for (double &n : noiseScratch)
+            n = noiseRng.gaussian(0.0, cfg.thermal.noiseSigmaC);
+    } else {
+        std::fill(noiseScratch.begin(), noiseScratch.end(), 0.0);
+    }
 
     auto evaluate = [&]() {
-        std::vector<double> overdraw(layout.aisleCount(), 0.0);
+        // Incremental aisle demand: one fused pass over the load
+        // vector instead of a per-server fan-curve walk per aisle.
+        cooling.updateDemands(serverLoads);
+        overdrawScratch.resize(layout.aisleCount());
         for (const Aisle &aisle : layout.aisles()) {
-            overdraw[aisle.id.index] =
-                cooling.overdrawFraction(aisle.id, serverLoads);
+            overdrawScratch[aisle.id.index] =
+                cooling.cachedOverdrawFraction(aisle.id);
         }
+        thermal.inletTemperatures(outside, dcLoadFrac,
+                                  overdrawScratch, inletC);
         bool any_over = false;
         for (const Server &server : layout.servers()) {
             const std::size_t s = server.id.index;
-            inletC[s] =
-                thermal
-                    .inletTemperature(server.id, outside, dcLoadFrac,
-                                      overdraw[server.aisle.index])
-                    .value() +
-                noise[s];
-            const double throttle_at =
-                layout.specOf(server.id).throttleTemp.value();
+            inletC[s] += noiseScratch[s];
+            const std::size_t base =
+                s * static_cast<std::size_t>(gpus);
+            thermal.gpuTemperatures(server.id, Celsius(inletC[s]),
+                                    &gpuPowerW[base],
+                                    &gpuTempC[base]);
+            const double throttle_at = throttleAtC[s];
             for (int g = 0; g < gpus; ++g) {
-                const std::size_t idx =
-                    s * static_cast<std::size_t>(gpus) +
-                    static_cast<std::size_t>(g);
-                gpuTempC[idx] =
-                    thermal
-                        .gpuTemperature(server.id, g,
-                                        Celsius(inletC[s]),
-                                        Watts(gpuPowerW[idx]))
-                        .value();
-                if (gpuTempC[idx] > throttle_at)
+                if (gpuTempC[base + static_cast<std::size_t>(g)] >
+                    throttle_at) {
                     any_over = true;
+                }
             }
         }
         return any_over;
@@ -713,8 +828,7 @@ ClusterSim::evaluateThermal(bool enforce)
         // Hardware throttle on every server with a hot GPU.
         for (const Server &server : layout.servers()) {
             const std::size_t s = server.id.index;
-            const double throttle_at =
-                layout.specOf(server.id).throttleTemp.value();
+            const double throttle_at = throttleAtC[s];
             bool hot = false;
             for (int g = 0; g < gpus; ++g) {
                 if (gpuTempC[s * static_cast<std::size_t>(gpus) +
@@ -739,10 +853,11 @@ ClusterSim::recordTelemetry(SimTime t)
 {
     if (t % kTelemetryPeriod != 0)
         return;
-    const int gpus = layout.specs().front().gpusPerServer;
+    const int gpus = gpusPerServer;
     const double outside = weatherModel.outsideAt(t).value();
 
-    std::vector<double> row_power(layout.rowCount(), 0.0);
+    rowPowerScratch.assign(layout.rowCount(), 0.0);
+    std::vector<double> &row_power = rowPowerScratch;
     for (const Server &server : layout.servers()) {
         const std::size_t s = server.id.index;
         double hottest = 0.0;
@@ -810,7 +925,8 @@ ClusterSim::configuratorPass()
 
     // Re-decide only when something material changed: demand moved
     // >15%, the emergency state flipped, or 15 minutes elapsed.
-    std::vector<SaasInstanceRef> instances;
+    instancesScratch.clear();
+    std::vector<SaasInstanceRef> &instances = instancesScratch;
     for (SimVm &vm : vmTable) {
         if (!vm.active() || vm.record.kind != VmKind::SaaS)
             continue;
@@ -834,7 +950,7 @@ ClusterSim::configuratorPass()
     }
     if (instances.empty())
         return;
-    const ClusterView view = makeView();
+    const ClusterView &view = makeView();
     tapas->configurePass(view, instances);
     simMetrics.reconfigs = tapas->reconfigsIssued();
 }
@@ -848,7 +964,7 @@ ClusterSim::migrationPass()
         return;
     }
     MigrationPlanner planner(cfg.policy);
-    const ClusterView view = makeView();
+    const ClusterView &view = makeView();
     for (const MigrationPlan &move :
          planner.plan(view, cfg.policy.migrationMaxMoves)) {
         const std::size_t vm_index = serverVm[move.from.index];
@@ -859,6 +975,7 @@ ClusterSim::migrationPass()
         serverVm[move.from.index] = npos;
         serverVm[move.to.index] = vm_index;
         vm.server = move.to;
+        routeIndexUpdateServer(vm);
         vm.engine->beginMigration(cfg.policy.migrationDelayS);
         ++simMetrics.migrations;
     }
@@ -869,11 +986,11 @@ ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
 {
     (void)power_capped;
     (void)thermal_throttled;
-    const int gpus = layout.specs().front().gpusPerServer;
     const double dt = static_cast<double>(cfg.stepLength);
 
     // Row draws and datacenter power.
-    std::vector<double> row_power(layout.rowCount(), 0.0);
+    rowPowerScratch.assign(layout.rowCount(), 0.0);
+    std::vector<double> &row_power = rowPowerScratch;
     double dc_power = 0.0;
     for (const Server &server : layout.servers()) {
         row_power[server.row.index] +=
@@ -964,7 +1081,6 @@ ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
         currentTime, served > 0.0 ? quality_weighted / served : 1.0);
 
     ++simMetrics.totalSteps;
-    (void)gpus;
 }
 
 void
@@ -972,14 +1088,17 @@ ClusterSim::step()
 {
     processFailureSchedule();
     processDepartures();
+    // One shared placement view for the arrival/backlog phase.
+    placementViewFresh = false;
     processArrivals();
     tryPlaceWaiting();
+    placementViewFresh = false;
 
     // Risk refresh uses last step's sensor data (5-min cadence).
-    {
-        const ClusterView view = makeView();
-        tapas->maybeRefreshRisk(view, gpuPowerW);
-    }
+    // Building the view is the expensive part; skip it entirely on
+    // steps where the cache is still fresh.
+    if (tapas->riskRefreshDue(currentTime))
+        tapas->maybeRefreshRisk(makeView(), gpuPowerW);
 
     // Reset this step's hardware caps.
     for (SimVm &vm : vmTable)

@@ -101,6 +101,13 @@ class ClusterSim
     const std::vector<double> &lastGpuTempC() const
     { return gpuTempC; }
 
+    /**
+     * Consistency check of the persistent per-endpoint routing index
+     * against a fresh scan of the VM table (tests; debug builds also
+     * assert this on every candidate lookup).
+     */
+    bool verifyRoutingIndex() const;
+
   private:
     SimConfig cfg;
     DatacenterLayout layout;
@@ -131,12 +138,46 @@ class ClusterSim
     bool lastEmergency = false;
     ConfigProfile refProfile;
 
-    /** Scratch state of the last step. */
+    /** State of the last step, indexed by server/GPU. */
     std::vector<double> serverLoads;
     std::vector<double> serverDrawW;
     std::vector<double> gpuPowerW;
     std::vector<double> gpuTempC;
     std::vector<double> inletC;
+
+    /** GPUs per server (uniform fleet), hoisted from the spec. */
+    int gpusPerServer = 0;
+    /** Per-server throttle temperature, hoisted from the specs. */
+    std::vector<double> throttleAtC;
+
+    /**
+     * Persistent per-endpoint routing candidates, maintained on VM
+     * placement/departure/migration instead of being rebuilt from the
+     * whole VM table on every routing pass. Entries stay sorted by VM
+     * id so lookups are identical to a fresh table scan.
+     */
+    std::vector<std::vector<RouteCandidate>> routeIndex;
+
+    /** Reusable step-loop scratch (hoisted per-step temporaries). */
+    std::vector<Watts> serverDrawWatts;
+    std::vector<Watts> drawsScratch;
+    std::vector<double> noiseScratch;
+    std::vector<double> overdrawScratch;
+    std::vector<char> rowOverScratch;
+    std::vector<double> rowPowerScratch;
+    std::vector<double> routedTokensScratch;
+    std::vector<double> demandFloorScratch;
+    std::vector<double> weightsScratch;
+    std::vector<const RouteCandidate *> safeScratch;
+    std::vector<SaasInstanceRef> instancesScratch;
+    PowerAssessment assessScratch;
+    ClusterView viewScratch;
+    /**
+     * True while viewScratch is valid for the current placement
+     * phase; placements update the view incrementally instead of
+     * rebuilding it per candidate VM.
+     */
+    bool placementViewFresh = false;
 
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -146,7 +187,7 @@ class ClusterSim
     void processArrivals();
     void tryPlaceWaiting();
     bool tryPlace(std::uint32_t vm_index);
-    ClusterView makeView() const;
+    const ClusterView &makeView();
     void assignSaasLoadRequestMode(SimTime from, SimTime to);
     void assignSaasLoadFlowMode(SimTime from, SimTime to);
     void replayIaasLoads(SimTime t);
@@ -158,7 +199,12 @@ class ClusterSim
     void configuratorPass();
     void migrationPass();
     double vmPredictedPeakLoad(const VmRecord &record) const;
-    std::vector<RouteCandidate> endpointCandidates(EndpointId id);
+    const std::vector<RouteCandidate> &
+    endpointCandidates(EndpointId id);
+    bool verifyEndpointList(std::size_t endpoint_index) const;
+    void routeIndexAdd(const SimVm &vm);
+    void routeIndexRemove(const SimVm &vm);
+    void routeIndexUpdateServer(const SimVm &vm);
     double effectiveGoodput(const SimVm &vm) const;
 };
 

@@ -1,0 +1,53 @@
+#include "sim/sweep.hh"
+
+#include "common/timer.hh"
+
+namespace tapas {
+
+std::vector<SweepOutcome>
+ScenarioSweep::run(const std::vector<SweepJob> &jobs,
+                   const Inspect &inspect) const
+{
+    std::vector<SweepOutcome> outcomes(jobs.size());
+    // One task per job: replications are coarse enough that finer
+    // chunking buys nothing, and job-granular tasks keep the pool's
+    // queue trivially balanced.
+    pool.parallelChunks(
+        jobs.size(),
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const SweepJob &job = jobs[i];
+                WallTimer timer;
+                ClusterSim sim(job.config);
+                sim.run();
+                SweepOutcome &out = outcomes[i];
+                out.wallS = timer.elapsedS();
+                out.name = job.name;
+                out.seed = job.config.seed;
+                out.metrics = sim.metrics();
+                if (inspect)
+                    inspect(job, sim);
+            }
+        },
+        jobs.size());
+    return outcomes;
+}
+
+std::vector<SweepJob>
+ScenarioSweep::crossSeeds(const std::vector<SweepJob> &variants,
+                          const std::vector<std::uint64_t> &seeds)
+{
+    std::vector<SweepJob> out;
+    out.reserve(variants.size() * seeds.size());
+    for (const SweepJob &variant : variants) {
+        for (std::uint64_t seed : seeds) {
+            SweepJob job = variant;
+            job.config.seed = seed;
+            job.name = variant.name + "/s" + std::to_string(seed);
+            out.push_back(job);
+        }
+    }
+    return out;
+}
+
+} // namespace tapas

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ScenarioSweep: parallel execution of independent ClusterSim
+ * replications (seeds x configurations) across a thread pool.
+ *
+ * Every job is a self-contained simulation — its own layout, models,
+ * and RNG streams derived from the job's seed — so running jobs
+ * concurrently is deterministic: results depend only on each job's
+ * SimConfig, never on thread count or scheduling. This is what the
+ * paper's Fig. 16 Pareto sweeps, Fig. 19 week-long runs, and the
+ * ablation grids need to finish at interactive speed.
+ */
+
+#ifndef TAPAS_SIM_SWEEP_HH
+#define TAPAS_SIM_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.hh"
+#include "sim/cluster.hh"
+#include "sim/config.hh"
+
+namespace tapas {
+
+/** One replication: a named, fully specified simulation. */
+struct SweepJob
+{
+    std::string name;
+    SimConfig config;
+};
+
+/** Result of one replication. */
+struct SweepOutcome
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    /** Wall-clock seconds this replication took. */
+    double wallS = 0.0;
+    /** Full metric set of the finished run. */
+    SimMetrics metrics;
+};
+
+/** Parallel scenario-sweep driver. */
+class ScenarioSweep
+{
+  public:
+    /**
+     * Callback run on the finished simulation (same worker thread)
+     * before it is destroyed; use it to extract state beyond
+     * SimMetrics (telemetry, profiles, layouts).
+     */
+    using Inspect =
+        std::function<void(const SweepJob &, ClusterSim &)>;
+
+    explicit ScenarioSweep(ThreadPool &pool) : pool(pool) {}
+
+    /**
+     * Run every job to its horizon; outcomes are returned in job
+     * order regardless of completion order.
+     */
+    std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs,
+                                  const Inspect &inspect = {}) const;
+
+    /** Cartesian helper: one job per (base variant, seed). */
+    static std::vector<SweepJob>
+    crossSeeds(const std::vector<SweepJob> &variants,
+               const std::vector<std::uint64_t> &seeds);
+
+  private:
+    ThreadPool &pool;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_SIM_SWEEP_HH

@@ -151,6 +151,32 @@ TelemetryStore::endpointPeakLoad(EndpointId id) const
     return it == endpointLoads.end() ? 1.0 : it->second.peak;
 }
 
+double
+TelemetryStore::customerPredictedPeak(CustomerId id,
+                                      SimTime min_span) const
+{
+    // Single lookup for the span gate + peak read (the placement
+    // view rebuild does this for every placed VM).
+    const auto it = customerLoads.find(id.index);
+    if (it == customerLoads.end() || it->second.first < 0 ||
+        it->second.last - it->second.first < min_span) {
+        return 1.0;
+    }
+    return it->second.peak;
+}
+
+double
+TelemetryStore::endpointPredictedPeak(EndpointId id,
+                                      SimTime min_span) const
+{
+    const auto it = endpointLoads.find(id.index);
+    if (it == endpointLoads.end() || it->second.first < 0 ||
+        it->second.last - it->second.first < min_span) {
+        return 1.0;
+    }
+    return it->second.peak;
+}
+
 void
 TelemetryStore::trimBefore(SimTime cutoff)
 {

@@ -73,6 +73,15 @@ class TelemetryStore
     double customerPeakLoad(CustomerId id) const;
     double endpointPeakLoad(EndpointId id) const;
 
+    /**
+     * Peak load if at least @p min_span of history exists, else the
+     * conservative 1.0 — one hash lookup instead of span + peak.
+     */
+    double customerPredictedPeak(CustomerId id,
+                                 SimTime min_span) const;
+    double endpointPredictedPeak(EndpointId id,
+                                 SimTime min_span) const;
+
     /** Drop samples older than the cutoff (weekly refit window). */
     void trimBefore(SimTime cutoff);
 

@@ -178,7 +178,8 @@ ProfileBank::predictInletC(ServerId id, double outside_c,
 {
     tapas_assert(id.index < profiledServers,
                  "server %u not profiled", id.index);
-    return inletModels[id.index].predict({outside_c, dc_load_frac});
+    const double x[2] = {outside_c, dc_load_frac};
+    return inletModels[id.index].predict(x, 2);
 }
 
 double
@@ -190,18 +191,48 @@ ProfileBank::predictGpuTempC(ServerId id, int gpu, double inlet_c,
     const std::size_t idx =
         id.index * static_cast<std::size_t>(gpusPerServer) +
         static_cast<std::size_t>(gpu);
-    return gpuTempModels[idx].predict({inlet_c, gpu_power_w});
+    const double x[2] = {inlet_c, gpu_power_w};
+    return gpuTempModels[idx].predict(x, 2);
 }
 
 double
 ProfileBank::predictHottestGpuC(ServerId id, double inlet_c,
                                 double per_gpu_power_w) const
 {
+    // Hot path of the configurator's feasibility sweep: evaluate the
+    // per-GPU lines straight from their coefficients in one loop
+    // instead of paying a predict() call per GPU.
+    tapas_assert(id.index < profiledServers,
+                 "server %u not profiled", id.index);
+    const std::size_t base =
+        id.index * static_cast<std::size_t>(gpusPerServer);
     double hottest = -1e9;
     for (int g = 0; g < gpusPerServer; ++g) {
+        const std::vector<double> &w =
+            gpuTempModels[base + static_cast<std::size_t>(g)]
+                .coefficients();
+        hottest = std::max(
+            hottest, w[0] + w[1] * inlet_c + w[2] * per_gpu_power_w);
+    }
+    return hottest;
+}
+
+double
+ProfileBank::predictHottestGpuC(ServerId id, double inlet_c,
+                                const double *gpu_power_w) const
+{
+    tapas_assert(id.index < profiledServers,
+                 "server %u not profiled", id.index);
+    const std::size_t base =
+        id.index * static_cast<std::size_t>(gpusPerServer);
+    double hottest = -1e9;
+    for (int g = 0; g < gpusPerServer; ++g) {
+        const std::vector<double> &w =
+            gpuTempModels[base + static_cast<std::size_t>(g)]
+                .coefficients();
         hottest = std::max(
             hottest,
-            predictGpuTempC(id, g, inlet_c, per_gpu_power_w));
+            w[0] + w[1] * inlet_c + w[2] * gpu_power_w[g]);
     }
     return hottest;
 }
@@ -221,8 +252,8 @@ ProfileBank::predictServerAirflowCfm(ServerId id,
 {
     tapas_assert(id.index < profiledServers,
                  "server %u not profiled", id.index);
-    return airflowModels[id.index].predict(
-        {std::clamp(load_frac, 0.0, 1.0)});
+    const double x[1] = {std::clamp(load_frac, 0.0, 1.0)};
+    return airflowModels[id.index].predict(x, 1);
 }
 
 ThermalClass

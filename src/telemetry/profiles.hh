@@ -67,6 +67,13 @@ class ProfileBank
     double predictHottestGpuC(ServerId id, double inlet_c,
                               double per_gpu_power_w) const;
 
+    /**
+     * Max predicted GPU temp with measured per-GPU powers
+     * (gpusPerServer-wide slice); risk-refresh hot path.
+     */
+    double predictHottestGpuC(ServerId id, double inlet_c,
+                              const double *gpu_power_w) const;
+
     /** Predicted server power at a load fraction (fitted Eq. 4). */
     double predictServerPowerW(ServerId id, double load_frac) const;
 

@@ -132,12 +132,18 @@ LinearRegression::fit(const std::vector<std::vector<double>> &X,
 double
 LinearRegression::predict(const std::vector<double> &x) const
 {
+    return predict(x.data(), x.size());
+}
+
+double
+LinearRegression::predict(const double *x, std::size_t n) const
+{
     tapas_assert(fitted(), "predict before fit");
-    tapas_assert(x.size() + 1 == weights.size(),
+    tapas_assert(n + 1 == weights.size(),
                  "feature width %zu does not match fit width %zu",
-                 x.size(), weights.size() - 1);
+                 n, weights.size() - 1);
     double acc = weights[0];
-    for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t i = 0; i < n; ++i)
         acc += weights[i + 1] * x[i];
     return acc;
 }
@@ -170,7 +176,19 @@ PolynomialRegression::fit(const std::vector<double> &xs,
 double
 PolynomialRegression::predict(double x) const
 {
-    return ols.predict(basis(x));
+    // Inline power basis: identical terms to basis(x), no allocation.
+    const std::vector<double> &w = ols.coefficients();
+    tapas_assert(ols.fitted(), "predict before fit");
+    tapas_assert(w.size() == static_cast<std::size_t>(deg) + 1,
+                 "degree %d does not match fit width %zu", deg,
+                 w.size() - 1);
+    double acc = w[0];
+    double term = x;
+    for (int p = 1; p <= deg; ++p) {
+        acc += w[static_cast<std::size_t>(p)] * term;
+        term *= x;
+    }
+    return acc;
 }
 
 PiecewiseLinearModel::PiecewiseLinearModel(std::vector<double> knots_,
@@ -212,7 +230,30 @@ PiecewiseLinearModel::fit(const std::vector<std::vector<double>> &X,
 double
 PiecewiseLinearModel::predict(const std::vector<double> &x) const
 {
-    return ols.predict(basis(x));
+    return predict(x.data(), x.size());
+}
+
+double
+PiecewiseLinearModel::predict(const double *x, std::size_t n) const
+{
+    tapas_assert(n == static_cast<std::size_t>(extraFeatures) + 1,
+                 "expected %d features, got %zu", extraFeatures + 1,
+                 n);
+    // Inline hinge basis: identical terms to basis(x), no allocation.
+    const std::vector<double> &w = ols.coefficients();
+    tapas_assert(ols.fitted(), "predict before fit");
+    tapas_assert(w.size() ==
+                 2 + knots.size() +
+                     static_cast<std::size_t>(extraFeatures),
+                 "basis width does not match fit width");
+    double acc = w[0];
+    std::size_t j = 1;
+    acc += w[j++] * x[0];
+    for (double k : knots)
+        acc += w[j++] * std::max(0.0, x[0] - k);
+    for (int i = 0; i < extraFeatures; ++i)
+        acc += w[j++] * x[static_cast<std::size_t>(i) + 1];
+    return acc;
 }
 
 RegressionTree::RegressionTree(int max_depth, int min_samples)

@@ -44,6 +44,12 @@ class LinearRegression
 
     double predict(const std::vector<double> &x) const;
 
+    /**
+     * Allocation-free variant for hot paths (per-step risk and
+     * feasibility sweeps evaluate fitted models millions of times).
+     */
+    double predict(const double *x, std::size_t n) const;
+
     /** [intercept, w_0, ..., w_{d-1}]. */
     const std::vector<double> &coefficients() const { return weights; }
 
@@ -94,6 +100,9 @@ class PiecewiseLinearModel
     bool fitted() const { return ols.fitted(); }
 
     double predict(const std::vector<double> &x) const;
+
+    /** Allocation-free variant; evaluates the hinge basis inline. */
+    double predict(const double *x, std::size_t n) const;
 
   private:
     std::vector<double> knots;

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The PerfModel profile cache must be invisible: cached profiles are
+ * identical to fresh derivations, hit/miss counters account for every
+ * query, and copies carry independent caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/perf.hh"
+
+namespace tapas {
+namespace {
+
+void
+expectProfilesEqual(const ConfigProfile &a, const ConfigProfile &b)
+{
+    EXPECT_TRUE(a.config == b.config);
+    EXPECT_DOUBLE_EQ(a.goodputTps, b.goodputTps);
+    EXPECT_DOUBLE_EQ(a.capacityTps, b.capacityTps);
+    EXPECT_DOUBLE_EQ(a.quality, b.quality);
+    EXPECT_DOUBLE_EQ(a.unloadedTtftS, b.unloadedTtftS);
+    EXPECT_DOUBLE_EQ(a.unloadedTbtS, b.unloadedTbtS);
+    EXPECT_DOUBLE_EQ(a.decodeWeightS, b.decodeWeightS);
+    EXPECT_DOUBLE_EQ(a.decodeKvS, b.decodeKvS);
+    EXPECT_EQ(a.activeGpus, b.activeGpus);
+    EXPECT_DOUBLE_EQ(a.prefill.throughputTps,
+                     b.prefill.throughputTps);
+    EXPECT_DOUBLE_EQ(a.prefill.gpuPower.value(),
+                     b.prefill.gpuPower.value());
+    EXPECT_DOUBLE_EQ(a.decode.throughputTps,
+                     b.decode.throughputTps);
+    EXPECT_DOUBLE_EQ(a.decode.gpuPower.value(),
+                     b.decode.gpuPower.value());
+}
+
+TEST(PerfProfileCache, CachedProfilesMatchUncachedModel)
+{
+    const PerfModel cached = PerfModel::withReferenceSlo(
+        ServerSpec::a100(), PerfParams::forSku(GpuSku::A100));
+    const PerfModel reference = PerfModel::withReferenceSlo(
+        ServerSpec::a100(), PerfParams::forSku(GpuSku::A100));
+
+    for (const InstanceConfig &config :
+         ConfigSpace::enumerate(cached.spec())) {
+        // Query the cached model twice: the second hit must return
+        // exactly what a fresh model computes.
+        const ConfigProfile first = cached.profile(config);
+        const ConfigProfile second = cached.profile(config);
+        const ConfigProfile fresh = reference.profile(config);
+        expectProfilesEqual(first, second);
+        expectProfilesEqual(second, fresh);
+    }
+}
+
+TEST(PerfProfileCache, CountsHitsAndMisses)
+{
+    const PerfModel perf = PerfModel::withReferenceSlo(
+        ServerSpec::a100(), PerfParams::forSku(GpuSku::A100));
+    const std::uint64_t base_misses = perf.profileCacheMisses();
+    const std::uint64_t base_hits = perf.profileCacheHits();
+
+    const InstanceConfig config = referenceConfig();
+    perf.profile(config);
+    EXPECT_EQ(perf.profileCacheMisses(), base_misses + 1);
+    perf.profile(config);
+    perf.profile(config);
+    EXPECT_EQ(perf.profileCacheMisses(), base_misses + 1);
+    EXPECT_EQ(perf.profileCacheHits(), base_hits + 2);
+
+    // A different config misses again.
+    InstanceConfig other = config;
+    other.freqFrac = 0.8;
+    perf.profile(other);
+    EXPECT_EQ(perf.profileCacheMisses(), base_misses + 2);
+}
+
+TEST(PerfProfileCache, AllProfilesUsesCacheOnRepeat)
+{
+    const PerfModel perf = PerfModel::withReferenceSlo(
+        ServerSpec::a100(), PerfParams::forSku(GpuSku::A100));
+    const auto first = perf.allProfiles();
+    const std::uint64_t misses_after_first =
+        perf.profileCacheMisses();
+    const auto second = perf.allProfiles();
+    // No new derivations on the second enumeration.
+    EXPECT_EQ(perf.profileCacheMisses(), misses_after_first);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectProfilesEqual(first[i], second[i]);
+}
+
+} // namespace
+} // namespace tapas

@@ -11,12 +11,15 @@
 #include <memory>
 #include <tuple>
 
+#include "common/threadpool.hh"
 #include "core/allocator.hh"
 #include "core/router.hh"
 #include "dcsim/layout.hh"
 #include "dcsim/power.hh"
 #include "dcsim/thermal.hh"
 #include "llm/engine.hh"
+#include "sim/scenario.hh"
+#include "sim/sweep.hh"
 #include "telemetry/profiles.hh"
 
 namespace tapas {
@@ -252,6 +255,71 @@ TEST_P(ThermalMonotonicity, TempsIncreaseWithPowerAndOutside)
 INSTANTIATE_TEST_SUITE_P(Servers, ThermalMonotonicity,
                          ::testing::Values(0, 7, 15, 23, 31, 47,
                                            55, 63));
+
+// --- Parallel scenario sweeps match serial replications -------------
+
+SimConfig
+sweepScenario(std::uint64_t seed)
+{
+    SimConfig cfg = smallTestScenario(seed);
+    cfg.horizon = 4 * kHour; // keep the grid fast
+    return cfg;
+}
+
+TEST(ScenarioSweepDeterminism, ParallelMatchesSerialRuns)
+{
+    // 2 policy variants x 2 seeds, swept in parallel.
+    std::vector<SweepJob> variants;
+    variants.push_back({"baseline", sweepScenario(1).asBaseline()});
+    variants.push_back({"tapas", sweepScenario(1).asTapas()});
+    const auto jobs = ScenarioSweep::crossSeeds(variants, {3, 11});
+    ASSERT_EQ(jobs.size(), 4u);
+
+    ThreadPool pool(4);
+    ScenarioSweep sweep(pool);
+    const auto outcomes = sweep.run(jobs);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].name);
+        ClusterSim serial(jobs[i].config);
+        serial.run();
+        const SimMetrics &sm = serial.metrics();
+        const SimMetrics &pm = outcomes[i].metrics;
+
+        EXPECT_EQ(outcomes[i].seed, jobs[i].config.seed);
+        EXPECT_EQ(pm.totalSteps, sm.totalSteps);
+        EXPECT_EQ(pm.vmsPlaced, sm.vmsPlaced);
+        EXPECT_EQ(pm.requestsCompleted, sm.requestsCompleted);
+        EXPECT_DOUBLE_EQ(pm.totalTokens, sm.totalTokens);
+        EXPECT_DOUBLE_EQ(pm.datacenterPowerW.mean(),
+                         sm.datacenterPowerW.mean());
+        EXPECT_DOUBLE_EQ(pm.maxGpuTempC.maxValue(),
+                         sm.maxGpuTempC.maxValue());
+    }
+
+    // Distinct seeds really are distinct replications.
+    EXPECT_NE(outcomes[0].metrics.datacenterPowerW.mean(),
+              outcomes[1].metrics.datacenterPowerW.mean());
+}
+
+TEST(ScenarioSweepDeterminism, ThreadCountDoesNotChangeResults)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"tapas", sweepScenario(5).asTapas()});
+
+    ThreadPool one(1);
+    ThreadPool many(3);
+    const auto a = ScenarioSweep(one).run(jobs);
+    const auto b = ScenarioSweep(many).run(jobs);
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(a[0].metrics.totalSteps, b[0].metrics.totalSteps);
+    EXPECT_DOUBLE_EQ(a[0].metrics.datacenterPowerW.mean(),
+                     b[0].metrics.datacenterPowerW.mean());
+    EXPECT_DOUBLE_EQ(a[0].metrics.maxGpuTempC.maxValue(),
+                     b[0].metrics.maxGpuTempC.maxValue());
+}
 
 } // namespace
 } // namespace tapas

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The persistent per-endpoint routing index must match a fresh scan
+ * of the VM table through an arbitrary churn sequence of placements,
+ * departures, and migrations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hh"
+#include "sim/scenario.hh"
+
+namespace tapas {
+namespace {
+
+TEST(RoutingIndex, MatchesFreshScanThroughChurn)
+{
+    SimConfig cfg = smallTestScenario(21);
+    cfg.horizon = 8 * kHour;
+    // Enable migrations so index entries also move between servers.
+    cfg.policy.migrationEnabled = true;
+    cfg.policy.migrationPeriod = kHour;
+
+    ClusterSim sim(cfg.asTapas());
+    EXPECT_TRUE(sim.verifyRoutingIndex()) << "before any step";
+
+    int checks = 0;
+    while (!sim.finished()) {
+        sim.runSteps(4);
+        ASSERT_TRUE(sim.verifyRoutingIndex())
+            << "at t=" << sim.now();
+        ++checks;
+    }
+    EXPECT_GT(checks, 10);
+    // The scenario must actually have exercised churn.
+    EXPECT_GT(sim.metrics().vmsPlaced, 0u);
+    EXPECT_GT(sim.metrics().migrations, 0u);
+}
+
+TEST(RoutingIndex, SurvivesBaselinePoliciesToo)
+{
+    SimConfig cfg = smallTestScenario(5);
+    cfg.horizon = 4 * kHour;
+
+    ClusterSim sim(cfg.asBaseline());
+    while (!sim.finished()) {
+        sim.runSteps(6);
+        ASSERT_TRUE(sim.verifyRoutingIndex())
+            << "at t=" << sim.now();
+    }
+}
+
+} // namespace
+} // namespace tapas
