@@ -1,15 +1,21 @@
 /**
  * @file
  * Step-loop micro-benchmark: steps/second of the ClusterSim hot path
- * for small/medium/large layouts, emitted as `BENCH_step_loop.json`.
+ * for small/medium/large layouts, plus sim construction time (the
+ * offline profile refits dominate startup at fleet scale), emitted
+ * as `BENCH_step_loop.json`.
  *
  * This is the perf trajectory anchor for the simulator: run it before
  * and after a hot-path change and compare `steps_per_s`. `--smoke`
- * runs a shortened version suitable for CI gates.
+ * runs a shortened version; `--check <committed.json>` exits
+ * non-zero when any layout's steps/s regresses more than 20%
+ * against the committed baseline (the scripts/check.sh CI gate).
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/table.hh"
@@ -20,6 +26,9 @@
 using namespace tapas;
 
 namespace {
+
+/** Regression tolerance of the --check gate. */
+constexpr double kCheckTolerance = 0.20;
 
 struct LayoutCase
 {
@@ -48,15 +57,98 @@ benchScenario(const LayoutCase &lc)
     return cfg.asTapas();
 }
 
+/**
+ * Extract the value of @p key inside the case object named
+ * @p case_name from a BENCH_*.json file (the flat format written by
+ * writeBenchJson; no general JSON parsing needed).
+ */
+bool
+lookupBenchValue(const std::string &json, const std::string &case_name,
+                 const std::string &key, double &out)
+{
+    const std::string name_tag = "\"name\": \"" + case_name + "\"";
+    const std::size_t case_at = json.find(name_tag);
+    if (case_at == std::string::npos)
+        return false;
+    const std::size_t case_end = json.find('}', case_at);
+    const std::string key_tag = "\"" + key + "\": ";
+    const std::size_t key_at = json.find(key_tag, case_at);
+    if (key_at == std::string::npos || key_at > case_end)
+        return false;
+    out = std::strtod(json.c_str() + key_at + key_tag.size(),
+                      nullptr);
+    return true;
+}
+
+/**
+ * Compare measured steps/s against the committed baseline file;
+ * returns the number of regressions beyond the tolerance.
+ */
+int
+checkAgainstBaseline(const std::string &path,
+                     const std::vector<BenchCase> &results)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "check: cannot read baseline " << path << "\n";
+        return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+
+    int regressions = 0;
+    int compared = 0;
+    std::cout << "\nGate versus " << path << " (tolerance "
+              << static_cast<int>(kCheckTolerance * 100) << "%):\n";
+    for (const BenchCase &result : results) {
+        double measured = 0.0;
+        for (const auto &[key, value] : result.metrics) {
+            if (key == "steps_per_s")
+                measured = value;
+        }
+        double committed = 0.0;
+        if (!lookupBenchValue(json, result.name, "steps_per_s",
+                              committed)) {
+            std::cout << "  " << result.name
+                      << ": no committed baseline, skipped\n";
+            continue;
+        }
+        const bool ok =
+            measured >= committed * (1.0 - kCheckTolerance);
+        std::cout << "  " << result.name << ": "
+                  << ConsoleTable::num(measured, 1) << " vs "
+                  << ConsoleTable::num(committed, 1) << " steps/s "
+                  << (ok ? "OK" : "REGRESSION") << "\n";
+        ++compared;
+        if (!ok)
+            ++regressions;
+    }
+    if (compared == 0) {
+        // A baseline that matches nothing must not pass vacuously
+        // (renamed cases, regenerated file) — that would silently
+        // disable the gate.
+        std::cerr << "check: no case in " << path
+                  << " matched the measured layouts\n";
+        return 1;
+    }
+    return regressions;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    std::string check_path;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
+        if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[i], "--check") == 0 &&
+                   i + 1 < argc) {
+            check_path = argv[++i];
+        }
     }
 
     printBanner(std::cout, "Step-loop throughput (steps/second)");
@@ -69,13 +161,19 @@ main(int argc, char **argv)
         {"large", 12, 2, 10, 4, 150},
     };
 
-    ConsoleTable table(
-        {"layout", "servers", "steps", "wall (s)", "steps/s"});
+    ConsoleTable table({"layout", "servers", "construct (ms)",
+                        "steps", "wall (s)", "steps/s"});
     std::vector<BenchCase> results;
 
     for (const LayoutCase &lc : cases) {
         const SimConfig cfg = benchScenario(lc);
+
+        // Construction cost (dominated by the offline profile
+        // refits) is part of the trajectory: thousand-server what-if
+        // sweeps rebuild the simulator per scenario.
+        WallTimer construct_timer;
         ClusterSim sim(cfg);
+        const double construct_s = construct_timer.elapsedS();
 
         // Warm up past the initial placement wave so the timed window
         // measures the steady-state step loop.
@@ -91,6 +189,7 @@ main(int argc, char **argv)
             static_cast<double>(sim.datacenter().serverCount());
 
         table.addRow({lc.name, ConsoleTable::num(servers, 0),
+                      ConsoleTable::num(construct_s * 1e3, 1),
                       ConsoleTable::num(timed, 0),
                       ConsoleTable::num(wall, 3),
                       ConsoleTable::num(rate, 1)});
@@ -98,6 +197,7 @@ main(int argc, char **argv)
         BenchCase result;
         result.name = lc.name;
         result.set("servers", servers);
+        result.set("construct_s", construct_s);
         result.set("steps", timed);
         result.set("wall_s", wall);
         result.set("steps_per_s", rate);
@@ -109,6 +209,19 @@ main(int argc, char **argv)
     if (writeBenchJson(path, "step_loop", smoke ? "smoke" : "full",
                        results)) {
         std::cout << "\nResults written to " << path << "\n";
+    }
+
+    if (!check_path.empty()) {
+        const int regressions =
+            checkAgainstBaseline(check_path, results);
+        if (regressions > 0) {
+            std::cerr << "check: " << regressions
+                      << " layout(s) regressed more than "
+                      << static_cast<int>(kCheckTolerance * 100)
+                      << "%\n";
+            return 1;
+        }
+        std::cout << "Gate passed.\n";
     }
     return 0;
 }

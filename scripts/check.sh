@@ -14,8 +14,10 @@ cmake --build build -j
 echo "== tier-1 tests =="
 (cd build && ctest --output-on-failure -j --no-tests=error)
 
-echo "== step-loop bench (smoke) =="
-# Emit the JSON into build/ so the repo root stays clean.
-(cd build && ./bench_step_loop --smoke)
+echo "== step-loop bench + perf gate =="
+# Full mode (the loop is fast enough); emit the JSON into build/ so
+# the repo root stays clean, and gate >20% steps/s regressions
+# against the committed baseline.
+(cd build && ./bench_step_loop --check ../BENCH_step_loop.json)
 
 echo "OK: all checks passed"

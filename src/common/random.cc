@@ -101,6 +101,100 @@ Rng::gaussian(double mean, double stddev)
     return mean + stddev * gaussian();
 }
 
+namespace {
+
+/**
+ * Ziggurat tables (Doornik ZIGNOR, 128 layers): layer edges x_i and
+ * the edge ratios used for the fast accept test.
+ */
+struct ZigguratTables
+{
+    static constexpr int kLayers = 128;
+    /** Tail start. */
+    static constexpr double kR = 3.442619855899;
+    /** Area of each layer (and the tail box). */
+    static constexpr double kV = 9.91256303526217e-3;
+
+    double x[kLayers + 1];
+    double ratio[kLayers];
+
+    ZigguratTables()
+    {
+        const double f = std::exp(-0.5 * kR * kR);
+        x[0] = kV / f; // pseudo-edge covering the tail box
+        x[1] = kR;
+        x[kLayers] = 0.0;
+        for (int i = 2; i < kLayers; ++i) {
+            x[i] = std::sqrt(-2.0 *
+                             std::log(kV / x[i - 1] +
+                                      std::exp(-0.5 * x[i - 1] *
+                                               x[i - 1])));
+        }
+        for (int i = 0; i < kLayers; ++i)
+            ratio[i] = x[i + 1] / x[i];
+    }
+};
+
+const ZigguratTables &
+zigTables()
+{
+    static const ZigguratTables tables;
+    return tables;
+}
+
+} // namespace
+
+double
+Rng::gaussianFast()
+{
+    const ZigguratTables &zig = zigTables();
+    for (;;) {
+        // One raw draw: 7 low bits pick the layer, the top 53 bits
+        // form the uniform (the bit ranges are disjoint).
+        const std::uint64_t bits = next();
+        const int layer =
+            static_cast<int>(bits & (ZigguratTables::kLayers - 1));
+        const double u =
+            2.0 * (static_cast<double>(bits >> 11) * 0x1.0p-53) -
+            1.0;
+        if (std::abs(u) < zig.ratio[layer])
+            return u * zig.x[layer];
+        if (layer == 0) {
+            // Tail: Marsaglia's exact method beyond R.
+            double tx = 0.0;
+            double ty = 0.0;
+            do {
+                double u1 = 0.0;
+                do {
+                    u1 = uniform();
+                } while (u1 <= 1e-300);
+                tx = std::log(u1) / ZigguratTables::kR;
+                double u2 = 0.0;
+                do {
+                    u2 = uniform();
+                } while (u2 <= 1e-300);
+                ty = std::log(u2);
+            } while (-2.0 * ty < tx * tx);
+            return u < 0.0 ? tx - ZigguratTables::kR
+                           : ZigguratTables::kR - tx;
+        }
+        const double cand = u * zig.x[layer];
+        const double f0 = std::exp(
+            -0.5 * (zig.x[layer] * zig.x[layer] - cand * cand));
+        const double f1 = std::exp(
+            -0.5 *
+            (zig.x[layer + 1] * zig.x[layer + 1] - cand * cand));
+        if (f1 + uniform() * (f0 - f1) < 1.0)
+            return cand;
+    }
+}
+
+double
+Rng::gaussianFast(double mean, double stddev)
+{
+    return mean + stddev * gaussianFast();
+}
+
 double
 Rng::exponential(double rate)
 {

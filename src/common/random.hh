@@ -50,6 +50,20 @@ class Rng
     /** Normal with given mean and standard deviation. */
     double gaussian(double mean, double stddev);
 
+    /**
+     * Standard normal via the ziggurat method (Doornik's ZIGNOR
+     * layout): the same distribution as gaussian() drawn from a
+     * different, ~4x cheaper consumption of the uniform stream —
+     * one raw draw and a table compare on ~98% of calls instead of
+     * log/sqrt/sincos per pair. For bulk noise generation (the
+     * offline profiling benches draw hundreds of samples per
+     * server).
+     */
+    double gaussianFast();
+
+    /** Ziggurat normal with given mean and standard deviation. */
+    double gaussianFast(double mean, double stddev);
+
     /** Exponential with given rate (mean 1/rate). */
     double exponential(double rate);
 

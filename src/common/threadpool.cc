@@ -7,6 +7,23 @@
 
 namespace tapas {
 
+namespace {
+thread_local bool on_worker_thread = false;
+} // namespace
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return on_worker_thread;
+}
+
 ThreadPool::ThreadPool(unsigned threads)
 {
     unsigned n = threads;
@@ -34,6 +51,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop()
 {
+    on_worker_thread = true;
     for (;;) {
         std::function<void()> task;
         {

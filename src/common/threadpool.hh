@@ -35,6 +35,20 @@ class ThreadPool
     unsigned size() const
     { return static_cast<unsigned>(workers.size()); }
 
+    /**
+     * Process-wide shared pool (hardware concurrency), created on
+     * first use. For coarse construction-time parallelism (batched
+     * profile refits) where plumbing a pool through every
+     * constructor is not worth it. Callers must check
+     * onWorkerThread() first and fall back to serial execution when
+     * already inside a pool (sweep jobs construct simulators on
+     * worker threads; nested blocking would deadlock).
+     */
+    static ThreadPool &shared();
+
+    /** True when the calling thread is any ThreadPool's worker. */
+    static bool onWorkerThread();
+
     /** Enqueue a task; the future carries its result/exception. */
     template <typename F>
     auto

@@ -106,6 +106,18 @@ InstanceConfigurator::choose(ServerId server,
     double best_power = 1e300;
 
     for (const ConfigProfile &cand : space) {
+        // Pruning on the quality-desc, goodput-desc sort order: once
+        // the incumbent meets demand, a candidate of lower quality
+        // can never be taken (it only wins by meeting demand the
+        // higher quality could not), and within the incumbent's
+        // quality tier every remaining candidate has goodput no
+        // higher than this one, so none can start meeting demand
+        // either. Identical selection, a fraction of the operating-
+        // point evaluations.
+        if (best_meets && (cand.quality < best->quality ||
+                           cand.goodputTps < target_tps)) {
+            break;
+        }
         if (cand.quality < quality_floor)
             continue;
         if (cand.goodputTps <= 0.0)

@@ -52,15 +52,22 @@ TapasController::configurePass(
     if (!configurator || instances.empty())
         return;
 
-    // --- Per-row unreconfigurable draw and SaaS instance counts. ---
-    std::vector<double> row_fixed_w(layout.rowCount(), 0.0);
-    std::vector<int> row_saas(layout.rowCount(), 0);
-    std::vector<double> aisle_fixed_cfm(layout.aisleCount(), 0.0);
-    std::vector<int> aisle_saas(layout.aisleCount(), 0);
+    // --- Per-row unreconfigurable draw and SaaS instance counts.
+    // Member scratch: capacity persists across passes, so the
+    // near-every-step pass allocates nothing. ---
+    rowFixedScratch.assign(layout.rowCount(), 0.0);
+    rowSaasScratch.assign(layout.rowCount(), 0);
+    aisleFixedScratch.assign(layout.aisleCount(), 0.0);
+    aisleSaasScratch.assign(layout.aisleCount(), 0);
+    std::vector<double> &row_fixed_w = rowFixedScratch;
+    std::vector<int> &row_saas = rowSaasScratch;
+    std::vector<double> &aisle_fixed_cfm = aisleFixedScratch;
+    std::vector<int> &aisle_saas = aisleSaasScratch;
 
-    std::vector<bool> saas_server(layout.serverCount(), false);
+    saasServerScratch.assign(layout.serverCount(), 0);
+    std::vector<char> &saas_server = saasServerScratch;
     for (const SaasInstanceRef &inst : instances)
-        saas_server[inst.server.index] = true;
+        saas_server[inst.server.index] = 1;
 
     for (const Server &server : layout.servers()) {
         if (saas_server[server.id.index]) {

@@ -96,6 +96,14 @@ class TapasController
     /** Last reload-requiring reconfig per VM (dwell gating). */
     std::unordered_map<std::uint32_t, SimTime> lastReloadAt;
 
+    /** Reusable configurePass scratch (per-row/aisle accumulators;
+     *  the pass runs nearly every step). */
+    std::vector<double> rowFixedScratch;
+    std::vector<int> rowSaasScratch;
+    std::vector<double> aisleFixedScratch;
+    std::vector<int> aisleSaasScratch;
+    std::vector<char> saasServerScratch;
+
     std::unique_ptr<VmAllocator> alloc;
     std::unique_ptr<RequestRouter> route;
     std::unique_ptr<RiskAssessor> risk;

@@ -47,6 +47,20 @@ normalizedWeather(const SimConfig &cfg)
     return out;
 }
 
+/**
+ * Telemetry ring capacity: every series keeps at most the configured
+ * retention window (default: the full horizon, so behavior matches
+ * an unbounded store), in sensor-cadence samples.
+ */
+std::size_t
+telemetryCapacity(const SimConfig &cfg)
+{
+    const SimTime retention = cfg.telemetryRetention > 0
+        ? cfg.telemetryRetention
+        : cfg.horizon;
+    return static_cast<std::size_t>(retention / kTelemetryPeriod) + 2;
+}
+
 } // namespace
 
 ClusterSim::ClusterSim(const SimConfig &config)
@@ -60,6 +74,7 @@ ClusterSim::ClusterSim(const SimConfig &config)
       perf(PerfModel::withReferenceSlo(
           layout.specs().front(),
           PerfParams::forSku(layout.specs().front().sku))),
+      store(telemetryCapacity(config)),
       noiseRng(mixSeed(cfg.seed, 0x444))
 {
     tapas_assert(cfg.stepLength > 0 && cfg.horizon > 0,
@@ -115,7 +130,7 @@ ClusterSim::ClusterSim(const SimConfig &config)
         std::move(endpoints), LengthDistribution{},
         mixSeed(cfg.seed, 0x666), demand_noise);
 
-    vmTable.resize(vmGen.records().size());
+    vmTable.reset(vmGen.records().size());
     serverVm.assign(layout.serverCount(), npos);
     serverLoads.assign(layout.serverCount(), 0.0);
     serverDrawW.assign(layout.serverCount(), 0.0);
@@ -136,14 +151,20 @@ ClusterSim::ClusterSim(const SimConfig &config)
     serverDrawWatts.assign(layout.serverCount(), Watts(0.0));
     drawsScratch.assign(static_cast<std::size_t>(gpusPerServer),
                         Watts(0.0));
+    customerPowerScratch.assign(
+        static_cast<std::size_t>(vmGen.config().iaasCustomerCount),
+        0.0);
+    customerCountScratch.assign(customerPowerScratch.size(), 0);
+    endpointPowerScratch.assign(sizes.size(), 0.0);
+    endpointCountScratch.assign(sizes.size(), 0);
 }
 
 std::size_t
 ClusterSim::activeVmCount() const
 {
     std::size_t count = 0;
-    for (const SimVm &vm : vmTable) {
-        if (vm.active())
+    for (std::size_t i = 0; i < vmTable.size(); ++i) {
+        if (vmTable.active(i))
             ++count;
     }
     return count;
@@ -177,6 +198,10 @@ ClusterSim::makeView()
 {
     // Full rebuild into the member scratch: vector capacity is
     // retained across steps, so the steady state allocates nothing.
+    // Everything needed lives in the hot VM arrays; the cached
+    // predicted peaks are exact because the underlying telemetry
+    // digests only move on telemetry ticks (see
+    // refreshPredictedPeaks).
     ClusterView &view = viewScratch;
     view.layout = &layout;
     view.cooling = &cooling;
@@ -190,20 +215,29 @@ ClusterSim::makeView()
     for (std::size_t s = 0; s < serverVm.size(); ++s)
         view.occupied[s] = serverVm[s] != npos;
     view.vms.clear();
-    for (const SimVm &vm : vmTable) {
-        if (!vm.active())
-            continue;
-        PlacedVmView pv;
-        pv.id = vm.record.id;
-        pv.kind = vm.record.kind;
-        pv.server = vm.server;
-        pv.endpoint = vm.record.endpoint;
-        pv.customer = vm.record.customer;
-        pv.predictedPeakLoad = vmPredictedPeakLoad(vm.record);
-        pv.currentLoad = vm.load;
-        view.vms.push_back(pv);
+    const std::size_t n = vmTable.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (vmTable.active(i))
+            view.vms.push_back(placedVmView(i));
     }
     return view;
+}
+
+PlacedVmView
+ClusterSim::placedVmView(std::size_t vm_index) const
+{
+    // Single construction site for view entries: makeView and the
+    // incremental placement-phase update must agree field for field.
+    PlacedVmView pv;
+    pv.id = VmId(static_cast<std::uint32_t>(vm_index));
+    pv.kind =
+        vmTable.isSaas(vm_index) ? VmKind::SaaS : VmKind::IaaS;
+    pv.server = vmTable.server(vm_index);
+    pv.endpoint = EndpointId(vmTable.endpointOf[vm_index]);
+    pv.customer = CustomerId(vmTable.customerOf[vm_index]);
+    pv.predictedPeakLoad = vmTable.predictedPeak[vm_index];
+    pv.currentLoad = vmTable.load[vm_index];
+    return pv;
 }
 
 void
@@ -245,31 +279,32 @@ ClusterSim::processFailureSchedule()
 void
 ClusterSim::processDepartures()
 {
-    for (SimVm &vm : vmTable) {
-        if (vm.active() && vm.record.departure <= currentTime) {
-            if (vm.record.kind == VmKind::SaaS)
-                routeIndexRemove(vm);
-            serverVm[vm.server.index] = npos;
-            vm.server = ServerId();
-            vm.engine.reset();
-            vm.load = 0.0;
-            vm.demandTps = 0.0;
+    // Hot scan: one byte (slot) and one SimTime per VM; the cold
+    // record is only touched for the rare VM actually departing.
+    const std::size_t n = vmTable.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!vmTable.active(i) ||
+            vmTable.departureAt[i] > currentTime) {
+            continue;
         }
+        if (vmTable.isSaas(i))
+            routeIndexRemove(i);
+        serverVm[vmTable.serverOf[i]] = npos;
+        vmTable.depart(i);
     }
 }
 
 void
-ClusterSim::routeIndexAdd(const SimVm &vm)
+ClusterSim::routeIndexAdd(std::size_t vm_index)
 {
-    tapas_assert(vm.record.endpoint.index < routeIndex.size(),
-                 "endpoint %u beyond routing index",
-                 vm.record.endpoint.index);
-    std::vector<RouteCandidate> &list =
-        routeIndex[vm.record.endpoint.index];
+    const std::uint32_t endpoint = vmTable.endpointOf[vm_index];
+    tapas_assert(endpoint < routeIndex.size(),
+                 "endpoint %u beyond routing index", endpoint);
+    std::vector<RouteCandidate> &list = routeIndex[endpoint];
     RouteCandidate cand;
-    cand.vm = vm.record.id;
-    cand.server = vm.server;
-    cand.engine = vm.engine.get();
+    cand.vm = VmId(static_cast<std::uint32_t>(vm_index));
+    cand.server = vmTable.server(vm_index);
+    cand.engine = vmTable.engine[vm_index];
     // Keep the list sorted by VM id so candidates appear in the same
     // order a fresh VM-table scan would produce them.
     auto it = list.begin();
@@ -279,36 +314,35 @@ ClusterSim::routeIndexAdd(const SimVm &vm)
 }
 
 void
-ClusterSim::routeIndexRemove(const SimVm &vm)
+ClusterSim::routeIndexRemove(std::size_t vm_index)
 {
-    tapas_assert(vm.record.endpoint.index < routeIndex.size(),
-                 "endpoint %u beyond routing index",
-                 vm.record.endpoint.index);
-    std::vector<RouteCandidate> &list =
-        routeIndex[vm.record.endpoint.index];
+    const std::uint32_t endpoint = vmTable.endpointOf[vm_index];
+    tapas_assert(endpoint < routeIndex.size(),
+                 "endpoint %u beyond routing index", endpoint);
+    std::vector<RouteCandidate> &list = routeIndex[endpoint];
     for (auto it = list.begin(); it != list.end(); ++it) {
-        if (it->vm.index == vm.record.id.index) {
+        if (it->vm.index == vm_index) {
             list.erase(it);
             return;
         }
     }
-    panic("VM %u missing from its endpoint's routing index",
-          vm.record.id.index);
+    panic("VM %zu missing from its endpoint's routing index",
+          vm_index);
 }
 
 void
-ClusterSim::routeIndexUpdateServer(const SimVm &vm)
+ClusterSim::routeIndexUpdateServer(std::size_t vm_index)
 {
     std::vector<RouteCandidate> &list =
-        routeIndex[vm.record.endpoint.index];
+        routeIndex[vmTable.endpointOf[vm_index]];
     for (RouteCandidate &cand : list) {
-        if (cand.vm.index == vm.record.id.index) {
-            cand.server = vm.server;
+        if (cand.vm.index == vm_index) {
+            cand.server = vmTable.server(vm_index);
             return;
         }
     }
-    panic("VM %u missing from its endpoint's routing index",
-          vm.record.id.index);
+    panic("VM %zu missing from its endpoint's routing index",
+          vm_index);
 }
 
 bool
@@ -317,17 +351,17 @@ ClusterSim::verifyEndpointList(std::size_t endpoint_index) const
     std::size_t count = 0;
     const std::vector<RouteCandidate> &list =
         routeIndex[endpoint_index];
-    for (const SimVm &vm : vmTable) {
-        if (!vm.active() || vm.record.kind != VmKind::SaaS ||
-            vm.record.endpoint.index != endpoint_index) {
+    for (std::size_t i = 0; i < vmTable.size(); ++i) {
+        if (!vmTable.isSaas(i) ||
+            vmTable.endpointOf[i] != endpoint_index) {
             continue;
         }
         if (count >= list.size())
             return false;
         const RouteCandidate &cand = list[count];
-        if (cand.vm.index != vm.record.id.index ||
-            cand.server.index != vm.server.index ||
-            cand.engine != vm.engine.get()) {
+        if (cand.vm.index != i ||
+            cand.server.index != vmTable.serverOf[i] ||
+            cand.engine != vmTable.engine[i]) {
             return false;
         }
         ++count;
@@ -346,15 +380,46 @@ ClusterSim::verifyRoutingIndex() const
 }
 
 bool
+ClusterSim::verifyVmTable() const
+{
+    if (!vmTable.consistent())
+        return false;
+    // serverVm and the hot server column must be mutual inverses.
+    std::size_t placed = 0;
+    for (std::size_t i = 0; i < vmTable.size(); ++i) {
+        if (!vmTable.active(i))
+            continue;
+        ++placed;
+        const std::uint32_t s = vmTable.serverOf[i];
+        if (s >= serverVm.size() || serverVm[s] != i)
+            return false;
+        // The cached peak must always equal a fresh store lookup.
+        if (vmTable.predictedPeak[i] !=
+            vmPredictedPeakLoad(vmTable.record(i))) {
+            return false;
+        }
+    }
+    std::size_t mapped = 0;
+    for (std::size_t s = 0; s < serverVm.size(); ++s) {
+        if (serverVm[s] == npos)
+            continue;
+        ++mapped;
+        if (vmTable.serverOf[serverVm[s]] != s)
+            return false;
+    }
+    return placed == mapped;
+}
+
+bool
 ClusterSim::tryPlace(std::uint32_t vm_index)
 {
-    SimVm &vm = vmTable[vm_index];
+    const VmRecord &rec = vmTable.record(vm_index);
     PlacementRequest request;
-    request.id = vm.record.id;
-    request.kind = vm.record.kind;
-    request.endpoint = vm.record.endpoint;
-    request.customer = vm.record.customer;
-    request.predictedPeakLoad = vmPredictedPeakLoad(vm.record);
+    request.id = rec.id;
+    request.kind = rec.kind;
+    request.endpoint = rec.endpoint;
+    request.customer = rec.customer;
+    request.predictedPeakLoad = vmPredictedPeakLoad(rec);
 
     // One view rebuild per placement phase; successful placements
     // below keep it current incrementally.
@@ -368,23 +433,20 @@ ClusterSim::tryPlace(std::uint32_t vm_index)
         return false;
     tapas_assert(serverVm[pick->index] == npos,
                  "allocator picked an occupied server");
-    vm.server = *pick;
-    serverVm[pick->index] = vm_index;
-    if (vm.record.kind == VmKind::SaaS) {
-        vm.engine = std::make_unique<InferenceEngine>(refProfile,
-                                                      perf.slo());
-        routeIndexAdd(vm);
+    std::unique_ptr<InferenceEngine> engine;
+    if (rec.kind == VmKind::SaaS) {
+        engine = std::make_unique<InferenceEngine>(refProfile,
+                                                   perf.slo());
     }
+    vmTable.place(vm_index, *pick, std::move(engine),
+                  request.predictedPeakLoad);
+    serverVm[pick->index] = vm_index;
+    if (rec.kind == VmKind::SaaS)
+        routeIndexAdd(vm_index);
     viewScratch.occupied[pick->index] = true;
-    PlacedVmView pv;
-    pv.id = vm.record.id;
-    pv.kind = vm.record.kind;
-    pv.server = vm.server;
-    pv.endpoint = vm.record.endpoint;
-    pv.customer = vm.record.customer;
-    pv.predictedPeakLoad = request.predictedPeakLoad;
-    pv.currentLoad = vm.load;
-    viewScratch.vms.push_back(pv);
+    // place() stored the request's predicted peak, so the shared
+    // constructor reproduces exactly what a view rebuild would add.
+    viewScratch.vms.push_back(placedVmView(vm_index));
     ++simMetrics.vmsPlaced;
     return true;
 }
@@ -399,10 +461,7 @@ ClusterSim::processArrivals()
         ++arrivalCursor;
         if (record.departure <= currentTime)
             continue; // arrived and left between steps
-        tapas_assert(record.id.index < vmTable.size(),
-                     "trace id %u beyond pre-sized table",
-                     record.id.index);
-        vmTable[record.id.index].record = record;
+        vmTable.admitRecord(record);
         if (!tryPlace(record.id.index)) {
             ++simMetrics.vmsRejected;
             waitingVms.push_back(record.id.index);
@@ -413,15 +472,14 @@ ClusterSim::processArrivals()
 void
 ClusterSim::tryPlaceWaiting()
 {
-    std::vector<std::uint32_t> still_waiting;
+    waitingScratch.clear();
     for (std::uint32_t vm_index : waitingVms) {
-        SimVm &vm = vmTable[vm_index];
-        if (vm.record.departure <= currentTime)
+        if (vmTable.record(vm_index).departure <= currentTime)
             continue; // gave up waiting
         if (!tryPlace(vm_index))
-            still_waiting.push_back(vm_index);
+            waitingScratch.push_back(vm_index);
     }
-    waitingVms.swap(still_waiting);
+    waitingVms.swap(waitingScratch);
 }
 
 const std::vector<RouteCandidate> &
@@ -439,12 +497,16 @@ ClusterSim::endpointCandidates(EndpointId id)
 }
 
 double
-ClusterSim::effectiveGoodput(const SimVm &vm) const
+ClusterSim::effectiveGoodput(std::size_t vm_index) const
 {
-    if (!vm.engine || !vm.engine->accepting())
+    const InferenceEngine *engine = vmTable.engine[vm_index];
+    if (!engine || !engine->accepting())
         return 0.0;
-    return vm.engine->profile().goodputTps *
-        std::pow(vm.freqCap, kPerfFreqExponent);
+    const double goodput = engine->profile().goodputTps;
+    const double cap = vmTable.freqCap[vm_index];
+    // pow(1, e) == 1 exactly; skip the call on the common path.
+    return cap == 1.0 ? goodput
+                      : goodput * std::pow(cap, kPerfFreqExponent);
 }
 
 void
@@ -460,7 +522,7 @@ ClusterSim::assignSaasLoadRequestMode(SimTime from, SimTime to)
     std::vector<double> &demand_floor = demandFloorScratch;
     for (const EndpointDemand &ep : requestGen->endpoints()) {
         const auto &candidates = endpointCandidates(ep.id);
-        const auto requests = requestGen->generate(ep.id, from, to);
+        requestGen->generate(ep.id, from, to, requestsScratch);
         if (candidates.empty())
             continue;
         // Configuration floor: even a VM that received little load
@@ -471,35 +533,37 @@ ClusterSim::assignSaasLoadRequestMode(SimTime from, SimTime to)
             static_cast<double>(candidates.size());
         for (const RouteCandidate &cand : candidates)
             demand_floor[cand.vm.index] = fair_share;
-        for (const Request &request : requests) {
+        for (const Request &request : requestsScratch) {
             const VmId target = tapas->router().route(
                 request, candidates, tapas->riskAssessor());
             if (!target.valid())
                 continue;
-            vmTable[target.index].engine->enqueue(request);
+            vmTable.engine[target.index]->enqueue(request);
             routed_tokens[target.index] +=
                 request.promptTokens + request.outputTokens;
         }
     }
 
     // Advance every engine; harvest latency/quality metrics.
-    for (SimVm &vm : vmTable) {
-        if (!vm.active() || vm.record.kind != VmKind::SaaS)
+    const std::size_t n = vmTable.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!vmTable.isSaas(i))
             continue;
-        vm.engine->step(static_cast<double>(from),
-                        static_cast<double>(to));
-        const int active_gpus =
-            vm.engine->profile().activeGpus;
-        vm.load = vm.engine->lastUtilization() *
+        InferenceEngine *engine = vmTable.engine[i];
+        engine->step(static_cast<double>(from),
+                     static_cast<double>(to));
+        const int active_gpus = engine->profile().activeGpus;
+        vmTable.load[i] = engine->lastUtilization() *
             static_cast<double>(active_gpus) /
             static_cast<double>(gpus);
-        vm.demandTps = routed_tokens[vm.record.id.index] / dt;
-        vm.demandEmaTps = std::max(
-            0.6 * vm.demandEmaTps + 0.4 * vm.demandTps,
-            demand_floor[vm.record.id.index]);
+        vmTable.demandTps[i] = routed_tokens[i] / dt;
+        vmTable.demandEmaTps[i] = std::max(
+            0.6 * vmTable.demandEmaTps[i] +
+                0.4 * vmTable.demandTps[i],
+            demand_floor[i]);
 
         for (const CompletedRequest &done :
-             vm.engine->lastCompletions()) {
+             engine->lastCompletions()) {
             ++simMetrics.requestsCompleted;
             simMetrics.ttftS.add(done.ttftS);
             simMetrics.tbtS.add(done.tbtS);
@@ -523,11 +587,12 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
     const SimTime mid = from + (to - from) / 2;
     const int gpus = gpusPerServer;
     const RiskAssessor *risk = tapas->riskAssessor();
+    const std::size_t n = vmTable.size();
 
     // Clear stale assignments (reconfiguring VMs receive nothing).
-    for (SimVm &vm : vmTable) {
-        if (vm.active() && vm.record.kind == VmKind::SaaS)
-            vm.demandTps = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (vmTable.isSaas(i))
+            vmTable.demandTps[i] = 0.0;
     }
 
     for (const EndpointDemand &ep : requestGen->endpoints()) {
@@ -566,8 +631,7 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
         weightsScratch.assign(safe.size(), 0.0);
         std::vector<double> &weights = weightsScratch;
         for (std::size_t i = 0; i < safe.size(); ++i) {
-            SimVm &vm = vmTable[safe[i]->vm.index];
-            const double cap = vm.engine->profile().goodputTps;
+            const double cap = safe[i]->engine->profile().goodputTps;
             double slack = 1.0;
             if (risk && risk->fresh()) {
                 const ServerRisk &entry =
@@ -586,8 +650,8 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
             total_weight += weights[i];
         }
         for (std::size_t i = 0; i < safe.size(); ++i) {
-            SimVm &vm = vmTable[safe[i]->vm.index];
-            const double cap = vm.engine->profile().goodputTps;
+            const std::size_t vm = safe[i]->vm.index;
+            const double cap = safe[i]->engine->profile().goodputTps;
             double share = total_weight > 0.0
                 ? demand * weights[i] / total_weight
                 : demand / static_cast<double>(safe.size());
@@ -596,22 +660,24 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
                     (demand - total_cap) /
                         static_cast<double>(safe.size());
             }
-            vm.demandTps = std::min(share, cap * 1.2);
-            vm.demandEmaTps =
-                0.6 * vm.demandEmaTps + 0.4 * vm.demandTps;
+            vmTable.demandTps[vm] = std::min(share, cap * 1.2);
+            vmTable.demandEmaTps[vm] =
+                0.6 * vmTable.demandEmaTps[vm] +
+                0.4 * vmTable.demandTps[vm];
         }
     }
 
     // Advance engines (blackout progression) and set loads.
-    for (SimVm &vm : vmTable) {
-        if (!vm.active() || vm.record.kind != VmKind::SaaS)
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!vmTable.isSaas(i))
             continue;
-        vm.engine->step(static_cast<double>(from),
-                        static_cast<double>(to));
-        const ConfigProfile &profile = vm.engine->profile();
+        InferenceEngine *engine = vmTable.engine[i];
+        engine->step(static_cast<double>(from),
+                     static_cast<double>(to));
+        const ConfigProfile &profile = engine->profile();
         const PerfModel::OperatingPoint op =
-            perf.operatingPointAt(profile, vm.demandTps);
-        vm.load = op.busyFrac *
+            perf.operatingPointAt(profile, vmTable.demandTps[i]);
+        vmTable.load[i] = op.busyFrac *
             static_cast<double>(profile.activeGpus) /
             static_cast<double>(gpus);
     }
@@ -620,9 +686,12 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
 void
 ClusterSim::replayIaasLoads(SimTime t)
 {
-    for (SimVm &vm : vmTable) {
-        if (vm.active() && vm.record.kind == VmKind::IaaS)
-            vm.load = vmGen.iaasLoadAt(vm.record, t);
+    const std::size_t n = vmTable.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (vmTable.isIaas(i)) {
+            vmTable.load[i] =
+                vmGen.iaasLoadAt(vmTable.record(i), t);
+        }
     }
 }
 
@@ -643,26 +712,24 @@ ClusterSim::computeDraws()
                 draws[static_cast<std::size_t>(g)] =
                     spec.gpuIdlePower;
         } else {
-            SimVm &vm = vmTable[vm_index];
-            if (vm.record.kind == VmKind::IaaS) {
-                const Watts w =
-                    powerModel.gpuPower(spec, vm.load, vm.freqCap);
+            if (vmTable.isIaas(vm_index)) {
+                const Watts w = powerModel.gpuPower(
+                    spec, vmTable.load[vm_index],
+                    vmTable.freqCap[vm_index]);
                 for (int g = 0; g < gpus; ++g)
                     draws[static_cast<std::size_t>(g)] = w;
             } else {
-                const ConfigProfile &profile = vm.engine->profile();
+                InferenceEngine *engine = vmTable.engine[vm_index];
+                const ConfigProfile &profile = engine->profile();
                 const double idle = spec.gpuIdlePower.value();
                 double base = idle;
                 if (cfg.mode == SimMode::RequestLevel) {
                     // Measured operating point from the engine.
-                    const double busy =
-                        vm.engine->lastUtilization();
-                    const double ps =
-                        vm.engine->lastPrefillShare();
+                    const double busy = engine->lastUtilization();
+                    const double ps = engine->lastPrefillShare();
                     const double decode_w =
                         perf.decodeGpuPowerAt(
-                                profile,
-                                vm.engine->lastDecodeBatch())
+                                profile, engine->lastDecodeBatch())
                             .value();
                     const double prefill_w =
                         profile.prefill.gpuPower.value();
@@ -670,15 +737,16 @@ ClusterSim::computeDraws()
                         busy * (ps * prefill_w +
                                 (1.0 - ps) * decode_w);
                 } else {
-                    base = perf.operatingPointAt(profile,
-                                                 vm.demandTps)
+                    base = perf.operatingPointAt(
+                                   profile,
+                                   vmTable.demandTps[vm_index])
                                .gpuPower.value();
                 }
                 // Most servers run uncapped; skip the pow() then.
-                const double capped = vm.freqCap == 1.0
+                const double cap = vmTable.freqCap[vm_index];
+                const double capped = cap == 1.0
                     ? base
-                    : idle +
-                        (base - idle) * std::pow(vm.freqCap, 2.4);
+                    : idle + (base - idle) * std::pow(cap, 2.4);
                 for (int g = 0; g < gpus; ++g) {
                     draws[static_cast<std::size_t>(g)] =
                         g < profile.activeGpus ? Watts(capped)
@@ -743,9 +811,8 @@ ClusterSim::enforcePowerBudgets()
             if (iaas_first) {
                 for (ServerId sid : row.servers) {
                     const std::size_t vi = serverVm[sid.index];
-                    if (vi != npos &&
-                        vmTable[vi].record.kind == VmKind::IaaS &&
-                        vmTable[vi].freqCap > kFreqFloor + 0.01) {
+                    if (vi != npos && vmTable.isIaas(vi) &&
+                        vmTable.freqCap[vi] > kFreqFloor + 0.01) {
                         iaas_headroom = true;
                         break;
                     }
@@ -756,14 +823,13 @@ ClusterSim::enforcePowerBudgets()
                 const std::size_t vi = serverVm[sid.index];
                 if (vi == npos)
                     continue;
-                SimVm &vm = vmTable[vi];
                 if (iaas_first && iaas_headroom &&
-                    vm.record.kind == VmKind::SaaS) {
+                    vmTable.isSaas(vi)) {
                     continue;
                 }
-                vm.freqCap = std::max(
+                vmTable.freqCap[vi] = std::max(
                     kFreqFloor,
-                    vm.freqCap * std::pow(ratio, 0.6));
+                    vmTable.freqCap[vi] * std::pow(ratio, 0.6));
             }
         }
         computeDraws();
@@ -839,8 +905,8 @@ ClusterSim::evaluateThermal(bool enforce)
             }
             const std::size_t vi = serverVm[s];
             if (hot && vi != npos) {
-                vmTable[vi].freqCap = std::max(
-                    kFreqFloor, vmTable[vi].freqCap * 0.85);
+                vmTable.freqCap[vi] = std::max(
+                    kFreqFloor, vmTable.freqCap[vi] * 0.85);
             }
         }
         computeDraws();
@@ -882,34 +948,72 @@ ClusterSim::recordTelemetry(SimTime t)
         store.recordRowPower(row.id, t, row_power[row.id.index]);
 
     // Per-VM power attributed to customers/endpoints + load digests.
-    std::unordered_map<std::uint32_t, std::pair<double, int>>
-        customer_power;
-    std::unordered_map<std::uint32_t, std::pair<double, int>>
-        endpoint_power;
-    for (const SimVm &vm : vmTable) {
-        if (!vm.active())
+    // Flat accumulators indexed by customer/endpoint id instead of
+    // per-call hash maps.
+    std::fill(customerPowerScratch.begin(),
+              customerPowerScratch.end(), 0.0);
+    std::fill(customerCountScratch.begin(),
+              customerCountScratch.end(), 0);
+    std::fill(endpointPowerScratch.begin(),
+              endpointPowerScratch.end(), 0.0);
+    std::fill(endpointCountScratch.begin(),
+              endpointCountScratch.end(), 0);
+    const std::size_t n = vmTable.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!vmTable.active(i))
             continue;
-        const double draw = serverDrawW[vm.server.index];
-        store.recordVmLoad(vm.record.id, vm.record.customer,
-                           vm.record.endpoint, t,
-                           serverLoads[vm.server.index]);
-        if (vm.record.kind == VmKind::IaaS) {
-            auto &entry = customer_power[vm.record.customer.index];
-            entry.first += draw;
-            ++entry.second;
+        const std::uint32_t s = vmTable.serverOf[i];
+        const double draw = serverDrawW[s];
+        store.recordVmLoad(VmId(static_cast<std::uint32_t>(i)),
+                           CustomerId(vmTable.customerOf[i]),
+                           EndpointId(vmTable.endpointOf[i]), t,
+                           serverLoads[s]);
+        if (vmTable.isIaas(i)) {
+            const std::uint32_t customer = vmTable.customerOf[i];
+            tapas_assert(customer < customerPowerScratch.size(),
+                         "customer %u beyond accumulator", customer);
+            customerPowerScratch[customer] += draw;
+            ++customerCountScratch[customer];
         } else {
-            auto &entry = endpoint_power[vm.record.endpoint.index];
-            entry.first += draw;
-            ++entry.second;
+            const std::uint32_t endpoint = vmTable.endpointOf[i];
+            tapas_assert(endpoint < endpointPowerScratch.size(),
+                         "endpoint %u beyond accumulator", endpoint);
+            endpointPowerScratch[endpoint] += draw;
+            ++endpointCountScratch[endpoint];
         }
     }
-    for (const auto &[customer, entry] : customer_power) {
-        store.recordCustomerVmPower(CustomerId(customer), t,
-                                    entry.first / entry.second);
+    for (std::size_t c = 0; c < customerPowerScratch.size(); ++c) {
+        if (customerCountScratch[c] > 0) {
+            store.recordCustomerVmPower(
+                CustomerId(static_cast<std::uint32_t>(c)), t,
+                customerPowerScratch[c] / customerCountScratch[c]);
+        }
     }
-    for (const auto &[endpoint, entry] : endpoint_power) {
-        store.recordEndpointVmPower(EndpointId(endpoint), t,
-                                    entry.first / entry.second);
+    for (std::size_t e = 0; e < endpointPowerScratch.size(); ++e) {
+        if (endpointCountScratch[e] > 0) {
+            store.recordEndpointVmPower(
+                EndpointId(static_cast<std::uint32_t>(e)), t,
+                endpointPowerScratch[e] / endpointCountScratch[e]);
+        }
+    }
+
+    // The load digests just moved: refresh the cached peaks so view
+    // builds can read them without store lookups.
+    refreshPredictedPeaks();
+}
+
+void
+ClusterSim::refreshPredictedPeaks()
+{
+    const std::size_t n = vmTable.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!vmTable.active(i))
+            continue;
+        vmTable.predictedPeak[i] = vmTable.isIaas(i)
+            ? store.customerPredictedPeak(
+                  CustomerId(vmTable.customerOf[i]), kMinHistory)
+            : store.endpointPredictedPeak(
+                  EndpointId(vmTable.endpointOf[i]), kMinHistory);
     }
 }
 
@@ -927,24 +1031,26 @@ ClusterSim::configuratorPass()
     // >15%, the emergency state flipped, or 15 minutes elapsed.
     instancesScratch.clear();
     std::vector<SaasInstanceRef> &instances = instancesScratch;
-    for (SimVm &vm : vmTable) {
-        if (!vm.active() || vm.record.kind != VmKind::SaaS)
+    const std::size_t n = vmTable.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!vmTable.isSaas(i))
             continue;
-        const double demand =
-            std::max(vm.demandTps, vm.demandEmaTps);
-        const bool stale = vm.lastConfigAt < 0 ||
-            currentTime - vm.lastConfigAt >= 15 * kMinute;
-        const bool moved = vm.lastConfigDemand < 0.0 ||
-            std::abs(demand - vm.lastConfigDemand) >
-                0.15 * std::max(vm.lastConfigDemand, 1.0);
+        const double demand = std::max(vmTable.demandTps[i],
+                                       vmTable.demandEmaTps[i]);
+        VmTable::Cold &gate = vmTable.cold[i];
+        const bool stale = gate.lastConfigAt < 0 ||
+            currentTime - gate.lastConfigAt >= 15 * kMinute;
+        const bool moved = gate.lastConfigDemand < 0.0 ||
+            std::abs(demand - gate.lastConfigDemand) >
+                0.15 * std::max(gate.lastConfigDemand, 1.0);
         if (!emergency_changed && !stale && !moved)
             continue;
-        vm.lastConfigDemand = demand;
-        vm.lastConfigAt = currentTime;
+        gate.lastConfigDemand = demand;
+        gate.lastConfigAt = currentTime;
         SaasInstanceRef ref;
-        ref.id = vm.record.id;
-        ref.server = vm.server;
-        ref.engine = vm.engine.get();
+        ref.id = VmId(static_cast<std::uint32_t>(i));
+        ref.server = vmTable.server(i);
+        ref.engine = vmTable.engine[i];
         ref.demandTps = demand;
         instances.push_back(ref);
     }
@@ -969,14 +1075,14 @@ ClusterSim::migrationPass()
          planner.plan(view, cfg.policy.migrationMaxMoves)) {
         const std::size_t vm_index = serverVm[move.from.index];
         tapas_assert(vm_index != npos, "migration donor is empty");
-        SimVm &vm = vmTable[vm_index];
-        tapas_assert(vm.record.kind == VmKind::SaaS,
+        tapas_assert(vmTable.isSaas(vm_index),
                      "only SaaS VMs migrate");
         serverVm[move.from.index] = npos;
         serverVm[move.to.index] = vm_index;
-        vm.server = move.to;
-        routeIndexUpdateServer(vm);
-        vm.engine->beginMigration(cfg.policy.migrationDelayS);
+        vmTable.serverOf[vm_index] = move.to.index;
+        routeIndexUpdateServer(vm_index);
+        vmTable.engine[vm_index]->beginMigration(
+            cfg.policy.migrationDelayS);
         ++simMetrics.migrations;
     }
 }
@@ -1019,9 +1125,10 @@ ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
     // IaaS performance penalty (capping deficit).
     double penalty = 0.0;
     int iaas_count = 0;
-    for (const SimVm &vm : vmTable) {
-        if (vm.active() && vm.record.kind == VmKind::IaaS) {
-            penalty += 1.0 - vm.freqCap;
+    const std::size_t n = vmTable.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (vmTable.isIaas(i)) {
+            penalty += 1.0 - vmTable.freqCap[i];
             ++iaas_count;
         }
     }
@@ -1034,15 +1141,15 @@ ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
     if (cfg.mode == SimMode::FlowLevel) {
         const double mean_tokens =
             requestGen->meanTokensPerRequest();
-        for (const SimVm &vm : vmTable) {
-            if (!vm.active() || vm.record.kind != VmKind::SaaS)
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!vmTable.isSaas(i))
                 continue;
-            const double goodput = effectiveGoodput(vm);
-            const double vm_served =
-                std::min(vm.demandTps, goodput);
+            const double goodput = effectiveGoodput(i);
+            const double demand = vmTable.demandTps[i];
+            const double vm_served = std::min(demand, goodput);
             served += vm_served;
             const double quality =
-                vm.engine->profile().quality;
+                vmTable.engine[i]->profile().quality;
             quality_weighted += vm_served * quality;
             simMetrics.totalTokens += vm_served * dt;
             simMetrics.qualityWeightedTokens +=
@@ -1054,21 +1161,20 @@ ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
             // degrades the excess fraction of the VM's traffic,
             // not every request it serves that interval.
             const double excess =
-                std::max(0.0, vm.demandTps - goodput);
-            const double viol_frac = vm.demandTps > 0.0
-                ? excess / vm.demandTps
-                : 0.0;
+                std::max(0.0, demand - goodput);
+            const double viol_frac =
+                demand > 0.0 ? excess / demand : 0.0;
             simMetrics.sloViolations +=
                 static_cast<std::uint64_t>(reqs * viol_frac);
             simMetrics.goodputTokens +=
                 vm_served * dt * (1.0 - viol_frac);
         }
     } else {
-        for (const SimVm &vm : vmTable) {
-            if (!vm.active() || vm.record.kind != VmKind::SaaS)
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!vmTable.isSaas(i))
                 continue;
             for (const CompletedRequest &done :
-                 vm.engine->lastCompletions()) {
+                 vmTable.engine[i]->lastCompletions()) {
                 const double tokens = done.request.promptTokens +
                     done.request.outputTokens;
                 served += tokens / dt;
@@ -1101,8 +1207,7 @@ ClusterSim::step()
         tapas->maybeRefreshRisk(makeView(), gpuPowerW);
 
     // Reset this step's hardware caps.
-    for (SimVm &vm : vmTable)
-        vm.freqCap = 1.0;
+    std::fill(vmTable.freqCap.begin(), vmTable.freqCap.end(), 1.0);
 
     const SimTime from = currentTime;
     const SimTime to = currentTime + cfg.stepLength;
@@ -1121,9 +1226,12 @@ ClusterSim::step()
     evaluateThermal(true);
 
     // Hardware throttles carry into the next step's engine work.
-    for (SimVm &vm : vmTable) {
-        if (vm.active() && vm.record.kind == VmKind::SaaS)
-            vm.engine->setHardwareThrottle(vm.freqCap);
+    const std::size_t vm_count = vmTable.size();
+    for (std::size_t i = 0; i < vm_count; ++i) {
+        if (vmTable.isSaas(i)) {
+            vmTable.engine[i]->setHardwareThrottle(
+                vmTable.freqCap[i]);
+        }
     }
 
     recordTelemetry(from);
@@ -1143,6 +1251,11 @@ ClusterSim::step()
         : 0.5;
 
     currentTime = to;
+
+#ifndef NDEBUG
+    tapas_assert(verifyVmTable(),
+                 "SoA VM table diverged from the cold side table");
+#endif
 }
 
 } // namespace tapas

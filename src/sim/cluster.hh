@@ -12,6 +12,11 @@
  * Ground truth (dcsim models) advances the world; TAPAS reads only
  * its fitted profiles (telemetry/ProfileBank) and observed sensor
  * values, mirroring the production methodology.
+ *
+ * The VM population lives in a structure-of-arrays table
+ * (sim/vmtable.hh): per-step sweeps iterate packed hot arrays; the
+ * trace records, engines, and configuration-gate state sit in a cold
+ * side table touched only on placement/departure/configuration.
  */
 
 #ifndef TAPAS_SIM_CLUSTER_HH
@@ -27,6 +32,7 @@
 #include "llm/engine.hh"
 #include "sim/config.hh"
 #include "sim/metrics.hh"
+#include "sim/vmtable.hh"
 #include "telemetry/history.hh"
 #include "telemetry/templates.hh"
 #include "workload/requests.hh"
@@ -34,29 +40,6 @@
 #include "workload/weather.hh"
 
 namespace tapas {
-
-/** A live VM inside the simulator. */
-struct SimVm
-{
-    VmRecord record;
-    ServerId server;
-    /** SaaS only. */
-    std::unique_ptr<InferenceEngine> engine;
-    /** Hardware frequency cap applied this step (1 = uncapped). */
-    double freqCap = 1.0;
-    /** GPU load fraction this step. */
-    double load = 0.0;
-    /** Token demand routed to this VM this step (SaaS). */
-    double demandTps = 0.0;
-    /** Smoothed demand used for configuration decisions. */
-    double demandEmaTps = 0.0;
-    /** Demand at the last configuration decision (change gate). */
-    double lastConfigDemand = -1.0;
-    /** Time of the last configuration decision. */
-    SimTime lastConfigAt = -1;
-
-    bool active() const { return server.valid(); }
-};
 
 /** End-to-end cluster simulation. */
 class ClusterSim
@@ -84,8 +67,8 @@ class ClusterSim
     const WeatherModel &weather() const { return weatherModel; }
     const VmTraceGenerator &vmTrace() const { return vmGen; }
 
-    /** Live VM table (index = VmId). */
-    const std::vector<SimVm> &vms() const { return vmTable; }
+    /** Live VM table (index = VmId), structure-of-arrays. */
+    const VmTable &vms() const { return vmTable; }
 
     /** Count of currently placed VMs. */
     std::size_t activeVmCount() const;
@@ -108,6 +91,13 @@ class ClusterSim
      */
     bool verifyRoutingIndex() const;
 
+    /**
+     * Consistency of the SoA hot arrays against the cold side table
+     * and the server map — what a fresh AoS scan would contain
+     * (tests; debug builds assert it every step).
+     */
+    bool verifyVmTable() const;
+
   private:
     SimConfig cfg;
     DatacenterLayout layout;
@@ -128,7 +118,7 @@ class ClusterSim
 
     SimTime currentTime = 0;
     std::size_t arrivalCursor = 0;
-    std::vector<SimVm> vmTable;
+    VmTable vmTable;
     /** server index -> vm index (or npos). */
     std::vector<std::size_t> serverVm;
     std::vector<std::uint32_t> waitingVms;
@@ -170,6 +160,12 @@ class ClusterSim
     std::vector<double> weightsScratch;
     std::vector<const RouteCandidate *> safeScratch;
     std::vector<SaasInstanceRef> instancesScratch;
+    std::vector<Request> requestsScratch;
+    std::vector<std::uint32_t> waitingScratch;
+    std::vector<double> customerPowerScratch;
+    std::vector<int> customerCountScratch;
+    std::vector<double> endpointPowerScratch;
+    std::vector<int> endpointCountScratch;
     PowerAssessment assessScratch;
     ClusterView viewScratch;
     /**
@@ -195,17 +191,19 @@ class ClusterSim
     void enforcePowerBudgets();
     void evaluateThermal(bool enforce);
     void recordTelemetry(SimTime t);
+    void refreshPredictedPeaks();
     void collectMetrics(bool power_capped, bool thermal_throttled);
     void configuratorPass();
     void migrationPass();
     double vmPredictedPeakLoad(const VmRecord &record) const;
+    PlacedVmView placedVmView(std::size_t vm_index) const;
     const std::vector<RouteCandidate> &
     endpointCandidates(EndpointId id);
     bool verifyEndpointList(std::size_t endpoint_index) const;
-    void routeIndexAdd(const SimVm &vm);
-    void routeIndexRemove(const SimVm &vm);
-    void routeIndexUpdateServer(const SimVm &vm);
-    double effectiveGoodput(const SimVm &vm) const;
+    void routeIndexAdd(std::size_t vm_index);
+    void routeIndexRemove(std::size_t vm_index);
+    void routeIndexUpdateServer(std::size_t vm_index);
+    double effectiveGoodput(std::size_t vm_index) const;
 };
 
 } // namespace tapas

@@ -57,6 +57,14 @@ struct SimConfig
     /** Extra racks added beyond provisioning, percent of base. */
     int oversubscriptionPct = 0;
 
+    /**
+     * Telemetry retention window: every telemetry series keeps at
+     * most this much history (ring-buffer bound; the weekly refit
+     * window in production). 0 = retain the full horizon, matching
+     * the historical unbounded-store behavior.
+     */
+    SimTime telemetryRetention = 0;
+
     double endpointPeakUtil = 0.45;
 
     /**

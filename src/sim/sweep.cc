@@ -50,4 +50,89 @@ ScenarioSweep::crossSeeds(const std::vector<SweepJob> &variants,
     return out;
 }
 
+std::vector<SweepJob>
+ScenarioSweep::crossPolicies(const std::vector<SweepJob> &variants,
+                             const std::vector<PolicyVariant>
+                                 &policies)
+{
+    std::vector<SweepJob> out;
+    out.reserve(variants.size() * policies.size());
+    for (const SweepJob &variant : variants) {
+        for (const PolicyVariant &policy : policies) {
+            SweepJob job = variant;
+            job.config = variant.config.withPolicies(
+                policy.place, policy.route, policy.config);
+            job.name = variant.name + "/" + policy.name;
+            out.push_back(job);
+        }
+    }
+    return out;
+}
+
+std::vector<SweepJob>
+ScenarioSweep::crossOversubscription(
+    const std::vector<SweepJob> &variants,
+    const std::vector<int> &percents)
+{
+    std::vector<SweepJob> out;
+    out.reserve(variants.size() * percents.size());
+    for (const SweepJob &variant : variants) {
+        for (int pct : percents) {
+            SweepJob job = variant;
+            job.config.oversubscriptionPct = pct;
+            job.name =
+                variant.name + "/os" + std::to_string(pct);
+            out.push_back(job);
+        }
+    }
+    return out;
+}
+
+std::vector<PolicyVariant>
+ScenarioSweep::ablationMatrix()
+{
+    return {
+        {"baseline", false, false, false},
+        {"place", true, false, false},
+        {"route", false, true, false},
+        {"config", false, false, true},
+        {"place+route", true, true, false},
+        {"place+config", true, false, true},
+        {"route+config", false, true, true},
+        {"tapas", true, true, true},
+    };
+}
+
+bool
+writeSweepBenchJson(const std::string &path,
+                    const std::string &bench,
+                    const std::string &mode,
+                    const std::vector<SweepOutcome> &outcomes)
+{
+    std::vector<BenchCase> cases;
+    cases.reserve(outcomes.size());
+    for (const SweepOutcome &outcome : outcomes) {
+        BenchCase c;
+        c.name = outcome.name;
+        const SimMetrics &m = outcome.metrics;
+        c.set("seed", static_cast<double>(outcome.seed));
+        c.set("wall_s", outcome.wallS);
+        c.set("steps", static_cast<double>(m.totalSteps));
+        if (outcome.wallS > 0.0) {
+            c.set("steps_per_s",
+                  static_cast<double>(m.totalSteps) / outcome.wallS);
+        }
+        c.set("peak_row_power_frac", m.peakRowPowerFrac.maxValue());
+        c.set("dc_power_mean_w", m.datacenterPowerW.mean());
+        c.set("max_gpu_temp_c", m.maxGpuTempC.maxValue());
+        c.set("power_capped_frac", m.powerCappedFraction());
+        c.set("thermal_capped_frac", m.thermalCappedFraction());
+        c.set("slo_attainment", m.sloAttainment());
+        c.set("mean_quality", m.meanQuality());
+        c.set("total_tokens", m.totalTokens);
+        cases.push_back(std::move(c));
+    }
+    return writeBenchJson(path, bench, mode, cases);
+}
+
 } // namespace tapas

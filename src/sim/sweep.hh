@@ -31,6 +31,15 @@ struct SweepJob
     SimConfig config;
 };
 
+/** One named policy-toggle combination for policy-matrix grids. */
+struct PolicyVariant
+{
+    std::string name;
+    bool place = false;
+    bool route = false;
+    bool config = false;
+};
+
 /** Result of one replication. */
 struct SweepOutcome
 {
@@ -68,9 +77,41 @@ class ScenarioSweep
     crossSeeds(const std::vector<SweepJob> &variants,
                const std::vector<std::uint64_t> &seeds);
 
+    /** Cartesian helper: one job per (variant, policy combo). */
+    static std::vector<SweepJob>
+    crossPolicies(const std::vector<SweepJob> &variants,
+                  const std::vector<PolicyVariant> &policies);
+
+    /**
+     * Cartesian helper: one job per (variant, oversubscription
+     * percentage) — racks added beyond frozen provisioning.
+     */
+    static std::vector<SweepJob>
+    crossOversubscription(const std::vector<SweepJob> &variants,
+                          const std::vector<int> &percents);
+
+    /**
+     * The paper's eight-way ablation matrix (Fig. 20): every
+     * combination of the place/route/config policies from Baseline
+     * to full TAPAS.
+     */
+    static std::vector<PolicyVariant> ablationMatrix();
+
   private:
     ThreadPool &pool;
 };
+
+/**
+ * Emit sweep outcomes as a machine-readable `BENCH_<name>.json`
+ * (same trajectory format as the perf benches): one case per
+ * outcome carrying wall time, steps/s, and the headline evaluation
+ * metrics. Returns false (after warning) if the file cannot be
+ * written.
+ */
+bool writeSweepBenchJson(const std::string &path,
+                         const std::string &bench,
+                         const std::string &mode,
+                         const std::vector<SweepOutcome> &outcomes);
 
 } // namespace tapas
 

@@ -1,0 +1,101 @@
+#include "sim/vmtable.hh"
+
+#include "common/logging.hh"
+#include "llm/engine.hh"
+
+namespace tapas {
+
+void
+VmTable::reset(std::size_t n)
+{
+    slot.assign(n, VmSlot::Empty);
+    serverOf.assign(n, kNoServer);
+    load.assign(n, 0.0);
+    freqCap.assign(n, 1.0);
+    demandTps.assign(n, 0.0);
+    demandEmaTps.assign(n, 0.0);
+    departureAt.assign(n, 0);
+    engine.assign(n, nullptr);
+    endpointOf.assign(n, Id<EndpointTag>::invalidIndex);
+    customerOf.assign(n, Id<CustomerTag>::invalidIndex);
+    predictedPeak.assign(n, 1.0);
+    cold.clear();
+    cold.resize(n);
+}
+
+void
+VmTable::admitRecord(const VmRecord &record)
+{
+    tapas_assert(record.id.index < size(),
+                 "trace id %u beyond pre-sized table",
+                 record.id.index);
+    const std::size_t i = record.id.index;
+    cold[i].record = record;
+    endpointOf[i] = record.endpoint.index;
+    customerOf[i] = record.customer.index;
+    departureAt[i] = record.departure;
+}
+
+void
+VmTable::place(std::size_t i, ServerId server,
+               std::unique_ptr<InferenceEngine> engine_owner,
+               double predicted_peak)
+{
+    tapas_assert(slot[i] == VmSlot::Empty,
+                 "placing an already-active VM %zu", i);
+    const VmRecord &rec = cold[i].record;
+    slot[i] =
+        rec.kind == VmKind::SaaS ? VmSlot::Saas : VmSlot::Iaas;
+    serverOf[i] = server.index;
+    cold[i].engineOwner = std::move(engine_owner);
+    engine[i] = cold[i].engineOwner.get();
+    predictedPeak[i] = predicted_peak;
+    departureAt[i] = rec.departure;
+}
+
+void
+VmTable::depart(std::size_t i)
+{
+    slot[i] = VmSlot::Empty;
+    serverOf[i] = kNoServer;
+    cold[i].engineOwner.reset();
+    engine[i] = nullptr;
+    load[i] = 0.0;
+    demandTps[i] = 0.0;
+}
+
+bool
+VmTable::consistent() const
+{
+    for (std::size_t i = 0; i < size(); ++i) {
+        const Cold &c = cold[i];
+        if (engine[i] != c.engineOwner.get())
+            return false;
+        if (slot[i] == VmSlot::Empty) {
+            if (serverOf[i] != kNoServer || engine[i] != nullptr)
+                return false;
+            continue;
+        }
+        if (serverOf[i] == kNoServer)
+            return false;
+        if (c.record.id.index != i)
+            return false;
+        const VmSlot expect = c.record.kind == VmKind::SaaS
+            ? VmSlot::Saas
+            : VmSlot::Iaas;
+        if (slot[i] != expect)
+            return false;
+        if (slot[i] == VmSlot::Saas && engine[i] == nullptr)
+            return false;
+        if (slot[i] == VmSlot::Iaas && engine[i] != nullptr)
+            return false;
+        if (endpointOf[i] != c.record.endpoint.index ||
+            customerOf[i] != c.record.customer.index ||
+            departureAt[i] != c.record.departure) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace tapas

@@ -6,36 +6,52 @@
 
 namespace tapas {
 
-const std::vector<ServerSample> TelemetryStore::emptyServerSeries;
-const std::vector<KeyedSample> TelemetryStore::emptyKeyedSeries;
+KeyedSeriesRing &
+TelemetryStore::keyedRing(
+    std::unordered_map<std::uint32_t, KeyedSeriesRing> &map,
+    std::uint32_t key)
+{
+    auto it = map.find(key);
+    if (it == map.end()) {
+        it = map.emplace(key, KeyedSeriesRing(seriesCapacity))
+                 .first;
+    }
+    return it->second;
+}
 
 void
 TelemetryStore::recordServer(ServerId id, const ServerSample &sample)
 {
-    serverData[id.index].push_back(sample);
+    auto it = serverData.find(id.index);
+    if (it == serverData.end()) {
+        it = serverData
+                 .emplace(id.index, ServerSeriesRing(seriesCapacity))
+                 .first;
+    }
+    it->second.push(sample);
 }
 
 void
 TelemetryStore::recordRowPower(RowId id, SimTime t, double watts)
 {
-    rowPower[id.index].push_back(
-        {t, static_cast<float>(watts)});
+    keyedRing(rowPower, id.index)
+        .push({t, static_cast<float>(watts)});
 }
 
 void
 TelemetryStore::recordCustomerVmPower(CustomerId id, SimTime t,
                                       double watts)
 {
-    customerVmPower[id.index].push_back(
-        {t, static_cast<float>(watts)});
+    keyedRing(customerVmPower, id.index)
+        .push({t, static_cast<float>(watts)});
 }
 
 void
 TelemetryStore::recordEndpointVmPower(EndpointId id, SimTime t,
                                       double watts)
 {
-    endpointVmPower[id.index].push_back(
-        {t, static_cast<float>(watts)});
+    keyedRing(endpointVmPower, id.index)
+        .push({t, static_cast<float>(watts)});
 }
 
 void
@@ -56,34 +72,50 @@ TelemetryStore::recordVmLoad(VmId id, CustomerId customer,
         update(endpointLoads[endpoint.index]);
 }
 
-const std::vector<ServerSample> &
+SeriesView<ServerSample>
 TelemetryStore::serverSeries(ServerId id) const
 {
     const auto it = serverData.find(id.index);
-    return it == serverData.end() ? emptyServerSeries : it->second;
+    return it == serverData.end() ? SeriesView<ServerSample>()
+                                  : it->second.view();
 }
 
-const std::vector<KeyedSample> &
+SeriesView<KeyedSample>
 TelemetryStore::rowPowerSeries(RowId id) const
 {
     const auto it = rowPower.find(id.index);
-    return it == rowPower.end() ? emptyKeyedSeries : it->second;
+    return it == rowPower.end() ? SeriesView<KeyedSample>()
+                                : it->second.view();
 }
 
-const std::vector<KeyedSample> &
+SeriesView<KeyedSample>
 TelemetryStore::customerVmPowerSeries(CustomerId id) const
 {
     const auto it = customerVmPower.find(id.index);
-    return it == customerVmPower.end() ? emptyKeyedSeries
-                                       : it->second;
+    return it == customerVmPower.end() ? SeriesView<KeyedSample>()
+                                       : it->second.view();
 }
 
-const std::vector<KeyedSample> &
+SeriesView<KeyedSample>
 TelemetryStore::endpointVmPowerSeries(EndpointId id) const
 {
     const auto it = endpointVmPower.find(id.index);
-    return it == endpointVmPower.end() ? emptyKeyedSeries
-                                       : it->second;
+    return it == endpointVmPower.end() ? SeriesView<KeyedSample>()
+                                       : it->second.view();
+}
+
+double
+TelemetryStore::rowPowerPeak(RowId id) const
+{
+    const auto it = rowPower.find(id.index);
+    return it == rowPower.end() ? 0.0 : it->second.peakValue();
+}
+
+SimTime
+TelemetryStore::rowPowerSpan(RowId id) const
+{
+    const auto it = rowPower.find(id.index);
+    return it == rowPower.end() ? 0 : it->second.span();
 }
 
 std::vector<RowId>
@@ -91,8 +123,10 @@ TelemetryStore::rowsWithData() const
 {
     std::vector<RowId> out;
     out.reserve(rowPower.size());
-    for (const auto &[key, series] : rowPower)
-        out.push_back(RowId(key));
+    for (const auto &[key, series] : rowPower) {
+        if (!series.empty())
+            out.push_back(RowId(key));
+    }
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -102,8 +136,10 @@ TelemetryStore::customersWithData() const
 {
     std::vector<CustomerId> out;
     out.reserve(customerVmPower.size());
-    for (const auto &[key, series] : customerVmPower)
-        out.push_back(CustomerId(key));
+    for (const auto &[key, series] : customerVmPower) {
+        if (!series.empty())
+            out.push_back(CustomerId(key));
+    }
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -113,8 +149,10 @@ TelemetryStore::endpointsWithData() const
 {
     std::vector<EndpointId> out;
     out.reserve(endpointVmPower.size());
-    for (const auto &[key, series] : endpointVmPower)
-        out.push_back(EndpointId(key));
+    for (const auto &[key, series] : endpointVmPower) {
+        if (!series.empty())
+            out.push_back(EndpointId(key));
+    }
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -180,27 +218,14 @@ TelemetryStore::endpointPredictedPeak(EndpointId id,
 void
 TelemetryStore::trimBefore(SimTime cutoff)
 {
-    auto trim_keyed = [cutoff](auto &map) {
-        for (auto &[key, series] : map) {
-            auto first_kept = std::find_if(
-                series.begin(), series.end(),
-                [cutoff](const KeyedSample &s) {
-                    return s.time >= cutoff;
-                });
-            series.erase(series.begin(), first_kept);
-        }
-    };
-    for (auto &[key, series] : serverData) {
-        auto first_kept = std::find_if(
-            series.begin(), series.end(),
-            [cutoff](const ServerSample &s) {
-                return s.time >= cutoff;
-            });
-        series.erase(series.begin(), first_kept);
-    }
-    trim_keyed(rowPower);
-    trim_keyed(customerVmPower);
-    trim_keyed(endpointVmPower);
+    for (auto &[key, series] : serverData)
+        series.trimBefore(cutoff);
+    for (auto &[key, series] : rowPower)
+        series.trimBefore(cutoff);
+    for (auto &[key, series] : customerVmPower)
+        series.trimBefore(cutoff);
+    for (auto &[key, series] : endpointVmPower)
+        series.trimBefore(cutoff);
 }
 
 } // namespace tapas

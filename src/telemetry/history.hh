@@ -3,6 +3,13 @@
  * Telemetry history: 10-minute-cadence samples per server, row power
  * series, and per-VM power by customer/endpoint — the raw material
  * for weekly template building and profile refits (paper Section 4.5).
+ *
+ * Every series is a fixed-capacity ring (telemetry/series.hh):
+ * appends are O(1), trimBefore() is a binary search plus a head
+ * advance instead of an erase-from-front scan, and span/peak digests
+ * are maintained incrementally on append. Queries return
+ * SeriesView — a contiguous-chunk view that iterates and indexes
+ * like the vectors it replaced.
  */
 
 #ifndef TAPAS_TELEMETRY_HISTORY_HH
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "telemetry/series.hh"
 
 namespace tapas {
 
@@ -34,10 +42,45 @@ struct KeyedSample
     float value = 0.0f;
 };
 
-/** Append-only telemetry store with time-range queries. */
+/** Ring digest traits for the two sample kinds. */
+struct ServerSampleTraits
+{
+    static SimTime timeOf(const ServerSample &s) { return s.time; }
+    static double valueOf(const ServerSample &s)
+    { return s.serverPowerW; }
+};
+
+struct KeyedSampleTraits
+{
+    static SimTime timeOf(const KeyedSample &s) { return s.time; }
+    static double valueOf(const KeyedSample &s) { return s.value; }
+};
+
+using ServerSeriesRing = SampleRing<ServerSample, ServerSampleTraits>;
+using KeyedSeriesRing = SampleRing<KeyedSample, KeyedSampleTraits>;
+
+/** Bounded telemetry store with time-range queries. */
 class TelemetryStore
 {
   public:
+    /**
+     * Default per-series capacity, in samples: ten weeks at the
+     * 10-minute sensor cadence — comfortably beyond the longest
+     * history any harness in this repo feeds a standalone store.
+     * Owners with a known retention window (the cluster simulator)
+     * should size the store explicitly.
+     */
+    static constexpr std::size_t kDefaultSeriesCapacity =
+        10 * 7 * 24 * 6;
+
+    explicit TelemetryStore(
+        std::size_t series_capacity = kDefaultSeriesCapacity)
+        : seriesCapacity(series_capacity)
+    {}
+
+    /** Per-series sample bound this store was sized with. */
+    std::size_t capacity() const { return seriesCapacity; }
+
     void recordServer(ServerId id, const ServerSample &sample);
     void recordRowPower(RowId id, SimTime t, double watts);
     /** Per-VM average power attributed to an IaaS customer. */
@@ -50,12 +93,17 @@ class TelemetryStore
     void recordVmLoad(VmId id, CustomerId customer,
                       EndpointId endpoint, SimTime t, double load);
 
-    const std::vector<ServerSample> &serverSeries(ServerId id) const;
-    const std::vector<KeyedSample> &rowPowerSeries(RowId id) const;
-    const std::vector<KeyedSample> &
+    SeriesView<ServerSample> serverSeries(ServerId id) const;
+    SeriesView<KeyedSample> rowPowerSeries(RowId id) const;
+    SeriesView<KeyedSample>
     customerVmPowerSeries(CustomerId id) const;
-    const std::vector<KeyedSample> &
+    SeriesView<KeyedSample>
     endpointVmPowerSeries(EndpointId id) const;
+
+    /** Peak row power seen in the retained window (O(1) digest). */
+    double rowPowerPeak(RowId id) const;
+    /** Retained row power series time span (O(1) digest). */
+    SimTime rowPowerSpan(RowId id) const;
 
     /** All row ids with any samples. */
     std::vector<RowId> rowsWithData() const;
@@ -93,19 +141,20 @@ class TelemetryStore
         double peak = 0.0;
     };
 
-    std::unordered_map<std::uint32_t, std::vector<ServerSample>>
-        serverData;
-    std::unordered_map<std::uint32_t, std::vector<KeyedSample>>
-        rowPower;
-    std::unordered_map<std::uint32_t, std::vector<KeyedSample>>
+    std::size_t seriesCapacity;
+
+    std::unordered_map<std::uint32_t, ServerSeriesRing> serverData;
+    std::unordered_map<std::uint32_t, KeyedSeriesRing> rowPower;
+    std::unordered_map<std::uint32_t, KeyedSeriesRing>
         customerVmPower;
-    std::unordered_map<std::uint32_t, std::vector<KeyedSample>>
+    std::unordered_map<std::uint32_t, KeyedSeriesRing>
         endpointVmPower;
     std::unordered_map<std::uint32_t, LoadDigest> customerLoads;
     std::unordered_map<std::uint32_t, LoadDigest> endpointLoads;
 
-    static const std::vector<ServerSample> emptyServerSeries;
-    static const std::vector<KeyedSample> emptyKeyedSeries;
+    KeyedSeriesRing &keyedRing(
+        std::unordered_map<std::uint32_t, KeyedSeriesRing> &map,
+        std::uint32_t key);
 };
 
 } // namespace tapas

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/threadpool.hh"
 
 namespace tapas {
 
@@ -13,16 +14,88 @@ const double kOutsideGrid[] = {5.0, 12.0, 16.0, 20.0, 24.0, 28.0,
                                32.0, 36.0};
 const double kDcLoadGrid[] = {0.2, 0.5, 0.8, 1.0};
 const double kGpuPowerGrid[] = {60.0, 150.0, 250.0, 350.0, 400.0};
+const double kInletGrid[] = {18.0, 22.0, 26.0, 30.0};
 const double kLoadGrid[] = {0.0, 0.25, 0.5, 0.75, 1.0};
 /** Repetitions per grid point (sensor noise averaging). */
 constexpr int kReps = 3;
+/** Inlet spline hinge locations (piecewise-linear knots). */
+constexpr double kInletKnots[] = {15.0, 25.0};
 /** Reference conditions for the cold/medium/warm classification. */
 constexpr double kRefOutsideC = 24.0;
 constexpr double kRefDcLoad = 0.7;
+/** Below this fleet size the parallel fit fan-out is overhead. */
+constexpr std::size_t kParallelFitThreshold = 64;
+
+/** Inlet spline basis rows: {x0, hinge(15), hinge(25), x1}. */
+SharedDesign
+makeInletDesign()
+{
+    std::vector<std::vector<double>> rows;
+    for (double outside : kOutsideGrid) {
+        for (double dc_load : kDcLoadGrid) {
+            for (int rep = 0; rep < kReps; ++rep) {
+                (void)rep;
+                rows.push_back({outside,
+                                std::max(0.0,
+                                         outside - kInletKnots[0]),
+                                std::max(0.0,
+                                         outside - kInletKnots[1]),
+                                dc_load});
+            }
+        }
+    }
+    return SharedDesign(rows);
+}
+
+/** Per-GPU temperature line rows: {inlet, gpu_power}. */
+SharedDesign
+makeGpuTempDesign()
+{
+    std::vector<std::vector<double>> rows;
+    for (double inlet : kInletGrid) {
+        for (double gpu_power : kGpuPowerGrid)
+            rows.push_back({inlet, gpu_power});
+    }
+    return SharedDesign(rows);
+}
+
+/** Cubic power-polynomial rows: {x, x^2, x^3}. */
+SharedDesign
+makePowerDesign()
+{
+    std::vector<std::vector<double>> rows;
+    for (double load : kLoadGrid) {
+        for (int rep = 0; rep < kReps; ++rep) {
+            (void)rep;
+            double term = load;
+            std::vector<double> row;
+            for (int p = 1; p <= 3; ++p) {
+                row.push_back(term);
+                term *= load;
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+    return SharedDesign(rows);
+}
+
+/** Airflow line rows: {load}. */
+SharedDesign
+makeAirflowDesign()
+{
+    std::vector<std::vector<double>> rows;
+    for (double load : kLoadGrid)
+        rows.push_back({load});
+    return SharedDesign(rows);
+}
+
 } // namespace
 
 ProfileBank::ProfileBank(const DatacenterLayout &layout_)
-    : layout(layout_),
+    : layout(layout_), inletDesign(makeInletDesign()),
+      gpuTempDesign(makeGpuTempDesign()),
+      powerDesign(makePowerDesign()),
+      airflowDesign(makeAirflowDesign()),
       gpusPerServer(layout_.specs().front().gpusPerServer)
 {
 }
@@ -32,15 +105,14 @@ ProfileBank::offlineProfile(const ThermalModel &thermal,
                             const PowerModel &power,
                             std::uint64_t seed)
 {
-    inletModels.clear();
-    gpuTempModels.clear();
-    powerModels.clear();
-    airflowModels.clear();
+    inletCoeffs.clear();
+    gpuTempCoeffs.clear();
+    powerCoeffs.clear();
+    airflowCoeffs.clear();
     inletBias.clear();
     profiledServers = 0;
-    Rng rng(mixSeed(seed, 0x70726f66ULL));
-    for (const Server &server : layout.servers())
-        profileServer(server.id, thermal, power, rng);
+    profileRange(0, layout.serverCount(), thermal, power,
+                 mixSeed(seed, 0x70726f66ULL));
     recomputeClasses();
 }
 
@@ -49,105 +121,134 @@ ProfileBank::profileNewServers(const ThermalModel &thermal,
                                const PowerModel &power,
                                std::uint64_t seed)
 {
-    Rng rng(mixSeed(seed, 0x6e657773ULL));
-    while (profiledServers < layout.serverCount()) {
-        profileServer(
-            ServerId(static_cast<std::uint32_t>(profiledServers)),
-            thermal, power, rng);
-    }
+    profileRange(profiledServers, layout.serverCount(), thermal,
+                 power, mixSeed(seed, 0x6e657773ULL));
     recomputeClasses();
 }
 
 void
-ProfileBank::profileServer(ServerId id, const ThermalModel &thermal,
-                           const PowerModel &power, Rng &rng)
+ProfileBank::profileRange(std::size_t begin, std::size_t end,
+                          const ThermalModel &thermal,
+                          const PowerModel &power,
+                          std::uint64_t noise_base)
 {
-    tapas_assert(id.index == profiledServers,
+    tapas_assert(begin == profiledServers,
                  "servers must be profiled in id order");
+    if (begin >= end)
+        return;
+    const std::size_t count = end - begin;
+    const std::size_t gpus =
+        static_cast<std::size_t>(gpusPerServer);
 
-    // --- Inlet spline: observe Eq. 1 with sensor noise. ---
-    std::vector<std::vector<double>> inlet_x;
-    std::vector<double> inlet_y;
-    for (double outside : kOutsideGrid) {
-        for (double dc_load : kDcLoadGrid) {
-            for (int rep = 0; rep < kReps; ++rep) {
-                const double observed =
+    const std::size_t inlet_n = inletDesign.sampleCount();
+    const std::size_t gpu_n = gpuTempDesign.sampleCount();
+    const std::size_t power_n = powerDesign.sampleCount();
+    const std::size_t air_n = airflowDesign.sampleCount();
+    tapas_assert(inlet_n <= 128 && gpu_n <= 128 && power_n <= 128 &&
+                     air_n <= 128,
+                 "observation buffers sized for the bench grids");
+
+    inletCoeffs.resize(end * kInletWidth);
+    gpuTempCoeffs.resize(end * gpus * kGpuTempWidth);
+    powerCoeffs.resize(end * kPowerWidth);
+    airflowCoeffs.resize(end * kAirflowWidth);
+
+    const double inlet_sigma = thermal.config().noiseSigmaC;
+
+    // One server = one unit of work: observe the bench sweep with a
+    // counter-based noise stream (seeded by server id, so results
+    // are identical for any profiling order and thread count), then
+    // solve each model against the shared designs.
+    auto profile_server = [&](std::size_t s) {
+        const std::size_t idx = begin + s;
+        const ServerId id(static_cast<std::uint32_t>(idx));
+        Rng rng(mixSeed(noise_base, idx));
+        double y[128];
+
+        // Inlet spline: observe Eq. 1 with sensor noise. The
+        // noiseless response per grid point is shared by the reps.
+        std::size_t k = 0;
+        for (double outside : kOutsideGrid) {
+            for (double dc_load : kDcLoadGrid) {
+                const double clean =
                     thermal
                         .inletTemperature(id, Celsius(outside),
-                                          dc_load, 0.0, &rng)
+                                          dc_load, 0.0)
                         .value();
-                inlet_x.push_back({outside, dc_load});
-                inlet_y.push_back(observed);
+                for (int rep = 0; rep < kReps; ++rep) {
+                    (void)rep;
+                    y[k++] =
+                        clean + rng.gaussianFast(0.0, inlet_sigma);
+                }
             }
         }
-    }
-    PiecewiseLinearModel inlet_model({15.0, 25.0}, 1);
-    inlet_model.fit(inlet_x, inlet_y);
-    inletModels.push_back(std::move(inlet_model));
+        inletDesign.solveInto(y, &inletCoeffs[idx * kInletWidth]);
 
-    // --- Per-GPU temperature lines: observe Eq. 2. ---
-    for (int g = 0; g < gpusPerServer; ++g) {
-        std::vector<std::vector<double>> gpu_x;
-        std::vector<double> gpu_y;
-        for (double inlet : {18.0, 22.0, 26.0, 30.0}) {
-            for (double gpu_power : kGpuPowerGrid) {
-                const double observed =
-                    thermal
-                        .gpuTemperature(id, g, Celsius(inlet),
-                                        Watts(gpu_power))
-                        .value() +
-                    rng.gaussian(0.0, 0.3);
-                gpu_x.push_back({inlet, gpu_power});
-                gpu_y.push_back(observed);
+        // Per-GPU temperature lines: observe Eq. 2. The ground
+        // truth is linear (Eq. 2: inlet + offset + coeff * power),
+        // so hoist the per-GPU terms out of the grid walk; the sums
+        // associate exactly as gpuTemperature() evaluates them.
+        for (std::size_t g = 0; g < gpus; ++g) {
+            const double off =
+                thermal.gpuOffset(id, static_cast<int>(g));
+            const double coeff =
+                thermal.gpuCoeff(id, static_cast<int>(g));
+            k = 0;
+            for (double inlet : kInletGrid) {
+                const double base = inlet + off;
+                for (double gpu_power : kGpuPowerGrid) {
+                    y[k++] = base + coeff * gpu_power +
+                        rng.gaussianFast(0.0, 0.3);
+                }
+            }
+            gpuTempDesign.solveInto(
+                y,
+                &gpuTempCoeffs[(idx * gpus + g) * kGpuTempWidth]);
+        }
+
+        // Power polynomial: observe Eq. 4 (cubic for fan law).
+        const ServerSpec &spec = layout.specOf(id);
+        k = 0;
+        for (double load : kLoadGrid) {
+            const double clean =
+                power.serverPowerAtLoad(spec, load).value();
+            for (int rep = 0; rep < kReps; ++rep) {
+                (void)rep;
+                y[k++] = clean + rng.gaussianFast(0.0, 20.0);
             }
         }
-        LinearRegression gpu_model;
-        gpu_model.fit(gpu_x, gpu_y);
-        gpuTempModels.push_back(std::move(gpu_model));
-    }
+        powerDesign.solveInto(y, &powerCoeffs[idx * kPowerWidth]);
 
-    // --- Power polynomial: observe Eq. 4 (cubic for fan law). ---
-    const ServerSpec &spec = layout.specOf(id);
-    std::vector<double> load_x;
-    std::vector<double> power_y;
-    for (double load : kLoadGrid) {
-        for (int rep = 0; rep < kReps; ++rep) {
-            const double observed =
-                power.serverPowerAtLoad(spec, load).value() +
-                rng.gaussian(0.0, 20.0);
-            load_x.push_back(load);
-            power_y.push_back(observed);
+        // Airflow line: observe Eq. 3's per-server fan curve.
+        k = 0;
+        for (double load : kLoadGrid) {
+            y[k++] = thermal.serverAirflow(id, load).value() +
+                rng.gaussianFast(0.0, 5.0);
         }
-    }
-    PolynomialRegression power_model(3);
-    power_model.fit(load_x, power_y);
-    powerModels.push_back(std::move(power_model));
+        airflowDesign.solveInto(y,
+                                &airflowCoeffs[idx * kAirflowWidth]);
+    };
 
-    // --- Airflow line: observe Eq. 3's per-server fan curve. ---
-    std::vector<std::vector<double>> air_x;
-    std::vector<double> air_y;
-    for (double load : kLoadGrid) {
-        const double observed =
-            thermal.serverAirflow(id, load).value() +
-            rng.gaussian(0.0, 5.0);
-        air_x.push_back({load});
-        air_y.push_back(observed);
+    // Nested pools deadlock (sweep jobs construct simulators on
+    // worker threads), and tiny fleets are faster profiled inline.
+    if (count >= kParallelFitThreshold &&
+        !ThreadPool::onWorkerThread() &&
+        ThreadPool::shared().size() > 1) {
+        ThreadPool::shared().parallelFor(count, profile_server);
+    } else {
+        for (std::size_t s = 0; s < count; ++s)
+            profile_server(s);
     }
-    LinearRegression air_model;
-    air_model.fit(air_x, air_y);
-    airflowModels.push_back(std::move(air_model));
 
-    ++profiledServers;
+    profiledServers = end;
 }
 
 void
 ProfileBank::recomputeClasses()
 {
     inletBias.resize(profiledServers, 0.0);
-    for (std::size_t s = 0; s < profiledServers; ++s) {
-        inletBias[s] = inletModels[s].predict(
-            {kRefOutsideC, kRefDcLoad});
-    }
+    for (std::size_t s = 0; s < profiledServers; ++s)
+        inletBias[s] = evalInlet(s, kRefOutsideC, kRefDcLoad);
     std::vector<std::size_t> order(profiledServers);
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = i;
@@ -173,13 +274,27 @@ ProfileBank::recomputeClasses()
 }
 
 double
+ProfileBank::evalInlet(std::size_t server, double outside_c,
+                       double dc_load_frac) const
+{
+    // Same term order as PiecewiseLinearModel::predict: intercept,
+    // linear x0, hinges, then the extra linear feature.
+    const double *w = &inletCoeffs[server * kInletWidth];
+    double acc = w[0];
+    acc += w[1] * outside_c;
+    acc += w[2] * std::max(0.0, outside_c - kInletKnots[0]);
+    acc += w[3] * std::max(0.0, outside_c - kInletKnots[1]);
+    acc += w[4] * dc_load_frac;
+    return acc;
+}
+
+double
 ProfileBank::predictInletC(ServerId id, double outside_c,
                            double dc_load_frac) const
 {
     tapas_assert(id.index < profiledServers,
                  "server %u not profiled", id.index);
-    const double x[2] = {outside_c, dc_load_frac};
-    return inletModels[id.index].predict(x, 2);
+    return evalInlet(id.index, outside_c, dc_load_frac);
 }
 
 double
@@ -188,31 +303,31 @@ ProfileBank::predictGpuTempC(ServerId id, int gpu, double inlet_c,
 {
     tapas_assert(id.index < profiledServers,
                  "server %u not profiled", id.index);
-    const std::size_t idx =
-        id.index * static_cast<std::size_t>(gpusPerServer) +
-        static_cast<std::size_t>(gpu);
-    const double x[2] = {inlet_c, gpu_power_w};
-    return gpuTempModels[idx].predict(x, 2);
+    const double *w = &gpuTempCoeffs[(id.index *
+                                          static_cast<std::size_t>(
+                                              gpusPerServer) +
+                                      static_cast<std::size_t>(gpu)) *
+                                     kGpuTempWidth];
+    return w[0] + w[1] * inlet_c + w[2] * gpu_power_w;
 }
 
 double
 ProfileBank::predictHottestGpuC(ServerId id, double inlet_c,
                                 double per_gpu_power_w) const
 {
-    // Hot path of the configurator's feasibility sweep: evaluate the
-    // per-GPU lines straight from their coefficients in one loop
-    // instead of paying a predict() call per GPU.
+    // Hot path of the configurator's feasibility sweep: one walk
+    // over the server's contiguous coefficient block.
     tapas_assert(id.index < profiledServers,
                  "server %u not profiled", id.index);
-    const std::size_t base =
-        id.index * static_cast<std::size_t>(gpusPerServer);
+    const double *w =
+        &gpuTempCoeffs[id.index *
+                       static_cast<std::size_t>(gpusPerServer) *
+                       kGpuTempWidth];
     double hottest = -1e9;
-    for (int g = 0; g < gpusPerServer; ++g) {
-        const std::vector<double> &w =
-            gpuTempModels[base + static_cast<std::size_t>(g)]
-                .coefficients();
+    for (int g = 0; g < gpusPerServer; ++g, w += kGpuTempWidth) {
         hottest = std::max(
-            hottest, w[0] + w[1] * inlet_c + w[2] * per_gpu_power_w);
+            hottest,
+            w[0] + w[1] * inlet_c + w[2] * per_gpu_power_w);
     }
     return hottest;
 }
@@ -223,13 +338,12 @@ ProfileBank::predictHottestGpuC(ServerId id, double inlet_c,
 {
     tapas_assert(id.index < profiledServers,
                  "server %u not profiled", id.index);
-    const std::size_t base =
-        id.index * static_cast<std::size_t>(gpusPerServer);
+    const double *w =
+        &gpuTempCoeffs[id.index *
+                       static_cast<std::size_t>(gpusPerServer) *
+                       kGpuTempWidth];
     double hottest = -1e9;
-    for (int g = 0; g < gpusPerServer; ++g) {
-        const std::vector<double> &w =
-            gpuTempModels[base + static_cast<std::size_t>(g)]
-                .coefficients();
+    for (int g = 0; g < gpusPerServer; ++g, w += kGpuTempWidth) {
         hottest = std::max(
             hottest,
             w[0] + w[1] * inlet_c + w[2] * gpu_power_w[g]);
@@ -242,8 +356,16 @@ ProfileBank::predictServerPowerW(ServerId id, double load_frac) const
 {
     tapas_assert(id.index < profiledServers,
                  "server %u not profiled", id.index);
-    return powerModels[id.index].predict(
-        std::clamp(load_frac, 0.0, 1.0));
+    // Same inline power basis as PolynomialRegression::predict.
+    const double x = std::clamp(load_frac, 0.0, 1.0);
+    const double *w = &powerCoeffs[id.index * kPowerWidth];
+    double acc = w[0];
+    double term = x;
+    for (std::size_t p = 1; p < kPowerWidth; ++p) {
+        acc += w[p] * term;
+        term *= x;
+    }
+    return acc;
 }
 
 double
@@ -252,8 +374,9 @@ ProfileBank::predictServerAirflowCfm(ServerId id,
 {
     tapas_assert(id.index < profiledServers,
                  "server %u not profiled", id.index);
-    const double x[1] = {std::clamp(load_frac, 0.0, 1.0)};
-    return airflowModels[id.index].predict(x, 1);
+    const double x = std::clamp(load_frac, 0.0, 1.0);
+    const double *w = &airflowCoeffs[id.index * kAirflowWidth];
+    return w[0] + w[1] * x;
 }
 
 ThermalClass

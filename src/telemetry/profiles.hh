@@ -10,6 +10,15 @@
  * coefficients. Weekly refits then rebuild power templates from live
  * telemetry. TAPAS therefore works with learned approximations, and
  * its mispredictions are real, as in production.
+ *
+ * Every server observes the same bench sweep grids, so the
+ * normal-equation designs are built once (SharedDesign) and each
+ * server's fit reduces to an X^T y accumulation plus a tiny solve —
+ * parallelized across the shared thread pool. The fitted
+ * coefficients land in flat per-model arrays (not per-server
+ * regression objects): the risk and configurator sweeps evaluate
+ * these models millions of times per simulated step, and contiguous
+ * coefficient storage keeps those walks cache-resident.
  */
 
 #ifndef TAPAS_TELEMETRY_PROFILES_HH
@@ -39,7 +48,11 @@ class ProfileBank
     /**
      * Run the offline profiling benchmarks: sweep outside/load/power
      * conditions, observe the ground truth with sensor noise, and
-     * fit all per-server and per-GPU models.
+     * fit all per-server and per-GPU models. Noise streams are
+     * counter-based per server (seeded by server id), so the
+     * per-server observe+fit units fan out across the shared thread
+     * pool with results identical for any profiling order and
+     * thread count.
      */
     void offlineProfile(const ThermalModel &thermal,
                         const PowerModel &power, std::uint64_t seed);
@@ -91,21 +104,39 @@ class ProfileBank
     double inletBiasC(ServerId id) const;
 
   private:
+    /** Coefficient widths of the flat model arrays. */
+    static constexpr std::size_t kInletWidth = 5;
+    static constexpr std::size_t kGpuTempWidth = 3;
+    static constexpr std::size_t kPowerWidth = 4;
+    static constexpr std::size_t kAirflowWidth = 2;
+
     const DatacenterLayout &layout;
 
-    std::vector<PiecewiseLinearModel> inletModels;
-    /** [server * gpusPerServer + gpu] */
-    std::vector<LinearRegression> gpuTempModels;
-    std::vector<PolynomialRegression> powerModels;
-    std::vector<LinearRegression> airflowModels;
+    /** Shared bench-sweep designs (identical grid for every server). */
+    SharedDesign inletDesign;
+    SharedDesign gpuTempDesign;
+    SharedDesign powerDesign;
+    SharedDesign airflowDesign;
+
+    /** Flat fitted coefficients, indexed by server (x gpu). */
+    std::vector<double> inletCoeffs;
+    std::vector<double> gpuTempCoeffs;
+    std::vector<double> powerCoeffs;
+    std::vector<double> airflowCoeffs;
+
     std::vector<double> inletBias;
     std::vector<ThermalClass> classes;
     std::size_t profiledServers = 0;
     int gpusPerServer = 8;
 
-    void profileServer(ServerId id, const ThermalModel &thermal,
-                       const PowerModel &power, Rng &rng);
+    void profileRange(std::size_t begin, std::size_t end,
+                      const ThermalModel &thermal,
+                      const PowerModel &power,
+                      std::uint64_t noise_base);
     void recomputeClasses();
+
+    double evalInlet(std::size_t server, double outside_c,
+                     double dc_load_frac) const;
 };
 
 } // namespace tapas

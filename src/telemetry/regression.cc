@@ -120,7 +120,115 @@ fitOls(const std::vector<std::vector<double>> &rows,
     return solveNormalEquations(std::move(xtx), std::move(xty));
 }
 
+/**
+ * Flat-storage twin of solveNormalEquations: identical operation
+ * sequence (ridge, partial pivoting, elimination, back-substitution)
+ * over a row-major n x n matrix. Destroys @p A and @p b in place;
+ * writes the weights into caller storage.
+ */
+void
+solveNormalEquationsInPlace(double *A, double *b, std::size_t n,
+                            double *w)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        A[i * n + i] += 1e-9;
+
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(A[r * n + col]) >
+                std::abs(A[pivot * n + col])) {
+                pivot = r;
+            }
+        }
+        if (pivot != col) {
+            std::swap_ranges(A + col * n, A + (col + 1) * n,
+                             A + pivot * n);
+        }
+        std::swap(b[col], b[pivot]);
+        tapas_assert(std::abs(A[col * n + col]) > 1e-15,
+                     "singular normal equations");
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = A[r * n + col] / A[col * n + col];
+            for (std::size_t c = col; c < n; ++c)
+                A[r * n + c] -= factor * A[col * n + c];
+            b[r] -= factor * b[col];
+        }
+    }
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            acc -= A[i * n + c] * w[c];
+        w[i] = acc / A[i * n + i];
+    }
+}
+
 } // namespace
+
+SharedDesign::SharedDesign(
+    const std::vector<std::vector<double>> &rows)
+{
+    tapas_assert(!rows.empty(), "shared design needs rows");
+    samples = rows.size();
+    wide = rows.front().size() + 1;
+    basisRows.assign(samples * wide, 0.0);
+    xtx.assign(wide * wide, 0.0);
+    // Same accumulation order as fitOls: per observation, then the
+    // (a, b) upper loop — bit-identical partial sums.
+    for (std::size_t i = 0; i < samples; ++i) {
+        tapas_assert(rows[i].size() + 1 == wide,
+                     "ragged design rows");
+        double *row = &basisRows[i * wide];
+        row[0] = 1.0;
+        for (std::size_t j = 0; j < rows[i].size(); ++j)
+            row[j + 1] = rows[i][j];
+        for (std::size_t a = 0; a < wide; ++a) {
+            for (std::size_t b = 0; b < wide; ++b)
+                xtx[a * wide + b] += row[a] * row[b];
+        }
+    }
+}
+
+void
+SharedDesign::solve(const std::vector<double> &y,
+                    std::vector<double> &weights) const
+{
+    tapas_assert(y.size() == samples,
+                 "target length %zu does not match design %zu",
+                 y.size(), samples);
+    weights.resize(wide);
+    solveInto(y.data(), weights.data());
+}
+
+void
+SharedDesign::solveInto(const double *y, double *weights) const
+{
+    tapas_assert(ready(), "solve on an empty design");
+    // Fleet refits call this once per series; small systems (the
+    // common case — a handful of regression weights) solve entirely
+    // on the stack.
+    constexpr std::size_t kStackWidth = 8;
+    if (wide <= kStackWidth) {
+        double xty[kStackWidth] = {0.0};
+        double a[kStackWidth * kStackWidth];
+        std::copy(xtx.begin(), xtx.end(), a);
+        for (std::size_t i = 0; i < samples; ++i) {
+            const double *row = &basisRows[i * wide];
+            for (std::size_t k = 0; k < wide; ++k)
+                xty[k] += row[k] * y[i];
+        }
+        solveNormalEquationsInPlace(a, xty, wide, weights);
+        return;
+    }
+    std::vector<double> xty(wide, 0.0);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double *row = &basisRows[i * wide];
+        for (std::size_t a = 0; a < wide; ++a)
+            xty[a] += row[a] * y[i];
+    }
+    std::vector<double> a = xtx;
+    solveNormalEquationsInPlace(a.data(), xty.data(), wide, weights);
+}
 
 void
 LinearRegression::fit(const std::vector<std::vector<double>> &X,

@@ -29,6 +29,50 @@ double rSquared(const std::vector<double> &truth,
                 const std::vector<double> &pred);
 
 /**
+ * Precomputed OLS design for fitting many target vectors against one
+ * shared measurement grid (batched refits: every server in a fleet
+ * observes the same bench sweep, only the targets differ). Stores
+ * the intercept-augmented basis rows and the accumulated normal
+ * matrix X^T X once; solve(y) then costs a single X^T y accumulation
+ * plus one tiny dense solve per series. The accumulation order
+ * matches LinearRegression::fit exactly, so the weights are
+ * bit-identical to an unbatched fit on the same rows.
+ */
+class SharedDesign
+{
+  public:
+    SharedDesign() = default;
+
+    /** @param rows raw feature rows (no intercept column). */
+    explicit SharedDesign(
+        const std::vector<std::vector<double>> &rows);
+
+    bool ready() const { return !basisRows.empty(); }
+    std::size_t sampleCount() const { return samples; }
+    /** Weight count, including the intercept. */
+    std::size_t width() const { return wide; }
+
+    /**
+     * Solve for the weights of one target vector; @p weights is
+     * resized to width(). Bit-identical to LinearRegression::fit on
+     * (rows, y).
+     */
+    void solve(const std::vector<double> &y,
+               std::vector<double> &weights) const;
+
+    /** Solve writing the weights into a caller-owned slice. */
+    void solveInto(const double *y, double *weights) const;
+
+  private:
+    /** Row-major intercept-augmented rows: samples x width. */
+    std::vector<double> basisRows;
+    /** Accumulated X^T X (row-major width x width). */
+    std::vector<double> xtx;
+    std::size_t samples = 0;
+    std::size_t wide = 0;
+};
+
+/**
  * Ordinary least squares over arbitrary feature rows, solved by
  * normal equations with Gaussian elimination and partial pivoting.
  * An intercept column is added internally.

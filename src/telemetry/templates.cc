@@ -26,7 +26,7 @@ hourOfDay(SimTime t)
 } // namespace
 
 PowerTemplates::Table
-PowerTemplates::buildTable(const std::vector<KeyedSample> &series,
+PowerTemplates::buildTable(const SeriesView<KeyedSample> &series,
                            int buckets, SimTime bucket_span,
                            const TemplateQuantiles &quantiles)
 {

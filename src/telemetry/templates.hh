@@ -67,7 +67,7 @@ class PowerTemplates
     /** [bucket][level] quantile values. */
     using Table = std::vector<std::array<double, 3>>;
 
-    static Table buildTable(const std::vector<KeyedSample> &series,
+    static Table buildTable(const SeriesView<KeyedSample> &series,
                             int buckets, SimTime bucket_span,
                             const TemplateQuantiles &quantiles);
 

@@ -86,6 +86,14 @@ class RequestGenerator
     std::vector<Request> generate(EndpointId id, SimTime from,
                                   SimTime to);
 
+    /**
+     * Pooled variant: @p out is cleared and refilled, retaining its
+     * capacity across calls so steady-state request-level stepping
+     * allocates nothing.
+     */
+    void generate(EndpointId id, SimTime from, SimTime to,
+                  std::vector<Request> &out);
+
   private:
     std::vector<EndpointDemand> endpointList;
     LengthDistribution lengthDist;

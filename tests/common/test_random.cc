@@ -102,6 +102,56 @@ TEST(Rng, GaussianShiftScale)
     EXPECT_NEAR(sum / n, 10.0, 0.05);
 }
 
+TEST(Rng, GaussianFastMomentsAndTail)
+{
+    // The ziggurat path must produce the same distribution as the
+    // Box-Muller path: standard moments, symmetric, with a real
+    // tail beyond the ziggurat's base layer boundary (|x| > 3.44).
+    Rng rng(29);
+    double sum = 0.0;
+    double sq = 0.0;
+    double cube = 0.0;
+    int tail = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussianFast();
+        sum += g;
+        sq += g * g;
+        cube += g * g * g;
+        if (std::abs(g) > 3.442619855899)
+            ++tail;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sq / n, 1.0, 0.01);
+    EXPECT_NEAR(cube / n, 0.0, 0.05);
+    // P(|N| > 3.4426) ~ 5.76e-4.
+    EXPECT_GT(tail, n * 2.0e-4);
+    EXPECT_LT(tail, n * 1.5e-3);
+}
+
+TEST(Rng, GaussianFastDeterministicPerSeed)
+{
+    Rng a(77);
+    Rng b(77);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_DOUBLE_EQ(a.gaussianFast(), b.gaussianFast());
+}
+
+TEST(Rng, GaussianFastShiftScale)
+{
+    Rng rng(31);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussianFast(10.0, 2.0);
+        sum += g;
+        sq += (g - 10.0) * (g - 10.0);
+    }
+    EXPECT_NEAR(sum / n, 10.0, 0.02);
+    EXPECT_NEAR(sq / n, 4.0, 0.05);
+}
+
 TEST(Rng, ExponentialMean)
 {
     Rng rng(23);

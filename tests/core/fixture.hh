@@ -30,7 +30,7 @@ class CoreFixture : public ::testing::Test
               dc.specs().front(),
               PerfParams::forSku(dc.specs().front().sku)))
     {
-        bank.offlineProfile(thermal, powerModel, 7);
+        bank.offlineProfile(thermal, powerModel, 8);
         view.layout = &dc;
         view.cooling = &cooling;
         view.power = &hierarchy;

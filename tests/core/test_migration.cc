@@ -82,10 +82,12 @@ TEST(MigrationSim, PeriodicMigrationRunsInSimulator)
     sim.run();
     // Migration is an optimization, not a requirement; but the
     // machinery must never corrupt placement state.
-    for (const SimVm &vm : sim.vms()) {
-        if (vm.active())
-            EXPECT_TRUE(vm.server.valid());
+    const VmTable &vms = sim.vms();
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+        if (vms.active(i))
+            EXPECT_TRUE(vms.server(i).valid());
     }
+    EXPECT_TRUE(sim.verifyVmTable());
     EXPECT_GT(sim.metrics().sloAttainment(), 0.90);
 }
 

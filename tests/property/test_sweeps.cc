@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <tuple>
 
 #include "common/threadpool.hh"
@@ -301,6 +304,70 @@ TEST(ScenarioSweepDeterminism, ParallelMatchesSerialRuns)
     // Distinct seeds really are distinct replications.
     EXPECT_NE(outcomes[0].metrics.datacenterPowerW.mean(),
               outcomes[1].metrics.datacenterPowerW.mean());
+}
+
+TEST(ScenarioSweepGrids, PolicyMatrixBuildsNamedCombinations)
+{
+    const auto jobs = ScenarioSweep::crossPolicies(
+        {{"base", sweepScenario(1)}},
+        ScenarioSweep::ablationMatrix());
+    ASSERT_EQ(jobs.size(), 8u);
+    EXPECT_EQ(jobs.front().name, "base/baseline");
+    EXPECT_FALSE(jobs.front().config.policy.placeEnabled);
+    EXPECT_EQ(jobs.back().name, "base/tapas");
+    EXPECT_TRUE(jobs.back().config.policy.placeEnabled);
+    EXPECT_TRUE(jobs.back().config.policy.routeEnabled);
+    EXPECT_TRUE(jobs.back().config.policy.configEnabled);
+    // All eight combinations are distinct.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        for (std::size_t j = i + 1; j < jobs.size(); ++j) {
+            const TapasPolicyConfig &a = jobs[i].config.policy;
+            const TapasPolicyConfig &b = jobs[j].config.policy;
+            EXPECT_FALSE(a.placeEnabled == b.placeEnabled &&
+                         a.routeEnabled == b.routeEnabled &&
+                         a.configEnabled == b.configEnabled);
+        }
+    }
+}
+
+TEST(ScenarioSweepGrids, OversubscriptionRangeComposesWithSeeds)
+{
+    const auto jobs = ScenarioSweep::crossSeeds(
+        ScenarioSweep::crossOversubscription(
+            {{"grid", sweepScenario(1).asTapas()}}, {0, 20, 40}),
+        {5, 9});
+    ASSERT_EQ(jobs.size(), 6u);
+    EXPECT_EQ(jobs[0].name, "grid/os0/s5");
+    EXPECT_EQ(jobs[0].config.oversubscriptionPct, 0);
+    EXPECT_EQ(jobs[0].config.seed, 5u);
+    EXPECT_EQ(jobs[5].name, "grid/os40/s9");
+    EXPECT_EQ(jobs[5].config.oversubscriptionPct, 40);
+    EXPECT_EQ(jobs[5].config.seed, 9u);
+}
+
+TEST(ScenarioSweepGrids, SweepBenchEmitterWritesTrajectoryJson)
+{
+    std::vector<SweepJob> jobs;
+    SimConfig cfg = sweepScenario(3).asTapas();
+    cfg.horizon = kHour;
+    jobs.push_back({"emit", cfg});
+    ThreadPool pool(2);
+    const auto outcomes = ScenarioSweep(pool).run(jobs);
+    const std::string path = "BENCH_test_sweep_emitter.json";
+    ASSERT_TRUE(
+        writeSweepBenchJson(path, "test_sweep", "test", outcomes));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+    EXPECT_NE(json.find("\"bench\": \"test_sweep\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"emit\""), std::string::npos);
+    EXPECT_NE(json.find("\"steps_per_s\": "), std::string::npos);
+    EXPECT_NE(json.find("\"peak_row_power_frac\": "),
+              std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(ScenarioSweepDeterminism, ThreadCountDoesNotChangeResults)

@@ -252,9 +252,11 @@ TEST(SimIntegration, EnginesFollowConfiguratorDecisions)
     // from the reference configuration.
     EXPECT_GT(sim.metrics().reconfigs, 0u);
     bool any_non_reference = false;
-    for (const SimVm &vm : sim.vms()) {
-        if (vm.active() && vm.record.kind == VmKind::SaaS &&
-            !(vm.engine->profile().config == referenceConfig())) {
+    const VmTable &vms = sim.vms();
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+        if (vms.isSaas(i) &&
+            !(vms.engineAt(i)->profile().config ==
+              referenceConfig())) {
             any_non_reference = true;
         }
     }

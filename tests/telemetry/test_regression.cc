@@ -86,6 +86,64 @@ TEST(PolynomialRegression, DegreeOneIsLine)
     EXPECT_NEAR(model.predict(10.0), 21.0, 1e-6);
 }
 
+TEST(SharedDesign, SolveMatchesUnbatchedFitBitwise)
+{
+    // The batched profile refits rely on this: solving against a
+    // shared design must reproduce LinearRegression::fit on the
+    // same rows exactly, for every target vector.
+    std::vector<std::vector<double>> rows;
+    Rng rng(11);
+    for (int i = 0; i < 60; ++i)
+        rows.push_back({rng.uniform(-3.0, 3.0),
+                        rng.uniform(0.0, 400.0),
+                        rng.uniform(0.0, 1.0)});
+    const SharedDesign design(rows);
+    EXPECT_EQ(design.sampleCount(), rows.size());
+    EXPECT_EQ(design.width(), 4u);
+
+    for (int series = 0; series < 8; ++series) {
+        std::vector<double> y;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            y.push_back(5.0 * rows[i][0] - 0.01 * rows[i][1] +
+                        rng.gaussian(0.0, series + 1.0));
+        }
+        LinearRegression reference;
+        reference.fit(rows, y);
+        std::vector<double> batched;
+        design.solve(y, batched);
+        ASSERT_EQ(batched.size(), reference.coefficients().size());
+        for (std::size_t k = 0; k < batched.size(); ++k) {
+            EXPECT_EQ(batched[k], reference.coefficients()[k])
+                << "series " << series << " weight " << k;
+        }
+    }
+}
+
+TEST(SharedDesign, WideSystemFallsBackToHeapPath)
+{
+    // 10 features exceeds the stack-solve width; results must still
+    // match the unbatched fit.
+    std::vector<std::vector<double>> rows;
+    Rng rng(13);
+    for (int i = 0; i < 80; ++i) {
+        std::vector<double> row;
+        for (int f = 0; f < 10; ++f)
+            row.push_back(rng.uniform(-1.0, 1.0));
+        rows.push_back(std::move(row));
+    }
+    std::vector<double> y;
+    for (int i = 0; i < 80; ++i)
+        y.push_back(rng.uniform(0.0, 10.0));
+    const SharedDesign design(rows);
+    LinearRegression reference;
+    reference.fit(rows, y);
+    std::vector<double> batched;
+    design.solve(y, batched);
+    ASSERT_EQ(batched.size(), reference.coefficients().size());
+    for (std::size_t k = 0; k < batched.size(); ++k)
+        EXPECT_EQ(batched[k], reference.coefficients()[k]);
+}
+
 TEST(PiecewiseLinear, RecoversKneeFunction)
 {
     // Ground truth shaped like the cooling curve: flat, then steep,

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Ring-buffer telemetry series versus a naive unbounded-vector
+ * reference: append/trim/digest equality under churn, eviction
+ * semantics at capacity, and the contiguous-chunk view contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hh"
+#include "telemetry/history.hh"
+#include "telemetry/series.hh"
+
+namespace tapas {
+namespace {
+
+/** Naive reference: unbounded vector with erase-from-front trims. */
+struct NaiveSeries
+{
+    std::vector<KeyedSample> data;
+
+    void push(const KeyedSample &s) { data.push_back(s); }
+
+    void
+    trimBefore(SimTime cutoff)
+    {
+        auto first_kept = std::find_if(
+            data.begin(), data.end(), [cutoff](const KeyedSample &s) {
+                return s.time >= cutoff;
+            });
+        data.erase(data.begin(), first_kept);
+    }
+
+    double
+    peak() const
+    {
+        double out = 0.0;
+        for (std::size_t i = 0; i < data.size(); ++i)
+            out = i == 0 ? data[i].value
+                         : std::max(out, double(data[i].value));
+        return out;
+    }
+
+    SimTime
+    span() const
+    {
+        return data.empty() ? 0
+                            : data.back().time - data.front().time;
+    }
+};
+
+void
+expectEqual(const KeyedSeriesRing &ring, const NaiveSeries &ref)
+{
+    const SeriesView<KeyedSample> view = ring.view();
+    ASSERT_EQ(view.size(), ref.data.size());
+    for (std::size_t i = 0; i < ref.data.size(); ++i) {
+        EXPECT_EQ(view[i].time, ref.data[i].time);
+        EXPECT_EQ(view[i].value, ref.data[i].value);
+    }
+    EXPECT_DOUBLE_EQ(ring.peakValue(), ref.peak());
+    EXPECT_EQ(ring.span(), ref.span());
+}
+
+TEST(SampleRing, MatchesNaiveReferenceUnderChurn)
+{
+    // Random interleaving of appends and trims; as long as the ring
+    // never overflows, it must be indistinguishable from the naive
+    // unbounded store.
+    Rng rng(41);
+    KeyedSeriesRing ring(512);
+    NaiveSeries ref;
+    SimTime t = 0;
+    SimTime cutoff = 0;
+    for (int op = 0; op < 4000; ++op) {
+        if (rng.bernoulli(0.85) || ref.data.empty()) {
+            t += rng.uniformInt(1, 600);
+            const KeyedSample s{
+                t, static_cast<float>(rng.uniform(0.0, 5000.0))};
+            ring.push(s);
+            ref.push(s);
+        } else {
+            cutoff = std::max(
+                cutoff,
+                ref.data.front().time +
+                    rng.uniformInt(0, ref.span() + 1));
+            ring.trimBefore(cutoff);
+            ref.trimBefore(cutoff);
+        }
+        // Keep the churn below capacity so the semantics must agree.
+        if (ref.data.size() > 480) {
+            cutoff =
+                std::max(cutoff, ref.data[ref.data.size() / 2].time);
+            ring.trimBefore(cutoff);
+            ref.trimBefore(cutoff);
+        }
+        if (op % 7 == 0)
+            expectEqual(ring, ref);
+    }
+    expectEqual(ring, ref);
+}
+
+TEST(SampleRing, EvictsOldestAtCapacity)
+{
+    KeyedSeriesRing ring(8);
+    for (SimTime t = 0; t < 20; ++t)
+        ring.push({t, static_cast<float>(t)});
+    EXPECT_EQ(ring.size(), 8u);
+    EXPECT_EQ(ring.front().time, 12);
+    EXPECT_EQ(ring.back().time, 19);
+    // Digest tracks the retained window only.
+    EXPECT_DOUBLE_EQ(ring.peakValue(), 19.0);
+    EXPECT_EQ(ring.span(), 7);
+}
+
+TEST(SampleRing, PeakRecomputesAfterEvictingThePeak)
+{
+    KeyedSeriesRing ring(4);
+    ring.push({0, 100.0f});
+    ring.push({1, 5.0f});
+    ring.push({2, 7.0f});
+    EXPECT_DOUBLE_EQ(ring.peakValue(), 100.0);
+    ring.push({3, 6.0f});
+    ring.push({4, 1.0f}); // evicts the 100 peak
+    EXPECT_DOUBLE_EQ(ring.peakValue(), 7.0);
+    ring.trimBefore(3); // evicts the 7 peak via trim
+    EXPECT_DOUBLE_EQ(ring.peakValue(), 6.0);
+}
+
+TEST(SampleRing, ViewChunksAreContiguousAndOrdered)
+{
+    KeyedSeriesRing ring(6);
+    for (SimTime t = 0; t < 10; ++t)
+        ring.push({t, static_cast<float>(t)});
+    const SeriesView<KeyedSample> view = ring.view();
+    ASSERT_EQ(view.size(), 6u);
+    // A wrapped ring exposes exactly two chunks covering the data.
+    EXPECT_EQ(view.firstChunk().size + view.secondChunk().size, 6u);
+    EXPECT_GT(view.secondChunk().size, 0u);
+    SimTime prev = -1;
+    for (const KeyedSample &s : view) {
+        EXPECT_GT(s.time, prev);
+        prev = s.time;
+    }
+    EXPECT_EQ(view.front().time, 4);
+    EXPECT_EQ(view.back().time, 9);
+}
+
+TEST(TelemetryStore, RingCapacityBoundsSeries)
+{
+    // A store sized to a small retention window keeps only the most
+    // recent samples, in order.
+    TelemetryStore store(16);
+    for (SimTime t = 0; t < 100; ++t)
+        store.recordRowPower(RowId(0), t * 600, 1000.0 + t);
+    const auto series = store.rowPowerSeries(RowId(0));
+    EXPECT_EQ(series.size(), 16u);
+    EXPECT_EQ(series.front().time, 84 * 600);
+    EXPECT_EQ(series.back().time, 99 * 600);
+    EXPECT_DOUBLE_EQ(store.rowPowerPeak(RowId(0)), 1099.0);
+}
+
+TEST(TelemetryStore, TrimBeforeMatchesEraseSemantics)
+{
+    TelemetryStore store;
+    for (SimTime t = 0; t < 10 * kHour; t += kHour)
+        store.recordRowPower(RowId(0), t, 1.0);
+    store.trimBefore(5 * kHour);
+    EXPECT_EQ(store.rowPowerSeries(RowId(0)).size(), 5u);
+    EXPECT_EQ(store.rowPowerSeries(RowId(0)).front().time,
+              5 * kHour);
+    // Trimming everything leaves an empty, reusable series.
+    store.trimBefore(kWeek);
+    EXPECT_TRUE(store.rowPowerSeries(RowId(0)).empty());
+    store.recordRowPower(RowId(0), kWeek, 2.0);
+    EXPECT_EQ(store.rowPowerSeries(RowId(0)).size(), 1u);
+}
+
+} // namespace
+} // namespace tapas
