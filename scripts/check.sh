@@ -1,23 +1,70 @@
 #!/usr/bin/env bash
 # Local pre-PR gate: the tier-1 verify line plus the step-loop bench
-# in smoke mode. Run from anywhere inside the repo.
+# perf gate in Release, and a Debug pass that actually executes the
+# incremental-view/predictor cross-check asserts. Run from anywhere
+# inside the repo.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== configure =="
+# ctest reporting "Skipped" means a registered test silently stopped
+# gating; fail loudly instead of letting coverage decay. GTEST_SKIP
+# is surfaced by the SKIP_REGULAR_EXPRESSION property every test
+# target carries (the binary exits 0, so ctest would otherwise count
+# it as Passed); DISABLED_ tests never run at all, so they are
+# caught at the source level below.
+fail_on_skipped() {
+    local log="$1"
+    if grep -qE '\*\*\*Skipped|\(Skipped\)|[0-9]+ tests? skipped|\[  SKIPPED \]' \
+        "$log"; then
+        echo "FAIL: skipped tests detected in $log" >&2
+        exit 1
+    fi
+}
+
+echo "== no disabled tests =="
+if grep -rnE 'TEST(_F|_P)?\(.*DISABLED_|DISABLED_[A-Za-z0-9_]+\s*,' \
+    tests/; then
+    echo "FAIL: DISABLED_ tests found (they silently stop gating)" >&2
+    exit 1
+fi
+
+echo "== configure (Release) =="
 cmake -B build -S .
 
-echo "== build =="
+echo "== build (Release) =="
 cmake --build build -j
 
-echo "== tier-1 tests =="
-(cd build && ctest --output-on-failure -j --no-tests=error)
+echo "== tier-1 tests (Release) =="
+release_log=$(mktemp)
+(cd build && ctest --output-on-failure -j --no-tests=error) \
+    | tee "$release_log"
+fail_on_skipped "$release_log"
 
-echo "== step-loop bench + perf gate =="
+echo "== step-loop bench + perf gate (Release) =="
 # Full mode (the loop is fast enough); emit the JSON into build/ so
 # the repo root stays clean, and gate >20% steps/s regressions
 # against the committed baseline.
 (cd build && ./bench_step_loop --check ../BENCH_step_loop.json)
+
+echo "== configure (Debug) =="
+cmake -B build-dbg -S . -DCMAKE_BUILD_TYPE=Debug
+
+echo "== build (Debug) =="
+cmake --build build-dbg -j
+
+echo "== tier-1 tests (Debug, asserts on) =="
+debug_log=$(mktemp)
+(cd build-dbg && ctest --output-on-failure -j --no-tests=error) \
+    | tee "$debug_log"
+fail_on_skipped "$debug_log"
+
+echo "== step-loop bench under Debug asserts =="
+# Smoke mode with --check: in a Debug build the binary skips the
+# (meaningless) steps/s comparison but drives the full step loop, so
+# the per-step ClusterView-vs-rebuild and SoA/routing cross-check
+# asserts actually execute pre-PR.
+(cd build-dbg && ./bench_step_loop --smoke --check \
+    ../BENCH_step_loop.json)
 
 echo "OK: all checks passed"

@@ -35,29 +35,23 @@ BaselineAllocator::place(const PlacementRequest &request,
 
 namespace {
 
-/**
- * Heat/load level the configurator can always push a SaaS instance
- * down to; budget validators count SaaS at this controllable floor
- * because TAPAS reclaims that slack at runtime (Section 4.4:
- * oversubscription leverages the slack TAPAS creates).
- */
-constexpr double kSaasControllableLoad = 0.45;
+constexpr double kSaasControllableLoad =
+    TapasAllocator::kSaasControllableLoad;
 
-/** Per-server predicted peak load map from the placed VM views. */
-std::vector<double>
-peakLoadByServer(const ClusterView &view)
+} // namespace
+
+void
+TapasAllocator::peakLoadByServer(const ClusterView &view,
+                                 std::vector<double> &peaks)
 {
-    std::vector<double> peaks(view.layout->serverCount(), 0.0);
+    peaks.assign(view.layout->serverCount(), 0.0);
     for (const PlacedVmView &vm : view.vms) {
         double peak = vm.predictedPeakLoad;
         if (vm.kind == VmKind::SaaS)
             peak = std::min(peak, kSaasControllableLoad);
         peaks[vm.server.index] = peak;
     }
-    return peaks;
 }
-
-} // namespace
 
 double
 TapasAllocator::predictedAisleAirflow(const ClusterView &view,
@@ -66,14 +60,25 @@ TapasAllocator::predictedAisleAirflow(const ClusterView &view,
                                       double extra_peak_load)
 {
     tapas_assert(view.profiles, "TAPAS allocator needs profiles");
-    const std::vector<double> peaks = peakLoadByServer(view);
-    double total = 0.0;
-    for (ServerId sid : view.layout->aisle(aisle).servers) {
-        double load = peaks[sid.index];
-        if (extra_server.valid() && sid == extra_server)
+    view.assertFresh();
+    std::vector<double> peaks;
+    peakLoadByServer(view, peaks);
+    const std::vector<ServerId> &servers =
+        view.layout->aisle(aisle).servers;
+    std::vector<double> loads(servers.size());
+    std::vector<double> airflow(servers.size());
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        double load = peaks[servers[i].index];
+        if (extra_server.valid() && servers[i] == extra_server)
             load = std::max(load, extra_peak_load);
-        total += view.profiles->predictServerAirflowCfm(sid, load);
+        loads[i] = load;
     }
+    view.profiles->predictAirflowGather(servers.data(), loads.data(),
+                                        servers.size(),
+                                        airflow.data());
+    double total = 0.0;
+    for (std::size_t i = 0; i < servers.size(); ++i)
+        total += airflow[i];
     return total;
 }
 
@@ -83,17 +88,28 @@ TapasAllocator::predictedRowPower(const ClusterView &view, RowId row,
                                   double extra_peak_load)
 {
     tapas_assert(view.profiles, "TAPAS allocator needs profiles");
-    const std::vector<double> peaks = peakLoadByServer(view);
-    double total = 0.0;
-    for (ServerId sid : view.layout->row(row).servers) {
+    view.assertFresh();
+    std::vector<double> peaks;
+    peakLoadByServer(view, peaks);
+    const std::vector<ServerId> &servers =
+        view.layout->row(row).servers;
+    std::vector<double> loads(servers.size());
+    std::vector<double> power(servers.size());
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        const ServerId sid = servers[i];
         double load = peaks[sid.index];
         const bool is_occupied = view.occupied[sid.index];
         if (extra_server.valid() && sid == extra_server)
             load = std::max(load, extra_peak_load);
         else if (!is_occupied)
             load = 0.0;
-        total += view.profiles->predictServerPowerW(sid, load);
+        loads[i] = load;
     }
+    view.profiles->predictPowerGather(servers.data(), loads.data(),
+                                      servers.size(), power.data());
+    double total = 0.0;
+    for (std::size_t i = 0; i < servers.size(); ++i)
+        total += power[i];
     return total;
 }
 
@@ -102,12 +118,16 @@ TapasAllocator::place(const PlacementRequest &request,
                       const ClusterView &view)
 {
     tapas_assert(view.profiles, "TAPAS allocator needs profiles");
+    view.assertFresh();
     const DatacenterLayout &layout = *view.layout;
     const ProfileBank &profiles = *view.profiles;
+    const std::size_t servers = layout.serverCount();
 
     // Pre-compute per-row VM mix for the balance rule.
-    std::vector<int> row_iaas(layout.rowCount(), 0);
-    std::vector<int> row_saas(layout.rowCount(), 0);
+    rowIaasScratch.assign(layout.rowCount(), 0);
+    rowSaasScratch.assign(layout.rowCount(), 0);
+    std::vector<int> &row_iaas = rowIaasScratch;
+    std::vector<int> &row_saas = rowSaasScratch;
     for (const PlacedVmView &vm : view.vms) {
         const RowId row = layout.server(vm.server).row;
         if (vm.kind == VmKind::IaaS) {
@@ -125,36 +145,80 @@ TapasAllocator::place(const PlacementRequest &request,
     std::optional<ServerId> fallback;
     double fallback_hottest = 1e18;
 
-    // Precompute aggregate peak demands once; per candidate only the
-    // candidate's own delta changes (keeps place() linear).
-    const std::vector<double> peaks = peakLoadByServer(view);
-    std::vector<double> aisle_base(layout.aisleCount(), 0.0);
-    std::vector<double> row_base(layout.rowCount(), 0.0);
-    for (const Server &server : layout.servers()) {
-        const double peak = view.occupied[server.id.index]
-            ? peaks[server.id.index]
-            : 0.0;
-        aisle_base[server.aisle.index] +=
-            profiles.predictServerAirflowCfm(server.id, peak);
-        row_base[server.row.index] +=
-            profiles.predictServerPowerW(server.id, peak);
+    // SaaS requests count at their controllable floor for the
+    // airflow/power validators; the thermal projection uses the raw
+    // predicted peak.
+    const double request_peak = request.kind == VmKind::SaaS
+        ? std::min(request.predictedPeakLoad, kSaasControllableLoad)
+        : request.predictedPeakLoad;
+
+    // Precompute every per-server prediction the candidate loop
+    // needs as fleet-wide batched passes: the occupied-peak demand
+    // bases, the empty/requested what-if deltas, and the design-day
+    // thermal projection. The loop below then only reads packed
+    // arrays; per candidate only its own delta changes (keeps
+    // place() linear).
+    peakLoadByServer(view, peaksScratch);
+    for (std::size_t s = 0; s < servers; ++s) {
+        if (!view.occupied[s])
+            peaksScratch[s] = 0.0;
     }
+    airflowZeroScratch.resize(servers);
+    airflowReqScratch.resize(servers);
+    powerZeroScratch.resize(servers);
+    powerReqScratch.resize(servers);
+    inletScratch.resize(servers);
+    perGpuWScratch.resize(servers);
+    hottestScratch.resize(servers);
+    // Reuse the occupied-peak airflow/power pass for the bases.
+    profiles.predictAirflowBatch(peaksScratch.data(), servers,
+                                 airflowReqScratch.data());
+    profiles.predictPowerBatch(peaksScratch.data(), servers,
+                               powerReqScratch.data());
+    aisleBaseScratch.assign(layout.aisleCount(), 0.0);
+    rowBaseScratch.assign(layout.rowCount(), 0.0);
+    std::vector<double> &aisle_base = aisleBaseScratch;
+    std::vector<double> &row_base = rowBaseScratch;
+    for (const Server &server : layout.servers()) {
+        aisle_base[server.aisle.index] +=
+            airflowReqScratch[server.id.index];
+        row_base[server.row.index] +=
+            powerReqScratch[server.id.index];
+    }
+    profiles.predictAirflowUniformBatch(0.0, servers,
+                                        airflowZeroScratch.data());
+    profiles.predictAirflowUniformBatch(request_peak, servers,
+                                        airflowReqScratch.data());
+    profiles.predictPowerUniformBatch(0.0, servers,
+                                      powerZeroScratch.data());
+    profiles.predictPowerUniformBatch(request_peak, servers,
+                                      powerReqScratch.data());
+    // Design-day conservatism: a placement lives for weeks, so
+    // project against a hot afternoon at high datacenter load.
+    profiles.predictInletBatch(std::max(view.outsideC, 34.0), 1.0,
+                               servers, inletScratch.data());
+    for (const Server &server : layout.servers()) {
+        const ServerSpec &spec = layout.specOf(server.id);
+        perGpuWScratch[server.id.index] =
+            spec.gpuIdlePower.value() +
+            (spec.gpuMaxPower.value() -
+             spec.gpuIdlePower.value()) *
+                request.predictedPeakLoad;
+    }
+    profiles.predictHottestGpuUniformBatch(inletScratch.data(),
+                                           perGpuWScratch.data(),
+                                           servers,
+                                           hottestScratch.data());
 
     for (const Server &server : layout.servers()) {
         if (view.occupied[server.id.index])
             continue;
 
-        // --- Validator rule: Eq. 3 (airflow) and Eq. 4 (power).
-        // SaaS requests count at their controllable floor. ---
-        const double request_peak = request.kind == VmKind::SaaS
-            ? std::min(request.predictedPeakLoad,
-                       kSaasControllableLoad)
-            : request.predictedPeakLoad;
+        // --- Validator rule: Eq. 3 (airflow) and Eq. 4 (power). ---
         const double aisle_demand =
             aisle_base[server.aisle.index] -
-            profiles.predictServerAirflowCfm(server.id, 0.0) +
-            profiles.predictServerAirflowCfm(server.id,
-                                             request_peak);
+            airflowZeroScratch[server.id.index] +
+            airflowReqScratch[server.id.index];
         const double aisle_budget =
             view.cooling->effectiveProvision(server.aisle).value();
         if (aisle_demand > aisle_budget)
@@ -162,26 +226,18 @@ TapasAllocator::place(const PlacementRequest &request,
 
         const double row_demand =
             row_base[server.row.index] -
-            profiles.predictServerPowerW(server.id, 0.0) +
-            profiles.predictServerPowerW(server.id, request_peak);
+            powerZeroScratch[server.id.index] +
+            powerReqScratch[server.id.index];
         const double row_budget =
             view.power->effectiveRowProvision(server.row).value();
         if (row_demand > row_budget)
             continue;
 
-        // Project the hottest GPU at the VM's predicted peak via the
-        // fitted Eq. 2 (hot-summer inlet assumption) and refuse any
+        // Projected hottest GPU at the VM's predicted peak via the
+        // fitted Eq. 2 (hot-summer inlet assumption): refuse any
         // server that would flirt with the throttle point.
         const ServerSpec &spec = layout.specOf(server.id);
-        // Design-day conservatism: a placement lives for weeks, so
-        // project against a hot afternoon at high datacenter load.
-        const double inlet = profiles.predictInletC(
-            server.id, std::max(view.outsideC, 34.0), 1.0);
-        const double per_gpu_w = spec.gpuIdlePower.value() +
-            (spec.gpuMaxPower.value() - spec.gpuIdlePower.value()) *
-                request.predictedPeakLoad;
-        const double hottest =
-            profiles.predictHottestGpuC(server.id, inlet, per_gpu_w);
+        const double hottest = hottestScratch[server.id.index];
         const double throttle = spec.throttleTemp.value();
         if (hottest > throttle - cfg.gpuTempMarginC) {
             if (hottest < fallback_hottest) {

@@ -73,6 +73,24 @@ class TapasAllocator : public VmAllocator
     const char *name() const override { return "tapas"; }
 
     /**
+     * Heat/load level the configurator can always push a SaaS
+     * instance down to; budget validators count SaaS at this
+     * controllable floor because TAPAS reclaims that slack at
+     * runtime (Section 4.4: oversubscription leverages the slack
+     * TAPAS creates).
+     */
+    static constexpr double kSaasControllableLoad = 0.45;
+
+    /**
+     * Per-server predicted peak loads from the placed VM views,
+     * SaaS counted at the controllable floor (the accounting every
+     * budget validator shares — allocator admission, migration
+     * donor ranking, and the what-if helpers below).
+     */
+    static void peakLoadByServer(const ClusterView &view,
+                                 std::vector<double> &out);
+
+    /**
      * Predicted peak airflow demand of an aisle (CFM), including an
      * optional extra VM at the given server.
      */
@@ -88,6 +106,22 @@ class TapasAllocator : public VmAllocator
 
   private:
     TapasPolicyConfig cfg;
+
+    /** Reusable placement scratch (place() runs per arriving VM and
+     *  per waiting-queue retry; batched predictor passes write into
+     *  these instead of allocating per call). */
+    std::vector<double> peaksScratch;
+    std::vector<double> aisleBaseScratch;
+    std::vector<double> rowBaseScratch;
+    std::vector<double> airflowZeroScratch;
+    std::vector<double> airflowReqScratch;
+    std::vector<double> powerZeroScratch;
+    std::vector<double> powerReqScratch;
+    std::vector<double> inletScratch;
+    std::vector<double> perGpuWScratch;
+    std::vector<double> hottestScratch;
+    std::vector<int> rowIaasScratch;
+    std::vector<int> rowSaasScratch;
 };
 
 } // namespace tapas

@@ -41,6 +41,27 @@ InstanceConfigurator::feasible(ServerId server,
     return feasibleAt(server, profiles, limits, profile, op);
 }
 
+double
+InstanceConfigurator::heatFractionOf(
+    const ConfigProfile &profile,
+    const PerfModel::OperatingPoint &op) const
+{
+    // Airflow tracks heat: normalized GPU draw across the server.
+    const ServerSpec &spec = perf.spec();
+    const double idle_sum =
+        spec.gpuIdlePower.value() * spec.gpusPerServer;
+    const double max_sum =
+        spec.gpuMaxPower.value() * spec.gpusPerServer;
+    const double gpu_total = op.gpuPower.value() *
+            profile.activeGpus +
+        spec.gpuIdlePower.value() *
+            (spec.gpusPerServer - profile.activeGpus);
+    return max_sum > idle_sum
+        ? std::clamp((gpu_total - idle_sum) / (max_sum - idle_sum),
+                     0.0, 1.0)
+        : 0.0;
+}
+
 bool
 InstanceConfigurator::feasibleAt(ServerId server,
                                  const ProfileBank &profiles,
@@ -52,27 +73,16 @@ InstanceConfigurator::feasibleAt(ServerId server,
     if (op.serverPower.value() > limits.maxServerPowerW)
         return false;
 
-    const double hottest = profiles.predictHottestGpuC(
-        server, limits.inletC, op.gpuPower.value());
+    const double gpu_power = op.gpuPower.value();
+    double hottest = 0.0;
+    profiles.predictHottestGpuCandidates(server, limits.inletC,
+                                         &gpu_power, 1, &hottest);
     if (hottest > limits.maxGpuTempC)
         return false;
 
-    // Airflow tracks heat: normalized GPU draw across the server.
-    const ServerSpec &spec = perf.spec();
-    const double idle_sum =
-        spec.gpuIdlePower.value() * spec.gpusPerServer;
-    const double max_sum =
-        spec.gpuMaxPower.value() * spec.gpusPerServer;
-    const double gpu_total = op.gpuPower.value() *
-            profile.activeGpus +
-        spec.gpuIdlePower.value() *
-            (spec.gpusPerServer - profile.activeGpus);
-    const double heat = max_sum > idle_sum
-        ? std::clamp((gpu_total - idle_sum) / (max_sum - idle_sum),
-                     0.0, 1.0)
-        : 0.0;
-    const double airflow =
-        profiles.predictServerAirflowCfm(server, heat);
+    const double heat = heatFractionOf(profile, op);
+    double airflow = 0.0;
+    profiles.predictAirflowCandidates(server, &heat, 1, &airflow);
     return airflow <= limits.maxAirflowCfm;
 }
 
@@ -81,11 +91,18 @@ InstanceConfigurator::choose(ServerId server,
                              const ProfileBank &profiles,
                              const InstanceLimits &limits,
                              double demand_tps, double quality_floor,
-                             const ConfigProfile &current) const
+                             const ConfigProfile &current,
+                             OpCache *cache) const
 {
     // Demand must be met with headroom so diurnal ramps do not
     // immediately outrun the chosen configuration.
     const double target_tps = demand_tps * kDemandHeadroom;
+
+    if (cache && cache->demandTps != demand_tps) {
+        cache->demandTps = demand_tps;
+        cache->valid.assign(space.size(), 0);
+        cache->ops.resize(space.size());
+    }
 
     auto power_at_demand = [&](const ConfigProfile &p) {
         const double capped =
@@ -104,6 +121,87 @@ InstanceConfigurator::choose(ServerId server,
     const ConfigProfile *best = nullptr;
     bool best_meets = false;
     double best_power = 1e300;
+    double best_raw_power_w = 1e300;
+
+    // Candidates are scored in blocks: operating points accumulate
+    // until the block fills, then one predictHottestGpuCandidates +
+    // one predictAirflowCandidates pass scores the whole block (the
+    // server's coefficient block streams once instead of per
+    // candidate) and the sequential take/prune logic replays over
+    // the precomputed values. Blocks grow 1 -> 2 -> 4 -> 8 so the
+    // prune (which only advances on flushed results) can stop the
+    // walk almost as early as the scalar version did, while the
+    // steady tail still batches eight candidates per coefficient
+    // walk.
+    constexpr std::size_t kBlock = 8;
+    std::size_t flush_target = 1;
+    const ConfigProfile *cands[kBlock];
+    PerfModel::OperatingPoint ops[kBlock];
+    double gpu_power[kBlock];
+    double heat[kBlock];
+    double hottest[kBlock];
+    double airflow[kBlock];
+    std::size_t pending = 0;
+
+    auto flush = [&]() {
+        if (pending == 0)
+            return;
+        profiles.predictHottestGpuCandidates(
+            server, limits.inletC, gpu_power, pending, hottest);
+        profiles.predictAirflowCandidates(server, heat, pending,
+                                          airflow);
+        for (std::size_t i = 0; i < pending; ++i) {
+            const ConfigProfile &cand = *cands[i];
+            const PerfModel::OperatingPoint &op = ops[i];
+            if (op.serverPower.value() > limits.maxServerPowerW)
+                continue;
+            if (hottest[i] > limits.maxGpuTempC)
+                continue;
+            if (airflow[i] > limits.maxAirflowCfm)
+                continue;
+            const double feas_demand =
+                std::min(demand_tps, cand.goodputTps);
+            const double rank_demand =
+                std::min(demand_tps, std::max(1.0, cand.goodputTps));
+            const double rank_power_w = rank_demand == feas_demand
+                ? op.serverPower.value()
+                : perf.operatingPointAt(cand, rank_demand)
+                      .serverPower.value();
+            const bool meets = cand.goodputTps >= target_tps;
+            const double power =
+                cand.config.requiresReload(current.config)
+                ? rank_power_w * cfg.reloadHysteresisGain
+                : rank_power_w;
+            bool take = false;
+            if (!best) {
+                take = true;
+            } else if (cand.quality > best->quality) {
+                // Space is quality-sorted descending, so this only
+                // happens on the first candidate; kept for clarity.
+                take = true;
+            } else if (cand.quality == best->quality) {
+                if (meets && !best_meets) {
+                    take = true;
+                } else if (meets == best_meets) {
+                    take = meets
+                        ? power < best_power
+                        : cand.goodputTps > best->goodputTps;
+                }
+            } else if (meets && !best_meets) {
+                // Lower quality only buys its way in by meeting
+                // demand the higher quality could not (emergency
+                // last resort).
+                take = true;
+            }
+            if (take) {
+                best = &cand;
+                best_meets = meets;
+                best_power = power;
+                best_raw_power_w = rank_power_w;
+            }
+        }
+        pending = 0;
+    };
 
     for (const ConfigProfile &cand : space) {
         // Pruning on the quality-desc, goodput-desc sort order: once
@@ -112,8 +210,13 @@ InstanceConfigurator::choose(ServerId server,
         // higher quality could not), and within the incumbent's
         // quality tier every remaining candidate has goodput no
         // higher than this one, so none can start meeting demand
-        // either. Identical selection, a fraction of the operating-
-        // point evaluations.
+        // either. The check runs against the best state as of the
+        // last flushed block; that is still safe (a best over a
+        // shorter prefix breaks no earlier than the exact walk, and
+        // extra candidates evaluated past the exact break point can
+        // never be taken by the rules above), so the selection is
+        // identical to the scalar walk at a fraction of the
+        // operating-point evaluations.
         if (best_meets && (cand.quality < best->quality ||
                            cand.goodputTps < target_tps)) {
             break;
@@ -124,50 +227,33 @@ InstanceConfigurator::choose(ServerId server,
             continue;
         // One operating-point evaluation per candidate, shared
         // between the limit checks and the power ranking (they use
-        // the same demand whenever goodput can serve one token/s).
+        // the same demand whenever goodput can serve one token/s) —
+        // and shared across instances at the same demand via the
+        // caller's memo (the point is a pure function of candidate
+        // and demand).
         const double feas_demand =
             std::min(demand_tps, cand.goodputTps);
-        const PerfModel::OperatingPoint op =
-            perf.operatingPointAt(cand, feas_demand);
-        if (!feasibleAt(server, profiles, limits, cand, op))
-            continue;
-        const double rank_demand =
-            std::min(demand_tps, std::max(1.0, cand.goodputTps));
-        const double rank_power_w = rank_demand == feas_demand
-            ? op.serverPower.value()
-            : perf.operatingPointAt(cand, rank_demand)
-                  .serverPower.value();
-        const bool meets = cand.goodputTps >= target_tps;
-        const double power =
-            cand.config.requiresReload(current.config)
-            ? rank_power_w * cfg.reloadHysteresisGain
-            : rank_power_w;
-        bool take = false;
-        if (!best) {
-            take = true;
-        } else if (cand.quality > best->quality) {
-            // Space is quality-sorted descending, so this only
-            // happens on the first candidate; kept for clarity.
-            take = true;
-        } else if (cand.quality == best->quality) {
-            if (meets && !best_meets) {
-                take = true;
-            } else if (meets == best_meets) {
-                take = meets
-                    ? power < best_power
-                    : cand.goodputTps > best->goodputTps;
+        cands[pending] = &cand;
+        const std::size_t cand_idx =
+            static_cast<std::size_t>(&cand - space.data());
+        if (cache && cache->valid[cand_idx]) {
+            ops[pending] = cache->ops[cand_idx];
+        } else {
+            ops[pending] = perf.operatingPointAt(cand, feas_demand);
+            if (cache) {
+                cache->ops[cand_idx] = ops[pending];
+                cache->valid[cand_idx] = 1;
             }
-        } else if (meets && !best_meets) {
-            // Lower quality only buys its way in by meeting demand
-            // the higher quality could not (emergency last resort).
-            take = true;
         }
-        if (take) {
-            best = &cand;
-            best_meets = meets;
-            best_power = power;
+        gpu_power[pending] = ops[pending].gpuPower.value();
+        heat[pending] = heatFractionOf(cand, ops[pending]);
+        ++pending;
+        if (pending == flush_target) {
+            flush();
+            flush_target = std::min(kBlock, flush_target * 2);
         }
     }
+    flush();
 
     ConfigDecision out;
     if (!best) {
@@ -200,27 +286,42 @@ InstanceConfigurator::choose(ServerId server,
 
     // Hysteresis: keep the current config when it is feasible, of
     // equal quality and demand coverage, and the winner's power
-    // advantage is marginal.
-    const bool current_ok =
+    // advantage is marginal. Evaluated only when the winner actually
+    // differs, with one shared operating point covering the current
+    // config's feasibility check and power ranking (the same sharing
+    // the walk uses); the winner's power at demand was already
+    // computed when it was taken.
+    if (!(best->config == current.config) &&
         current.quality >= quality_floor &&
-        feasible(server, profiles, limits, current, demand_tps);
-    if (current_ok && !(best->config == current.config)) {
-        const bool current_meets =
-            current.goodputTps >= target_tps;
-        const double current_power = power_at_demand(current);
-        // Reload-requiring switches (TP/model/quant) carry a
-        // blackout, so they must buy a much larger gain.
-        const double gain_bar =
-            best->config.requiresReload(current.config)
-            ? cfg.reloadHysteresisGain
-            : cfg.hysteresisGain;
-        const bool marginal_gain =
-            power_at_demand(*best) * gain_bar >= current_power;
-        if (best_meets == current_meets &&
-            best->quality <= current.quality && marginal_gain) {
-            out.profile = current;
-            out.changed = false;
-            return out;
+        current.goodputTps > 0.0) {
+        const double cur_feas_demand =
+            std::min(demand_tps, current.goodputTps);
+        const PerfModel::OperatingPoint cur_op =
+            perf.operatingPointAt(current, cur_feas_demand);
+        if (feasibleAt(server, profiles, limits, current, cur_op)) {
+            const bool current_meets =
+                current.goodputTps >= target_tps;
+            const double cur_rank_demand = std::min(
+                demand_tps, std::max(1.0, current.goodputTps));
+            const double current_power =
+                cur_rank_demand == cur_feas_demand
+                ? cur_op.serverPower.value()
+                : perf.operatingPointAt(current, cur_rank_demand)
+                      .serverPower.value();
+            // Reload-requiring switches (TP/model/quant) carry a
+            // blackout, so they must buy a much larger gain.
+            const double gain_bar =
+                best->config.requiresReload(current.config)
+                ? cfg.reloadHysteresisGain
+                : cfg.hysteresisGain;
+            const bool marginal_gain =
+                best_raw_power_w * gain_bar >= current_power;
+            if (best_meets == current_meets &&
+                best->quality <= current.quality && marginal_gain) {
+                out.profile = current;
+                out.changed = false;
+                return out;
+            }
         }
     }
 

@@ -53,6 +53,23 @@ class InstanceConfigurator
                          const TapasPolicyConfig &config);
 
     /**
+     * Operating-point memo for one demand level, keyed by candidate
+     * index in the sorted profile space. The candidate walk's
+     * operating point is a pure function of (candidate, demand), so
+     * a caller scoring several instances at the same demand (the
+     * controller groups instances by demand for exactly this) can
+     * hand the same cache to consecutive choose() calls and skip
+     * the re-evaluation; results are bit-identical by construction.
+     * A demand change resets the cache automatically.
+     */
+    struct OpCache
+    {
+        double demandTps = -1.0;
+        std::vector<char> valid;
+        std::vector<PerfModel::OperatingPoint> ops;
+    };
+
+    /**
      * Choose the best configuration.
      *
      * @param server the hosting server (for fitted projections)
@@ -61,12 +78,14 @@ class InstanceConfigurator
      * @param demand_tps current token demand on the instance
      * @param quality_floor minimum acceptable model quality
      * @param current the instance's active profile
+     * @param cache optional cross-instance operating-point memo
      */
     ConfigDecision choose(ServerId server,
                           const ProfileBank &profiles,
                           const InstanceLimits &limits,
                           double demand_tps, double quality_floor,
-                          const ConfigProfile &current) const;
+                          const ConfigProfile &current,
+                          OpCache *cache = nullptr) const;
 
     /** Whether a profile satisfies the limits at a given demand. */
     bool feasible(ServerId server, const ProfileBank &profiles,
@@ -91,6 +110,13 @@ class InstanceConfigurator
                     const InstanceLimits &limits,
                     const ConfigProfile &profile,
                     const PerfModel::OperatingPoint &op) const;
+
+    /**
+     * Normalized server heat at a candidate operating point (the
+     * airflow models are fitted against this load definition).
+     */
+    double heatFractionOf(const ConfigProfile &profile,
+                          const PerfModel::OperatingPoint &op) const;
 };
 
 } // namespace tapas

@@ -7,8 +7,10 @@
 #ifndef TAPAS_CORE_CONTEXT_HH
 #define TAPAS_CORE_CONTEXT_HH
 
+#include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "dcsim/layout.hh"
 #include "dcsim/power.hh"
@@ -47,10 +49,45 @@ struct ClusterView
 
     /** Current per-server load fractions, indexed by server id. */
     std::vector<double> serverLoads;
-    /** All currently placed VMs. */
+    /** All currently placed VMs, ordered by ascending VM id. */
     std::vector<PlacedVmView> vms;
     /** Per-server occupancy (each GPU VM takes a whole server). */
     std::vector<bool> occupied;
+
+    /**
+     * Snapshot epoch of the load/time state this view reflects. The
+     * owning simulator bumps its epoch counter whenever the
+     * observable snapshot moves (step boundary, post-load update,
+     * telemetry-digest refresh) and lazily re-syncs the maintained
+     * view on the next access; the debug cross-check validates that
+     * a consumed view is at the owner's current epoch before
+     * comparing contents against a fresh rebuild.
+     */
+    std::uint64_t snapshotEpoch = 0;
+
+    /**
+     * Staleness guard for the single maintained view: the owner
+     * bumps *ownerGeneration and restamps this view on every refresh
+     * or membership mutation, so a detached copy (or a reference
+     * held across a rebuild, the old makeView() hazard) trips
+     * assertFresh() at the next consumer entry. Standalone views
+     * (tests, benches) leave ownerGeneration null and always pass.
+     */
+    const std::uint64_t *ownerGeneration = nullptr;
+    std::uint64_t stampedGeneration = 0;
+
+    void
+    assertFresh() const
+    {
+        tapas_assert(!ownerGeneration ||
+                         *ownerGeneration == stampedGeneration,
+                     "stale ClusterView: generation %llu read after "
+                     "invalidation (owner is at %llu)",
+                     static_cast<unsigned long long>(
+                         stampedGeneration),
+                     static_cast<unsigned long long>(
+                         *ownerGeneration));
+    }
 };
 
 /** Tunable policy parameters of TAPAS (Section 4.5 defaults). */

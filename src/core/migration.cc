@@ -6,18 +6,44 @@
 
 namespace tapas {
 
+void
+MigrationPlanner::rowPeakPowers(const ClusterView &view)
+{
+    const DatacenterLayout &layout = *view.layout;
+    // Shared per-server peak accounting (SaaS at the controllable
+    // floor), unoccupied servers zeroed, one fleet-wide batched
+    // power pass, then a per-row accumulation — the same values
+    // TapasAllocator::predictedRowPower produces row by row, without
+    // the per-row fleet walks.
+    TapasAllocator::peakLoadByServer(view, peaksScratch);
+    for (std::size_t s = 0; s < peaksScratch.size(); ++s) {
+        if (!view.occupied[s])
+            peaksScratch[s] = 0.0;
+    }
+    powerScratch.resize(layout.serverCount());
+    view.profiles->predictPowerBatch(peaksScratch.data(),
+                                     layout.serverCount(),
+                                     powerScratch.data());
+    rowPowerScratch.assign(layout.rowCount(), 0.0);
+    for (const Server &server : layout.servers()) {
+        rowPowerScratch[server.row.index] +=
+            powerScratch[server.id.index];
+    }
+}
+
 std::optional<MigrationPlan>
-MigrationPlanner::planOne(const ClusterView &view)
+MigrationPlanner::planOne(ClusterView &view)
 {
     tapas_assert(view.profiles, "migration planning needs profiles");
+    view.assertFresh();
     const DatacenterLayout &layout = *view.layout;
 
     // Rank rows by predicted peak power utilization.
+    rowPeakPowers(view);
     RowId donor;
     double worst_util = 0.0;
     for (const Row &row : layout.rows()) {
-        const double demand = TapasAllocator::predictedRowPower(
-            view, row.id, ServerId(), 0.0);
+        const double demand = rowPowerScratch[row.id.index];
         const double budget =
             view.power->effectiveRowProvision(row.id).value();
         if (budget <= 0.0)
@@ -30,77 +56,91 @@ MigrationPlanner::planOne(const ClusterView &view)
     }
     if (!donor.valid())
         return std::nullopt;
+    const double donor_before = rowPowerScratch[donor.index];
 
     // Candidate: the SaaS VM with the highest predicted peak in the
     // donor row (moving it relieves the most pressure).
-    const PlacedVmView *candidate = nullptr;
+    const PlacedVmView *candidate_ref = nullptr;
     for (const PlacedVmView &vm : view.vms) {
         if (vm.kind != VmKind::SaaS)
             continue;
         if (!(layout.server(vm.server).row == donor))
             continue;
-        if (!candidate ||
-            vm.predictedPeakLoad > candidate->predictedPeakLoad) {
-            candidate = &vm;
+        if (!candidate_ref ||
+            vm.predictedPeakLoad >
+                candidate_ref->predictedPeakLoad) {
+            candidate_ref = &vm;
         }
     }
-    if (!candidate)
+    if (!candidate_ref)
         return std::nullopt;
 
-    // Re-place through the allocator on a view with the VM removed.
-    ClusterView without = view;
-    without.occupied[candidate->server.index] = false;
-    without.vms.erase(
-        std::remove_if(without.vms.begin(), without.vms.end(),
-                       [&](const PlacedVmView &vm) {
-                           return vm.id == candidate->id;
-                       }),
-        without.vms.end());
+    // Overlay: lift the candidate out of the view in place (the
+    // erase position is remembered so a rejected what-if restores
+    // the entry exactly — same index, same field values).
+    const PlacedVmView candidate = *candidate_ref;
+    const std::size_t at = static_cast<std::size_t>(
+        candidate_ref - view.vms.data());
+    view.occupied[candidate.server.index] = false;
+    view.vms.erase(view.vms.begin() +
+                   static_cast<std::ptrdiff_t>(at));
+
+    auto undo = [&]() {
+        view.vms.insert(view.vms.begin() +
+                            static_cast<std::ptrdiff_t>(at),
+                        candidate);
+        view.occupied[candidate.server.index] = true;
+    };
 
     PlacementRequest request;
-    request.id = candidate->id;
+    request.id = candidate.id;
     request.kind = VmKind::SaaS;
-    request.endpoint = candidate->endpoint;
-    request.predictedPeakLoad = candidate->predictedPeakLoad;
+    request.endpoint = candidate.endpoint;
+    request.predictedPeakLoad = candidate.predictedPeakLoad;
 
-    TapasAllocator allocator(cfg);
-    const auto target = allocator.place(request, without);
-    if (!target.has_value())
-        return std::nullopt;
+    const auto target = alloc.place(request, view);
     // A move within the same row relieves nothing.
-    if (layout.server(*target).row == donor)
+    if (!target.has_value() ||
+        layout.server(*target).row == donor) {
+        undo();
         return std::nullopt;
+    }
+
+    // Donor-row relief, evaluated on the lifted-out overlay state.
+    rowPeakPowers(view);
+    const double donor_after = rowPowerScratch[donor.index];
+    if (donor_after >= donor_before) {
+        undo();
+        return std::nullopt;
+    }
+
+    // Accept: apply the move to the view (the entry keeps its index,
+    // so ascending-id order is preserved).
+    PlacedVmView moved = candidate;
+    moved.server = *target;
+    view.vms.insert(view.vms.begin() +
+                        static_cast<std::ptrdiff_t>(at),
+                    moved);
+    view.occupied[target->index] = true;
 
     MigrationPlan plan;
-    plan.vm = candidate->id;
-    plan.from = candidate->server;
+    plan.vm = candidate.id;
+    plan.from = candidate.server;
     plan.to = *target;
-    plan.donorRowPeakW = TapasAllocator::predictedRowPower(
-        view, donor, ServerId(), 0.0);
-    plan.donorRowAfterW = TapasAllocator::predictedRowPower(
-        without, donor, ServerId(), 0.0);
-    if (plan.donorRowAfterW >= plan.donorRowPeakW)
-        return std::nullopt;
+    plan.donorRowPeakW = donor_before;
+    plan.donorRowAfterW = donor_after;
     return plan;
 }
 
 std::vector<MigrationPlan>
-MigrationPlanner::plan(const ClusterView &view, int max_moves)
+MigrationPlanner::plan(ClusterView &view, int max_moves)
 {
     std::vector<MigrationPlan> out;
-    ClusterView working = view;
     for (int i = 0; i < max_moves; ++i) {
-        const auto move = planOne(working);
+        const auto move = planOne(view);
         if (!move.has_value())
             break;
         out.push_back(*move);
-        // Apply the move to the working view for the next round.
-        working.occupied[move->from.index] = false;
-        working.occupied[move->to.index] = true;
-        for (PlacedVmView &vm : working.vms) {
-            if (vm.id == move->vm)
-                vm.server = move->to;
-        }
     }
     return out;
 }

@@ -37,7 +37,7 @@ class MigrationPlanner
 {
   public:
     explicit MigrationPlanner(const TapasPolicyConfig &config)
-        : cfg(config)
+        : cfg(config), alloc(config)
     {}
 
     /**
@@ -45,15 +45,30 @@ class MigrationPlanner
      * out of the row with the least predicted power headroom and
      * re-placing it through the TAPAS allocator. Returns an empty
      * vector when no move improves the donor row.
+     *
+     * What-if exploration works by overlay/undo on @p view itself
+     * (no O(fleet) view copies): rejected candidates are restored
+     * exactly, and accepted moves stay applied so the caller's view
+     * matches the plan it is handed back.
      */
     std::vector<MigrationPlan>
-    plan(const ClusterView &view, int max_moves);
+    plan(ClusterView &view, int max_moves);
 
   private:
     TapasPolicyConfig cfg;
+    /** Re-placement allocator; member so its batched-prediction
+     *  scratch persists across planning rounds. */
+    TapasAllocator alloc;
 
-    std::optional<MigrationPlan>
-    planOne(const ClusterView &view);
+    /** Reusable fleet-wide buffers for the donor ranking pass. */
+    std::vector<double> peaksScratch;
+    std::vector<double> powerScratch;
+    std::vector<double> rowPowerScratch;
+
+    std::optional<MigrationPlan> planOne(ClusterView &view);
+
+    /** Predicted peak power of every row in one batched pass. */
+    void rowPeakPowers(const ClusterView &view);
 };
 
 } // namespace tapas

@@ -11,6 +11,7 @@ RiskAssessor::refresh(const ClusterView &view,
                       const std::vector<double> &gpu_power_w)
 {
     tapas_assert(view.profiles, "risk assessment needs profiles");
+    view.assertFresh();
     const DatacenterLayout &layout = *view.layout;
     const ProfileBank &profiles = *view.profiles;
     const int gpus = layout.specs().front().gpusPerServer;
@@ -19,58 +20,80 @@ RiskAssessor::refresh(const ClusterView &view,
                  static_cast<std::size_t>(gpus),
                  "per-GPU power vector has wrong size");
 
-    risks.assign(layout.serverCount(), ServerRisk{});
+    const std::size_t servers = layout.serverCount();
+    risks.resize(servers);
 
-    // Aisle airflow demand from predicted airflow at current loads.
+    // One fleet-wide batched pass per fitted model; the aisle/row
+    // walks below then only aggregate the precomputed per-server
+    // values (in the same server order as the old scalar loops, so
+    // the sums are bit-identical).
+    airflowScratch.resize(servers);
+    powerScratch.resize(servers);
+    inletScratch.resize(servers);
+    hottestScratch.resize(servers);
+    profiles.predictAirflowBatch(view.serverLoads.data(), servers,
+                                 airflowScratch.data());
+    profiles.predictPowerBatch(view.serverLoads.data(), servers,
+                               powerScratch.data());
+    profiles.predictInletBatch(view.outsideC, view.dcLoadFrac,
+                               servers, inletScratch.data());
+    profiles.predictHottestGpuBatch(inletScratch.data(),
+                                    gpu_power_w.data(), servers,
+                                    hottestScratch.data());
+
+    // Aisle airflow and row power headrooms from the batched
+    // predictions at current loads, into small per-group arrays.
+    aisleHeadroomScratch.resize(layout.aisleCount());
+    aisleRiskScratch.resize(layout.aisleCount());
     for (const Aisle &aisle : layout.aisles()) {
         double demand = 0.0;
-        for (ServerId sid : aisle.servers) {
-            demand += profiles.predictServerAirflowCfm(
-                sid, view.serverLoads[sid.index]);
-        }
+        for (ServerId sid : aisle.servers)
+            demand += airflowScratch[sid.index];
         const double budget =
             view.cooling->effectiveProvision(aisle.id).value();
         const double headroom = budget - demand;
-        const bool risky =
+        aisleHeadroomScratch[aisle.id.index] = headroom;
+        aisleRiskScratch[aisle.id.index] =
             headroom < cfg.airflowMarginFrac * budget;
-        for (ServerId sid : aisle.servers) {
-            risks[sid.index].aisleHeadroomCfm = headroom;
-            risks[sid.index].airflowRisk = risky;
-        }
     }
-
-    // Row power demand from predicted power at current loads.
+    rowHeadroomScratch.resize(layout.rowCount());
+    rowRiskScratch.resize(layout.rowCount());
     for (const Row &row : layout.rows()) {
         double demand = 0.0;
-        for (ServerId sid : row.servers) {
-            demand += profiles.predictServerPowerW(
-                sid, view.serverLoads[sid.index]);
-        }
+        for (ServerId sid : row.servers)
+            demand += powerScratch[sid.index];
         const double budget =
             view.power->effectiveRowProvision(row.id).value();
         const double headroom = budget - demand;
-        const bool risky =
+        rowHeadroomScratch[row.id.index] = headroom;
+        rowRiskScratch[row.id.index] =
             headroom < cfg.rowPowerMarginFrac * budget;
-        for (ServerId sid : row.servers) {
-            risks[sid.index].rowHeadroomW = headroom;
-            risks[sid.index].powerRisk = risky;
+    }
+
+    // The per-server thermal limit is fixed by the layout; hoist it
+    // out of the refresh into a cached array.
+    if (thermalLimitC.size() != servers) {
+        thermalLimitC.resize(servers);
+        for (const Server &server : layout.servers()) {
+            thermalLimitC[server.id.index] =
+                layout.specOf(server.id).throttleTemp.value() -
+                cfg.gpuTempMarginC;
         }
     }
 
-    // Per-server projected hottest GPU (Eq. 2 with fitted models).
+    // Single pass assembling every risk entry (all fields written,
+    // so no clearing pass is needed).
     for (const Server &server : layout.servers()) {
-        const double inlet = profiles.predictInletC(
-            server.id, view.outsideC, view.dcLoadFrac);
-        const double hottest = profiles.predictHottestGpuC(
-            server.id, inlet,
-            &gpu_power_w[server.id.index *
-                         static_cast<std::size_t>(gpus)]);
         ServerRisk &entry = risks[server.id.index];
+        const double hottest = hottestScratch[server.id.index];
+        entry.aisleHeadroomCfm =
+            aisleHeadroomScratch[server.aisle.index];
+        entry.airflowRisk =
+            aisleRiskScratch[server.aisle.index] != 0;
+        entry.rowHeadroomW = rowHeadroomScratch[server.row.index];
+        entry.powerRisk = rowRiskScratch[server.row.index] != 0;
         entry.predictedHottestGpuC = hottest;
-        const double limit =
-            layout.specOf(server.id).throttleTemp.value() -
-            cfg.gpuTempMarginC;
-        entry.thermalRisk = hottest > limit;
+        entry.thermalRisk = hottest > thermalLimitC[server.id.index];
     }
 
     lastRefreshAt = view.now;

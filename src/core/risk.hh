@@ -74,6 +74,22 @@ class RiskAssessor
     TapasPolicyConfig cfg;
     std::vector<ServerRisk> risks;
     SimTime lastRefreshAt = -1;
+
+    /** Reusable fleet-wide prediction buffers (refresh runs every
+     *  risk period; batched passes write into these). */
+    std::vector<double> airflowScratch;
+    std::vector<double> powerScratch;
+    std::vector<double> inletScratch;
+    std::vector<double> hottestScratch;
+    /** Per-server thermal-risk limit (throttle - margin), hoisted
+     *  out of the per-refresh spec walk (the layout is fixed). */
+    std::vector<double> thermalLimitC;
+    /** Per-aisle/row headroom staging for the single assembly
+     *  pass. */
+    std::vector<double> aisleHeadroomScratch;
+    std::vector<char> aisleRiskScratch;
+    std::vector<double> rowHeadroomScratch;
+    std::vector<char> rowRiskScratch;
 };
 
 } // namespace tapas

@@ -51,6 +51,7 @@ TapasController::configurePass(
 {
     if (!configurator || instances.empty())
         return;
+    view.assertFresh();
 
     // --- Per-row unreconfigurable draw and SaaS instance counts.
     // Member scratch: capacity persists across passes, so the
@@ -69,19 +70,47 @@ TapasController::configurePass(
     for (const SaasInstanceRef &inst : instances)
         saas_server[inst.server.index] = 1;
 
+    // Fleet-wide batched passes feed the fixed-draw accumulation and
+    // the per-instance limits below: one power/airflow pass at the
+    // unreconfigurable loads, one inlet pass at current ambient, and
+    // one power/airflow floor pass at zero load.
+    const std::size_t servers = layout.serverCount();
+    fixedLoadScratch.resize(servers);
+    fixedPowerScratch.resize(servers);
+    fixedAirflowScratch.resize(servers);
+    inletScratch.resize(servers);
+    for (std::size_t s = 0; s < servers; ++s) {
+        fixedLoadScratch[s] = view.occupied[s] && !saas_server[s]
+            ? view.serverLoads[s]
+            : 0.0;
+    }
+    profiles->predictPowerBatch(fixedLoadScratch.data(), servers,
+                                fixedPowerScratch.data());
+    profiles->predictAirflowBatch(fixedLoadScratch.data(), servers,
+                                  fixedAirflowScratch.data());
+    profiles->predictInletBatch(view.outsideC, view.dcLoadFrac,
+                                servers, inletScratch.data());
+    // The zero-load floors depend only on the fitted coefficients;
+    // evaluate them once per fleet size instead of per pass.
+    if (zeroPowerScratch.size() != servers) {
+        zeroPowerScratch.resize(servers);
+        zeroAirflowScratch.resize(servers);
+        profiles->predictPowerUniformBatch(0.0, servers,
+                                           zeroPowerScratch.data());
+        profiles->predictAirflowUniformBatch(
+            0.0, servers, zeroAirflowScratch.data());
+    }
+
     for (const Server &server : layout.servers()) {
         if (saas_server[server.id.index]) {
             ++row_saas[server.row.index];
             ++aisle_saas[server.aisle.index];
             continue;
         }
-        const double load = view.occupied[server.id.index]
-            ? view.serverLoads[server.id.index]
-            : 0.0;
         row_fixed_w[server.row.index] +=
-            profiles->predictServerPowerW(server.id, load);
+            fixedPowerScratch[server.id.index];
         aisle_fixed_cfm[server.aisle.index] +=
-            profiles->predictServerAirflowCfm(server.id, load);
+            fixedAirflowScratch[server.id.index];
     }
 
     const bool emergency =
@@ -90,7 +119,23 @@ TapasController::configurePass(
         ? cfg.emergencyQualityFloor
         : cfg.normalQualityFloor;
 
-    for (const SaasInstanceRef &inst : instances) {
+    // Process instances grouped by demand: the candidate walk's
+    // operating points depend only on (candidate, demand), so
+    // equal-demand instances (VMs of one endpoint under symmetric
+    // routing) reuse the memo below instead of re-solving the perf
+    // model. Decisions are per-instance independent, so the order
+    // change is unobservable; the stable sort keeps it
+    // deterministic.
+    sortedInstancesScratch.assign(instances.begin(),
+                                  instances.end());
+    std::stable_sort(sortedInstancesScratch.begin(),
+                     sortedInstancesScratch.end(),
+                     [](const SaasInstanceRef &a,
+                        const SaasInstanceRef &b) {
+                         return a.demandTps < b.demandTps;
+                     });
+
+    for (const SaasInstanceRef &inst : sortedInstancesScratch) {
         if (inst.engine->reconfiguring())
             continue;
         const Server &server = layout.server(inst.server);
@@ -104,7 +149,7 @@ TapasController::configurePass(
         limits.maxServerPowerW = std::max(
             (row_budget - row_fixed_w[server.row.index]) /
                 saas_in_row,
-            profiles->predictServerPowerW(inst.server, 0.0));
+            zeroPowerScratch[inst.server.index]);
 
         const double aisle_budget =
             cooling.effectiveProvision(server.aisle).value();
@@ -113,16 +158,16 @@ TapasController::configurePass(
         limits.maxAirflowCfm = std::max(
             (aisle_budget - aisle_fixed_cfm[server.aisle.index]) /
                 saas_in_aisle,
-            profiles->predictServerAirflowCfm(inst.server, 0.0));
+            zeroAirflowScratch[inst.server.index]);
 
         limits.maxGpuTempC =
             spec.throttleTemp.value() - cfg.gpuTempMarginC;
-        limits.inletC = profiles->predictInletC(
-            inst.server, view.outsideC, view.dcLoadFrac);
+        limits.inletC = inletScratch[inst.server.index];
 
         const ConfigDecision decision = configurator->choose(
             inst.server, *profiles, limits, inst.demandTps,
-            quality_floor, inst.engine->profile());
+            quality_floor, inst.engine->profile(),
+            &opCacheScratch);
         if (!decision.changed)
             continue;
         // Dwell gate: quality-restoring reloads wait out the dwell

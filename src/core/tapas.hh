@@ -96,13 +96,25 @@ class TapasController
     /** Last reload-requiring reconfig per VM (dwell gating). */
     std::unordered_map<std::uint32_t, SimTime> lastReloadAt;
 
-    /** Reusable configurePass scratch (per-row/aisle accumulators;
-     *  the pass runs nearly every step). */
+    /** Reusable configurePass scratch (per-row/aisle accumulators
+     *  and fleet-wide batched-prediction buffers; the pass runs
+     *  nearly every step). */
     std::vector<double> rowFixedScratch;
     std::vector<int> rowSaasScratch;
     std::vector<double> aisleFixedScratch;
     std::vector<int> aisleSaasScratch;
     std::vector<char> saasServerScratch;
+    std::vector<double> fixedLoadScratch;
+    std::vector<double> fixedPowerScratch;
+    std::vector<double> fixedAirflowScratch;
+    std::vector<double> inletScratch;
+    std::vector<double> zeroPowerScratch;
+    std::vector<double> zeroAirflowScratch;
+    /** Instances sorted by demand so equal-demand runs share the
+     *  configurator's operating-point memo (instance order does not
+     *  affect decisions: each is independent). */
+    std::vector<SaasInstanceRef> sortedInstancesScratch;
+    InstanceConfigurator::OpCache opCacheScratch;
 
     std::unique_ptr<VmAllocator> alloc;
     std::unique_ptr<RequestRouter> route;

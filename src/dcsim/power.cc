@@ -16,7 +16,10 @@ PowerModel::gpuPower(const ServerSpec &spec, double load_frac,
     const double freq = std::clamp(freq_frac, 0.0, 1.0);
     const double dynamic_span =
         spec.gpuMaxPower.value() - spec.gpuIdlePower.value();
-    const double freq_factor = std::pow(freq, cfg.freqPowerExponent);
+    // pow(1, e) == 1 exactly; most servers run uncapped, so skip
+    // the libm call on that path.
+    const double freq_factor =
+        freq == 1.0 ? 1.0 : std::pow(freq, cfg.freqPowerExponent);
     return Watts(spec.gpuIdlePower.value() +
                  dynamic_span * load * freq_factor);
 }

@@ -234,6 +234,14 @@ PerfModel::computeProfile(const InstanceConfig &config) const
         hwSpec.gpuIdlePower.value() +
         span * decode_intensity * concentration * freq * freq);
 
+    // Precompute the solver's decode-power endpoints with the same
+    // formula the fallback path uses (bit-identical fast path).
+    out.decodePowerBatch1W = decodeGpuPowerAt(out, 1.0).value();
+    out.decodePowerBatchMaxW =
+        decodeGpuPowerAt(
+            out, static_cast<double>(config.maxBatchSize))
+            .value();
+
     // --- Latency anchors. ---
     out.unloadedTtftS =
         perfParams.mix.promptTokens / out.prefill.throughputTps;
@@ -343,6 +351,18 @@ Watts
 PerfModel::decodeGpuPowerAt(const ConfigProfile &profile,
                             double batch) const
 {
+    // Endpoint fast paths: batch <= 1 evaluates exactly like batch
+    // 1 (the log2 term clamps to zero), and the saturated solver
+    // clamps to the configured max batch. Both cached values were
+    // produced by the formula below, so the shortcut is
+    // bit-identical.
+    if (batch <= 1.0 && profile.decodePowerBatch1W >= 0.0)
+        return Watts(profile.decodePowerBatch1W);
+    if (batch ==
+            static_cast<double>(profile.config.maxBatchSize) &&
+        profile.decodePowerBatchMaxW >= 0.0) {
+        return Watts(profile.decodePowerBatchMaxW);
+    }
     const double span =
         hwSpec.gpuMaxPower.value() - hwSpec.gpuIdlePower.value();
     const double batch_frac =
@@ -387,6 +407,16 @@ PerfModel::OperatingPoint
 PerfModel::operatingPointAt(const ConfigProfile &profile,
                             double demand_tps) const
 {
+    OperatingPoint out = operatingGpuPointAt(profile, demand_tps);
+    out.serverPower = serverPowerFromGpu(
+        out.gpuPower.value(), profile.activeGpus, out.prefillShare);
+    return out;
+}
+
+PerfModel::OperatingPoint
+PerfModel::operatingGpuPointAt(const ConfigProfile &profile,
+                               double demand_tps) const
+{
     OperatingPoint out;
     const double demand = std::max(0.0, demand_tps);
     const double fp = perfParams.mix.prefillFraction();
@@ -429,12 +459,14 @@ PerfModel::operatingPointAt(const ConfigProfile &profile,
     out.decodeBatch = batch;
 
     const double idle = hwSpec.gpuIdlePower.value();
-    const double decode_w = decodeGpuPowerAt(profile, batch).value();
+    // Idle decode contributes u_d * decode_w == 0 regardless of the
+    // decode power, so skip its evaluation (and the log2 inside)
+    // when decode is not running.
+    const double decode_w =
+        u_d > 0.0 ? decodeGpuPowerAt(profile, batch).value() : 0.0;
     const double prefill_w = profile.prefill.gpuPower.value();
     out.gpuPower = Watts(idle * (1.0 - out.busyFrac) +
                          u_p * prefill_w + u_d * decode_w);
-    out.serverPower = serverPowerFromGpu(
-        out.gpuPower.value(), profile.activeGpus, out.prefillShare);
     return out;
 }
 

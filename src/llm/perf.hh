@@ -136,6 +136,16 @@ struct ConfigProfile
     /** Max tokens/s sustainable within the given SLOs. */
     double goodputTps = 0.0;
 
+    /**
+     * Cached decode GPU power at batch 1 and at the configured max
+     * batch — the two endpoints the operating-point solver hits on
+     * almost every evaluation (sub-saturated decode pins batch to
+     * 1; saturated decode clamps to the max). Negative = not
+     * precomputed; PerfModel falls back to the full formula.
+     */
+    double decodePowerBatch1W = -1.0;
+    double decodePowerBatchMaxW = -1.0;
+
     /** Decode throughput at batch size b: b / tau(b). */
     double decodeTpsAt(int b) const;
 };
@@ -216,6 +226,15 @@ class PerfModel
     /** Evaluate the operating point at a token demand (tokens/s). */
     OperatingPoint operatingPointAt(const ConfigProfile &profile,
                                     double demand_tps) const;
+
+    /**
+     * Same solve without the whole-server power term (left at 0):
+     * for callers that only need utilization and GPU power — the
+     * flow-mode load assignment evaluates this once per SaaS VM per
+     * step and never reads serverPower.
+     */
+    OperatingPoint operatingGpuPointAt(const ConfigProfile &profile,
+                                       double demand_tps) const;
 
     /** Decode per-GPU power at an arbitrary running batch size. */
     Watts decodeGpuPowerAt(const ConfigProfile &profile,

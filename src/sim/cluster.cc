@@ -131,6 +131,7 @@ ClusterSim::ClusterSim(const SimConfig &config)
         mixSeed(cfg.seed, 0x666), demand_noise);
 
     vmTable.reset(vmGen.records().size());
+    saasOpGpuPowerW.assign(vmGen.records().size(), 0.0);
     serverVm.assign(layout.serverCount(), npos);
     serverLoads.assign(layout.serverCount(), 0.0);
     serverDrawW.assign(layout.serverCount(), 0.0);
@@ -139,6 +140,7 @@ ClusterSim::ClusterSim(const SimConfig &config)
         static_cast<std::size_t>(gpusPerServer);
     gpuPowerW.assign(gpus, 0.0);
     gpuTempC.assign(gpus, 25.0);
+    hottestGpuC.assign(layout.serverCount(), 25.0);
     inletC.assign(layout.serverCount(), 22.0);
     activeFailures.assign(cfg.failures.size(), 0);
 
@@ -148,6 +150,9 @@ ClusterSim::ClusterSim(const SimConfig &config)
             layout.specOf(server.id).throttleTemp.value());
 
     routeIndex.resize(vmGen.endpointVmCounts().size());
+    buildViewInto(liveView);
+    liveView.ownerGeneration = &viewGeneration;
+    stampView();
     serverDrawWatts.assign(layout.serverCount(), Watts(0.0));
     drawsScratch.assign(static_cast<std::size_t>(gpusPerServer),
                         Watts(0.0));
@@ -162,12 +167,7 @@ ClusterSim::ClusterSim(const SimConfig &config)
 std::size_t
 ClusterSim::activeVmCount() const
 {
-    std::size_t count = 0;
-    for (std::size_t i = 0; i < vmTable.size(); ++i) {
-        if (vmTable.active(i))
-            ++count;
-    }
-    return count;
+    return activeVms.size();
 }
 
 void
@@ -193,41 +193,153 @@ ClusterSim::vmPredictedPeakLoad(const VmRecord &record) const
     return store.endpointPredictedPeak(record.endpoint, kMinHistory);
 }
 
-const ClusterView &
-ClusterSim::makeView()
+void
+ClusterSim::buildViewInto(ClusterView &out) const
 {
-    // Full rebuild into the member scratch: vector capacity is
-    // retained across steps, so the steady state allocates nothing.
-    // Everything needed lives in the hot VM arrays; the cached
-    // predicted peaks are exact because the underlying telemetry
-    // digests only move on telemetry ticks (see
-    // refreshPredictedPeaks).
-    ClusterView &view = viewScratch;
-    view.layout = &layout;
-    view.cooling = &cooling;
-    view.power = &hierarchy;
-    view.profiles = &bank;
-    view.now = currentTime;
-    view.outsideC = weatherModel.outsideAt(currentTime).value();
-    view.dcLoadFrac = dcLoadFrac;
-    view.serverLoads = serverLoads;
-    view.occupied.assign(layout.serverCount(), false);
+    // Full rebuild (construction, tests, and the debug cross-check
+    // against the incrementally maintained liveView). Everything
+    // needed lives in the hot VM arrays; the cached predicted peaks
+    // are exact because the underlying telemetry digests only move
+    // on telemetry ticks (see refreshPredictedPeaks).
+    out.layout = &layout;
+    out.cooling = &cooling;
+    out.power = &hierarchy;
+    out.profiles = &bank;
+    out.now = currentTime;
+    out.outsideC = weatherModel.outsideAt(currentTime).value();
+    out.dcLoadFrac = dcLoadFrac;
+    out.serverLoads = serverLoads;
+    out.occupied.assign(layout.serverCount(), false);
     for (std::size_t s = 0; s < serverVm.size(); ++s)
-        view.occupied[s] = serverVm[s] != npos;
-    view.vms.clear();
+        out.occupied[s] = serverVm[s] != npos;
+    out.vms.clear();
     const std::size_t n = vmTable.size();
     for (std::size_t i = 0; i < n; ++i) {
         if (vmTable.active(i))
-            view.vms.push_back(placedVmView(i));
+            out.vms.push_back(placedVmView(i));
     }
-    return view;
+    out.snapshotEpoch = viewLoadEpoch;
+}
+
+void
+ClusterSim::stampView()
+{
+    ++viewGeneration;
+    liveView.stampedGeneration = viewGeneration;
+}
+
+void
+ClusterSim::refreshViewSnapshot()
+{
+    // Lazy load/time re-sync of the maintained view: membership
+    // (vms, occupied) is kept current eagerly by
+    // viewInsertVm/viewRemoveVm and the migration planner, so only
+    // the per-step snapshot fields move here — two packed-array
+    // reads per placed VM instead of the full rebuild the old
+    // makeView() paid two to three times per step.
+    liveView.now = currentTime;
+    liveView.outsideC = weatherModel.outsideAt(currentTime).value();
+    liveView.dcLoadFrac = dcLoadFrac;
+    liveView.serverLoads = serverLoads;
+    for (PlacedVmView &pv : liveView.vms) {
+        pv.currentLoad = vmTable.load[pv.id.index];
+        pv.predictedPeakLoad = vmTable.predictedPeak[pv.id.index];
+    }
+    liveView.snapshotEpoch = viewLoadEpoch;
+    stampView();
+}
+
+const ClusterView &
+ClusterSim::currentView()
+{
+    if (liveView.snapshotEpoch != viewLoadEpoch)
+        refreshViewSnapshot();
+    return liveView;
+}
+
+std::size_t
+ClusterSim::viewIndexOf(std::uint32_t vm_id) const
+{
+    // liveView.vms stays sorted by VM id (insertions keep it so),
+    // mirroring the ascending-id order of a full rebuild.
+    std::size_t lo = 0;
+    std::size_t hi = liveView.vms.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (liveView.vms[mid].id.index < vm_id) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+void
+ClusterSim::viewInsertVm(std::size_t vm_index)
+{
+    const std::size_t at =
+        viewIndexOf(static_cast<std::uint32_t>(vm_index));
+    // placedVmView() is the single construction site shared with the
+    // full rebuild, so the incremental entry is field-for-field what
+    // buildViewInto would produce.
+    liveView.vms.insert(liveView.vms.begin() +
+                            static_cast<std::ptrdiff_t>(at),
+                        placedVmView(vm_index));
+    liveView.occupied[vmTable.serverOf[vm_index]] = true;
+    stampView();
+}
+
+void
+ClusterSim::viewRemoveVm(std::size_t vm_index)
+{
+    const std::size_t at =
+        viewIndexOf(static_cast<std::uint32_t>(vm_index));
+    tapas_assert(at < liveView.vms.size() &&
+                     liveView.vms[at].id.index == vm_index,
+                 "VM %zu missing from the maintained view",
+                 vm_index);
+    liveView.vms.erase(liveView.vms.begin() +
+                       static_cast<std::ptrdiff_t>(at));
+    liveView.occupied[vmTable.serverOf[vm_index]] = false;
+    stampView();
+}
+
+bool
+ClusterSim::verifyClusterView()
+{
+    const ClusterView &live = currentView();
+    if (live.snapshotEpoch != viewLoadEpoch)
+        return false;
+    buildViewInto(debugViewScratch);
+    const ClusterView &fresh = debugViewScratch;
+    if (live.now != fresh.now || live.outsideC != fresh.outsideC ||
+        live.dcLoadFrac != fresh.dcLoadFrac ||
+        live.serverLoads != fresh.serverLoads ||
+        live.occupied != fresh.occupied ||
+        live.vms.size() != fresh.vms.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < fresh.vms.size(); ++i) {
+        const PlacedVmView &a = live.vms[i];
+        const PlacedVmView &b = fresh.vms[i];
+        if (a.id != b.id || a.kind != b.kind ||
+            a.server != b.server || a.endpoint != b.endpoint ||
+            a.customer != b.customer ||
+            a.predictedPeakLoad != b.predictedPeakLoad ||
+            a.currentLoad != b.currentLoad) {
+            return false;
+        }
+    }
+    return true;
 }
 
 PlacedVmView
 ClusterSim::placedVmView(std::size_t vm_index) const
 {
-    // Single construction site for view entries: makeView and the
-    // incremental placement-phase update must agree field for field.
+    // Single construction site for view entries: the full rebuild
+    // (buildViewInto) and the incremental membership updates must
+    // agree field for field.
     PlacedVmView pv;
     pv.id = VmId(static_cast<std::uint32_t>(vm_index));
     pv.kind =
@@ -279,19 +391,23 @@ ClusterSim::processFailureSchedule()
 void
 ClusterSim::processDepartures()
 {
-    // Hot scan: one byte (slot) and one SimTime per VM; the cold
-    // record is only touched for the rare VM actually departing.
-    const std::size_t n = vmTable.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        if (!vmTable.active(i) ||
-            vmTable.departureAt[i] > currentTime) {
+    // Hot scan over the placed VMs only (one SimTime read each);
+    // the cold record is only touched for the rare VM actually
+    // departing. Survivors compact into the scratch list, which
+    // preserves ascending-id order.
+    activeScratch.clear();
+    for (std::uint32_t i : activeVms) {
+        if (vmTable.departureAt[i] > currentTime) {
+            activeScratch.push_back(i);
             continue;
         }
         if (vmTable.isSaas(i))
             routeIndexRemove(i);
+        viewRemoveVm(i);
         serverVm[vmTable.serverOf[i]] = npos;
         vmTable.depart(i);
     }
+    activeVms.swap(activeScratch);
 }
 
 void
@@ -384,6 +500,20 @@ ClusterSim::verifyVmTable() const
 {
     if (!vmTable.consistent())
         return false;
+    // The active-index list must hold exactly the placed VMs in
+    // ascending order (the sweeps' iteration contract).
+    {
+        std::size_t pos = 0;
+        for (std::size_t i = 0; i < vmTable.size(); ++i) {
+            if (!vmTable.active(i))
+                continue;
+            if (pos >= activeVms.size() || activeVms[pos] != i)
+                return false;
+            ++pos;
+        }
+        if (pos != activeVms.size())
+            return false;
+    }
     // serverVm and the hot server column must be mutual inverses.
     std::size_t placed = 0;
     for (std::size_t i = 0; i < vmTable.size(); ++i) {
@@ -421,14 +551,8 @@ ClusterSim::tryPlace(std::uint32_t vm_index)
     request.customer = rec.customer;
     request.predictedPeakLoad = vmPredictedPeakLoad(rec);
 
-    // One view rebuild per placement phase; successful placements
-    // below keep it current incrementally.
-    if (!placementViewFresh) {
-        makeView();
-        placementViewFresh = true;
-    }
     const auto pick =
-        tapas->allocator().place(request, viewScratch);
+        tapas->allocator().place(request, currentView());
     if (!pick.has_value())
         return false;
     tapas_assert(serverVm[pick->index] == npos,
@@ -441,12 +565,17 @@ ClusterSim::tryPlace(std::uint32_t vm_index)
     vmTable.place(vm_index, *pick, std::move(engine),
                   request.predictedPeakLoad);
     serverVm[pick->index] = vm_index;
+    // Sorted insert keeps the active list in the ascending-id order
+    // the sweeps (and the maintained view) rely on.
+    activeVms.insert(std::lower_bound(activeVms.begin(),
+                                      activeVms.end(), vm_index),
+                     vm_index);
     if (rec.kind == VmKind::SaaS)
         routeIndexAdd(vm_index);
-    viewScratch.occupied[pick->index] = true;
     // place() stored the request's predicted peak, so the shared
-    // constructor reproduces exactly what a view rebuild would add.
-    viewScratch.vms.push_back(placedVmView(vm_index));
+    // construction site reproduces exactly what a view rebuild
+    // would add.
+    viewInsertVm(vm_index);
     ++simMetrics.vmsPlaced;
     return true;
 }
@@ -545,8 +674,7 @@ ClusterSim::assignSaasLoadRequestMode(SimTime from, SimTime to)
     }
 
     // Advance every engine; harvest latency/quality metrics.
-    const std::size_t n = vmTable.size();
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t i : activeVms) {
         if (!vmTable.isSaas(i))
             continue;
         InferenceEngine *engine = vmTable.engine[i];
@@ -587,12 +715,23 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
     const SimTime mid = from + (to - from) / 2;
     const int gpus = gpusPerServer;
     const RiskAssessor *risk = tapas->riskAssessor();
-    const std::size_t n = vmTable.size();
 
     // Clear stale assignments (reconfiguring VMs receive nothing).
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t i : activeVms) {
         if (vmTable.isSaas(i))
             vmTable.demandTps[i] = 0.0;
+    }
+
+    // Row budgets for the slack weighting, hoisted out of the
+    // per-candidate loop (a handful of rows versus one provision
+    // call per routable VM).
+    const bool use_risk = risk && risk->fresh();
+    if (use_risk) {
+        rowPowerScratch.resize(layout.rowCount());
+        for (const Row &row : layout.rows()) {
+            rowPowerScratch[row.id.index] =
+                hierarchy.effectiveRowProvision(row.id).value();
+        }
     }
 
     for (const EndpointDemand &ep : requestGen->endpoints()) {
@@ -608,10 +747,8 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
         for (const RouteCandidate &cand : candidates) {
             if (!cand.engine->accepting())
                 continue;
-            if (risk && risk->fresh() &&
-                risk->risk(cand.server).any()) {
+            if (use_risk && risk->risk(cand.server).any())
                 continue;
-            }
             safe.push_back(&cand);
         }
         if (safe.empty()) {
@@ -633,13 +770,11 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
         for (std::size_t i = 0; i < safe.size(); ++i) {
             const double cap = safe[i]->engine->profile().goodputTps;
             double slack = 1.0;
-            if (risk && risk->fresh()) {
+            if (use_risk) {
                 const ServerRisk &entry =
                     risk->risk(safe[i]->server);
-                const double budget = hierarchy
-                    .effectiveRowProvision(
-                        layout.server(safe[i]->server).row)
-                    .value();
+                const double budget = rowPowerScratch
+                    [layout.server(safe[i]->server).row.index];
                 slack = budget > 0.0
                     ? std::clamp(entry.rowHeadroomW / budget, 0.05,
                                  1.0)
@@ -668,26 +803,37 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
     }
 
     // Advance engines (blackout progression) and set loads.
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t i : activeVms) {
         if (!vmTable.isSaas(i))
             continue;
         InferenceEngine *engine = vmTable.engine[i];
         engine->step(static_cast<double>(from),
                      static_cast<double>(to));
         const ConfigProfile &profile = engine->profile();
+        if (vmTable.demandTps[i] == 0.0) {
+            // Zero demand solves to exactly zero busy time and idle
+            // GPU power; skip the full operating-point evaluation.
+            vmTable.load[i] = 0.0;
+            saasOpGpuPowerW[i] = perf.spec().gpuIdlePower.value();
+            continue;
+        }
+        // GPU-only solve: this loop never reads serverPower.
         const PerfModel::OperatingPoint op =
-            perf.operatingPointAt(profile, vmTable.demandTps[i]);
+            perf.operatingGpuPointAt(profile, vmTable.demandTps[i]);
         vmTable.load[i] = op.busyFrac *
             static_cast<double>(profile.activeGpus) /
             static_cast<double>(gpus);
+        // Demand and profile are now fixed for the step: cache the
+        // base GPU power so computeDraws (and its capping/thermal
+        // re-passes) read it instead of re-solving the perf model.
+        saasOpGpuPowerW[i] = op.gpuPower.value();
     }
 }
 
 void
 ClusterSim::replayIaasLoads(SimTime t)
 {
-    const std::size_t n = vmTable.size();
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t i : activeVms) {
         if (vmTable.isIaas(i)) {
             vmTable.load[i] =
                 vmGen.iaasLoadAt(vmTable.record(i), t);
@@ -708,10 +854,31 @@ ClusterSim::computeDraws()
         const std::size_t vm_index = serverVm[s];
 
         if (vm_index == npos) {
-            for (int g = 0; g < gpus; ++g)
-                draws[static_cast<std::size_t>(g)] =
-                    spec.gpuIdlePower;
-        } else {
+            // Empty server: all-idle draws are deterministic per
+            // spec, so compute heat/power once and replay the cached
+            // values (bit-identical: same code path, same inputs).
+            if (idleSpecCache != &spec) {
+                for (int g = 0; g < gpus; ++g)
+                    draws[static_cast<std::size_t>(g)] =
+                        spec.gpuIdlePower;
+                idleHeatCache = PowerModel::heatFraction(spec, draws);
+                idleDrawWCache =
+                    powerModel.serverPower(spec, draws,
+                                           idleHeatCache)
+                        .value();
+                idleSpecCache = &spec;
+            }
+            serverLoads[s] = idleHeatCache;
+            const double idle_w = spec.gpuIdlePower.value();
+            for (int g = 0; g < gpus; ++g) {
+                gpuPowerW[s * static_cast<std::size_t>(gpus) +
+                          static_cast<std::size_t>(g)] = idle_w;
+            }
+            serverDrawW[s] = idleDrawWCache;
+            serverDrawWatts[s] = Watts(idleDrawWCache);
+            continue;
+        }
+        {
             if (vmTable.isIaas(vm_index)) {
                 const Watts w = powerModel.gpuPower(
                     spec, vmTable.load[vm_index],
@@ -737,10 +904,11 @@ ClusterSim::computeDraws()
                         busy * (ps * prefill_w +
                                 (1.0 - ps) * decode_w);
                 } else {
-                    base = perf.operatingPointAt(
-                                   profile,
-                                   vmTable.demandTps[vm_index])
-                               .gpuPower.value();
+                    // Same value assignSaasLoadFlowMode computed
+                    // when it set this VM's load (bit-identical:
+                    // operatingPointAt is deterministic in profile
+                    // and demand, both unchanged since).
+                    base = saasOpGpuPowerW[vm_index];
                 }
                 // Most servers run uncapped; skip the pow() then.
                 const double cap = vmTable.freqCap[vm_index];
@@ -844,11 +1012,15 @@ ClusterSim::evaluateThermal(bool enforce)
     const Celsius outside = weatherModel.outsideAt(currentTime);
 
     // One sensor-noise draw per server per step; a noiseless model
-    // needs no draws at all (gaussian(0, 0) is identically zero).
+    // needs no draws at all (the draw at sigma 0 is identically
+    // zero). Bulk draws use the ziggurat stream (one uniform and a
+    // table compare on ~98% of calls, versus log/sqrt/sincos per
+    // Box-Muller pair) — the same distribution PR-2 adopted for the
+    // profiling noise.
     noiseScratch.resize(layout.serverCount());
     if (cfg.thermal.noiseSigmaC > 0.0) {
         for (double &n : noiseScratch)
-            n = noiseRng.gaussian(0.0, cfg.thermal.noiseSigmaC);
+            n = noiseRng.gaussianFast(0.0, cfg.thermal.noiseSigmaC);
     } else {
         std::fill(noiseScratch.begin(), noiseScratch.end(), 0.0);
     }
@@ -873,13 +1045,19 @@ ClusterSim::evaluateThermal(bool enforce)
             thermal.gpuTemperatures(server.id, Celsius(inletC[s]),
                                     &gpuPowerW[base],
                                     &gpuTempC[base]);
-            const double throttle_at = throttleAtC[s];
-            for (int g = 0; g < gpus; ++g) {
-                if (gpuTempC[base + static_cast<std::size_t>(g)] >
-                    throttle_at) {
-                    any_over = true;
-                }
+            // One fused scan: track the server's hottest GPU (fed
+            // to telemetry/metrics) and the throttle breach (max >
+            // throttle iff any GPU is over).
+            double hottest =
+                gpuTempC[base];
+            for (int g = 1; g < gpus; ++g) {
+                hottest = std::max(
+                    hottest,
+                    gpuTempC[base + static_cast<std::size_t>(g)]);
             }
+            hottestGpuC[s] = hottest;
+            if (hottest > throttleAtC[s])
+                any_over = true;
         }
         return any_over;
     };
@@ -891,18 +1069,11 @@ ClusterSim::evaluateThermal(bool enforce)
         return;
 
     for (int iter = 0; iter < 5 && over; ++iter) {
-        // Hardware throttle on every server with a hot GPU.
+        // Hardware throttle on every server with a hot GPU (the
+        // evaluation above just refreshed the hottest-GPU cache).
         for (const Server &server : layout.servers()) {
             const std::size_t s = server.id.index;
-            const double throttle_at = throttleAtC[s];
-            bool hot = false;
-            for (int g = 0; g < gpus; ++g) {
-                if (gpuTempC[s * static_cast<std::size_t>(gpus) +
-                             static_cast<std::size_t>(g)] >
-                    throttle_at) {
-                    hot = true;
-                }
-            }
+            const bool hot = hottestGpuC[s] > throttleAtC[s];
             const std::size_t vi = serverVm[s];
             if (hot && vi != npos) {
                 vmTable.freqCap[vi] = std::max(
@@ -919,24 +1090,16 @@ ClusterSim::recordTelemetry(SimTime t)
 {
     if (t % kTelemetryPeriod != 0)
         return;
-    const int gpus = gpusPerServer;
     const double outside = weatherModel.outsideAt(t).value();
 
     rowPowerScratch.assign(layout.rowCount(), 0.0);
     std::vector<double> &row_power = rowPowerScratch;
     for (const Server &server : layout.servers()) {
         const std::size_t s = server.id.index;
-        double hottest = 0.0;
-        for (int g = 0; g < gpus; ++g) {
-            hottest = std::max(
-                hottest,
-                gpuTempC[s * static_cast<std::size_t>(gpus) +
-                         static_cast<std::size_t>(g)]);
-        }
         ServerSample sample;
         sample.time = t;
         sample.inletC = static_cast<float>(inletC[s]);
-        sample.hottestGpuC = static_cast<float>(hottest);
+        sample.hottestGpuC = static_cast<float>(hottestGpuC[s]);
         sample.serverPowerW = static_cast<float>(serverDrawW[s]);
         sample.gpuLoad = static_cast<float>(serverLoads[s]);
         sample.outsideC = static_cast<float>(outside);
@@ -958,10 +1121,7 @@ ClusterSim::recordTelemetry(SimTime t)
               endpointPowerScratch.end(), 0.0);
     std::fill(endpointCountScratch.begin(),
               endpointCountScratch.end(), 0);
-    const std::size_t n = vmTable.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        if (!vmTable.active(i))
-            continue;
+    for (std::uint32_t i : activeVms) {
         const std::uint32_t s = vmTable.serverOf[i];
         const double draw = serverDrawW[s];
         store.recordVmLoad(VmId(static_cast<std::uint32_t>(i)),
@@ -1005,15 +1165,23 @@ ClusterSim::recordTelemetry(SimTime t)
 void
 ClusterSim::refreshPredictedPeaks()
 {
-    const std::size_t n = vmTable.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        if (!vmTable.active(i))
-            continue;
+    // The digests are per customer/endpoint, so query each key once
+    // into flat accumulator-sized scratch instead of one store
+    // lookup per VM (many VMs share a key).
+    std::vector<double> &customer_peak = customerPowerScratch;
+    std::vector<double> &endpoint_peak = endpointPowerScratch;
+    for (std::size_t c = 0; c < customer_peak.size(); ++c) {
+        customer_peak[c] = store.customerPredictedPeak(
+            CustomerId(static_cast<std::uint32_t>(c)), kMinHistory);
+    }
+    for (std::size_t e = 0; e < endpoint_peak.size(); ++e) {
+        endpoint_peak[e] = store.endpointPredictedPeak(
+            EndpointId(static_cast<std::uint32_t>(e)), kMinHistory);
+    }
+    for (std::uint32_t i : activeVms) {
         vmTable.predictedPeak[i] = vmTable.isIaas(i)
-            ? store.customerPredictedPeak(
-                  CustomerId(vmTable.customerOf[i]), kMinHistory)
-            : store.endpointPredictedPeak(
-                  EndpointId(vmTable.endpointOf[i]), kMinHistory);
+            ? customer_peak[vmTable.customerOf[i]]
+            : endpoint_peak[vmTable.endpointOf[i]];
     }
 }
 
@@ -1031,8 +1199,7 @@ ClusterSim::configuratorPass()
     // >15%, the emergency state flipped, or 15 minutes elapsed.
     instancesScratch.clear();
     std::vector<SaasInstanceRef> &instances = instancesScratch;
-    const std::size_t n = vmTable.size();
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t i : activeVms) {
         if (!vmTable.isSaas(i))
             continue;
         const double demand = std::max(vmTable.demandTps[i],
@@ -1056,8 +1223,7 @@ ClusterSim::configuratorPass()
     }
     if (instances.empty())
         return;
-    const ClusterView &view = makeView();
-    tapas->configurePass(view, instances);
+    tapas->configurePass(currentView(), instances);
     simMetrics.reconfigs = tapas->reconfigsIssued();
 }
 
@@ -1070,9 +1236,13 @@ ClusterSim::migrationPass()
         return;
     }
     MigrationPlanner planner(cfg.policy);
-    const ClusterView &view = makeView();
+    // The planner explores what-ifs by overlay/undo on the live
+    // view and leaves accepted moves applied to it; the table
+    // updates below keep the simulator state consistent with what
+    // the view already reflects.
+    currentView();
     for (const MigrationPlan &move :
-         planner.plan(view, cfg.policy.migrationMaxMoves)) {
+         planner.plan(liveView, cfg.policy.migrationMaxMoves)) {
         const std::size_t vm_index = serverVm[move.from.index];
         tapas_assert(vm_index != npos, "migration donor is empty");
         tapas_assert(vmTable.isSaas(vm_index),
@@ -1085,6 +1255,9 @@ ClusterSim::migrationPass()
             cfg.policy.migrationDelayS);
         ++simMetrics.migrations;
     }
+    // The planner rewrote view entries in place; restamp so any
+    // copies detached before the pass read as stale.
+    stampView();
 }
 
 void
@@ -1117,16 +1290,16 @@ ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
     simMetrics.peakRowPowerFrac.add(currentTime, peak_row_frac);
     simMetrics.datacenterPowerW.add(currentTime, dc_power);
 
+    // Max of the per-server hottest-GPU cache equals the max over
+    // every GPU (max of maxes), without the fleet*gpus rescan.
     double max_temp = 0.0;
-    for (double t : gpuTempC)
+    for (double t : hottestGpuC)
         max_temp = std::max(max_temp, t);
     simMetrics.maxGpuTempC.add(currentTime, max_temp);
-
     // IaaS performance penalty (capping deficit).
     double penalty = 0.0;
     int iaas_count = 0;
-    const std::size_t n = vmTable.size();
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t i : activeVms) {
         if (vmTable.isIaas(i)) {
             penalty += 1.0 - vmTable.freqCap[i];
             ++iaas_count;
@@ -1141,7 +1314,7 @@ ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
     if (cfg.mode == SimMode::FlowLevel) {
         const double mean_tokens =
             requestGen->meanTokensPerRequest();
-        for (std::size_t i = 0; i < n; ++i) {
+        for (std::uint32_t i : activeVms) {
             if (!vmTable.isSaas(i))
                 continue;
             const double goodput = effectiveGoodput(i);
@@ -1170,7 +1343,7 @@ ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
                 vm_served * dt * (1.0 - viol_frac);
         }
     } else {
-        for (std::size_t i = 0; i < n; ++i) {
+        for (std::uint32_t i : activeVms) {
             if (!vmTable.isSaas(i))
                 continue;
             for (const CompletedRequest &done :
@@ -1194,17 +1367,17 @@ ClusterSim::step()
 {
     processFailureSchedule();
     processDepartures();
-    // One shared placement view for the arrival/backlog phase.
-    placementViewFresh = false;
+    // Placement and the risk refresh below share the maintained
+    // view at the pre-load snapshot (last step's loads, this step's
+    // membership) — the same state the per-phase rebuilds observed.
     processArrivals();
     tryPlaceWaiting();
-    placementViewFresh = false;
 
     // Risk refresh uses last step's sensor data (5-min cadence).
-    // Building the view is the expensive part; skip it entirely on
-    // steps where the cache is still fresh.
+    // Skip even the lazy view re-sync on steps where the cache is
+    // still fresh.
     if (tapas->riskRefreshDue(currentTime))
-        tapas->maybeRefreshRisk(makeView(), gpuPowerW);
+        tapas->maybeRefreshRisk(currentView(), gpuPowerW);
 
     // Reset this step's hardware caps.
     std::fill(vmTable.freqCap.begin(), vmTable.freqCap.end(), 1.0);
@@ -1226,8 +1399,7 @@ ClusterSim::step()
     evaluateThermal(true);
 
     // Hardware throttles carry into the next step's engine work.
-    const std::size_t vm_count = vmTable.size();
-    for (std::size_t i = 0; i < vm_count; ++i) {
+    for (std::uint32_t i : activeVms) {
         if (vmTable.isSaas(i)) {
             vmTable.engine[i]->setHardwareThrottle(
                 vmTable.freqCap[i]);
@@ -1235,6 +1407,11 @@ ClusterSim::step()
     }
 
     recordTelemetry(from);
+    // Loads (and on telemetry ticks, predicted peaks) moved: advance
+    // the snapshot epoch so the configurator/migration phases see
+    // this step's post-load state, exactly as their per-phase
+    // rebuilds used to.
+    ++viewLoadEpoch;
     configuratorPass();
     migrationPass();
     collectMetrics(simMetrics.powerCapSteps > caps_before,
@@ -1251,10 +1428,15 @@ ClusterSim::step()
         : 0.5;
 
     currentTime = to;
+    // Step boundary: time and the datacenter load fraction moved.
+    ++viewLoadEpoch;
 
 #ifndef NDEBUG
     tapas_assert(verifyVmTable(),
                  "SoA VM table diverged from the cold side table");
+    tapas_assert(verifyClusterView(),
+                 "incremental ClusterView diverged from a fresh "
+                 "rebuild");
 #endif
 }
 

@@ -98,6 +98,14 @@ class ClusterSim
      */
     bool verifyVmTable() const;
 
+    /**
+     * Consistency of the incrementally maintained ClusterView
+     * against a freshly rebuilt one at the current snapshot epoch
+     * (tests; debug builds assert it every step). Re-syncs the
+     * maintained view to the current epoch first.
+     */
+    bool verifyClusterView();
+
   private:
     SimConfig cfg;
     DatacenterLayout layout;
@@ -119,6 +127,17 @@ class ClusterSim
     SimTime currentTime = 0;
     std::size_t arrivalCursor = 0;
     VmTable vmTable;
+    /**
+     * Indices of currently placed VMs, ascending. The VM table keeps
+     * a slot per trace record for the whole horizon, so per-step
+     * sweeps iterate this dense list (same ascending-id order as a
+     * full table scan) instead of walking every slot that ever
+     * existed. Maintained on place/depart; debug builds verify it
+     * against the slot flags every step.
+     */
+    std::vector<std::uint32_t> activeVms;
+    /** Compaction scratch for the departure sweep. */
+    std::vector<std::uint32_t> activeScratch;
     /** server index -> vm index (or npos). */
     std::vector<std::size_t> serverVm;
     std::vector<std::uint32_t> waitingVms;
@@ -133,10 +152,23 @@ class ClusterSim
     std::vector<double> serverDrawW;
     std::vector<double> gpuPowerW;
     std::vector<double> gpuTempC;
+    /** Per-server hottest GPU of the last thermal evaluation;
+     *  telemetry and metrics read this instead of re-scanning the
+     *  per-GPU temperatures. */
+    std::vector<double> hottestGpuC;
     std::vector<double> inletC;
 
     /** GPUs per server (uniform fleet), hoisted from the spec. */
     int gpusPerServer = 0;
+    /**
+     * Cached all-idle draw of an empty server (heat fraction and
+     * wall power), keyed by spec identity: empty servers produce
+     * the same deterministic values every step, so computeDraws
+     * evaluates them once per spec instead of per server per pass.
+     */
+    const ServerSpec *idleSpecCache = nullptr;
+    double idleHeatCache = 0.0;
+    double idleDrawWCache = 0.0;
     /** Per-server throttle temperature, hoisted from the specs. */
     std::vector<double> throttleAtC;
 
@@ -162,18 +194,36 @@ class ClusterSim
     std::vector<SaasInstanceRef> instancesScratch;
     std::vector<Request> requestsScratch;
     std::vector<std::uint32_t> waitingScratch;
+    /**
+     * Flow-mode per-VM base GPU power cache, filled by
+     * assignSaasLoadFlowMode from the same operating point that set
+     * the VM's load. Demand and profile are fixed for the rest of
+     * the step, so the capping/thermal iterations of computeDraws
+     * reuse it instead of re-evaluating the perf model per pass.
+     */
+    std::vector<double> saasOpGpuPowerW;
     std::vector<double> customerPowerScratch;
     std::vector<int> customerCountScratch;
     std::vector<double> endpointPowerScratch;
     std::vector<int> endpointCountScratch;
     PowerAssessment assessScratch;
-    ClusterView viewScratch;
+
     /**
-     * True while viewScratch is valid for the current placement
-     * phase; placements update the view incrementally instead of
-     * rebuilding it per candidate VM.
+     * The single maintained ClusterView shared by the placement,
+     * risk, configurator, and migration phases. Membership changes
+     * (place/depart/migrate) are applied eagerly; the load/time
+     * snapshot re-syncs lazily when the sim's snapshot epoch has
+     * moved past the view's (see currentView()). Debug builds
+     * cross-check it against a freshly rebuilt view every step.
      */
-    bool placementViewFresh = false;
+    ClusterView liveView;
+    /** Snapshot epoch: bumped whenever the observable load/time
+     *  state moves (post-load update, step boundary). */
+    std::uint64_t viewLoadEpoch = 0;
+    /** Staleness generation backing ClusterView::assertFresh(). */
+    std::uint64_t viewGeneration = 0;
+    /** Fresh-rebuild scratch for the debug cross-check. */
+    ClusterView debugViewScratch;
 
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -183,7 +233,13 @@ class ClusterSim
     void processArrivals();
     void tryPlaceWaiting();
     bool tryPlace(std::uint32_t vm_index);
-    const ClusterView &makeView();
+    const ClusterView &currentView();
+    void refreshViewSnapshot();
+    void stampView();
+    void buildViewInto(ClusterView &out) const;
+    std::size_t viewIndexOf(std::uint32_t vm_id) const;
+    void viewInsertVm(std::size_t vm_index);
+    void viewRemoveVm(std::size_t vm_index);
     void assignSaasLoadRequestMode(SimTime from, SimTime to);
     void assignSaasLoadFlowMode(SimTime from, SimTime to);
     void replayIaasLoads(SimTime t);

@@ -7,28 +7,22 @@
 namespace tapas {
 
 KeyedSeriesRing &
-TelemetryStore::keyedRing(
-    std::unordered_map<std::uint32_t, KeyedSeriesRing> &map,
-    std::uint32_t key)
+TelemetryStore::keyedRing(std::vector<KeyedSeriesRing> &table,
+                          std::uint32_t key)
 {
-    auto it = map.find(key);
-    if (it == map.end()) {
-        it = map.emplace(key, KeyedSeriesRing(seriesCapacity))
-                 .first;
-    }
-    return it->second;
+    if (key >= table.size())
+        table.resize(key + 1, KeyedSeriesRing(seriesCapacity));
+    return table[key];
 }
 
 void
 TelemetryStore::recordServer(ServerId id, const ServerSample &sample)
 {
-    auto it = serverData.find(id.index);
-    if (it == serverData.end()) {
-        it = serverData
-                 .emplace(id.index, ServerSeriesRing(seriesCapacity))
-                 .first;
+    if (id.index >= serverData.size()) {
+        serverData.resize(id.index + 1,
+                          ServerSeriesRing(seriesCapacity));
     }
-    it->second.push(sample);
+    serverData[id.index].push(sample);
 }
 
 void
@@ -66,56 +60,62 @@ TelemetryStore::recordVmLoad(VmId id, CustomerId customer,
         digest.last = t;
         digest.peak = std::max(digest.peak, load);
     };
-    if (customer.valid())
+    if (customer.valid()) {
+        if (customer.index >= customerLoads.size())
+            customerLoads.resize(customer.index + 1);
         update(customerLoads[customer.index]);
-    if (endpoint.valid())
+    }
+    if (endpoint.valid()) {
+        if (endpoint.index >= endpointLoads.size())
+            endpointLoads.resize(endpoint.index + 1);
         update(endpointLoads[endpoint.index]);
+    }
 }
 
 SeriesView<ServerSample>
 TelemetryStore::serverSeries(ServerId id) const
 {
-    const auto it = serverData.find(id.index);
-    return it == serverData.end() ? SeriesView<ServerSample>()
-                                  : it->second.view();
+    return id.index < serverData.size()
+        ? serverData[id.index].view()
+        : SeriesView<ServerSample>();
 }
 
 SeriesView<KeyedSample>
 TelemetryStore::rowPowerSeries(RowId id) const
 {
-    const auto it = rowPower.find(id.index);
-    return it == rowPower.end() ? SeriesView<KeyedSample>()
-                                : it->second.view();
+    return id.index < rowPower.size() ? rowPower[id.index].view()
+                                      : SeriesView<KeyedSample>();
 }
 
 SeriesView<KeyedSample>
 TelemetryStore::customerVmPowerSeries(CustomerId id) const
 {
-    const auto it = customerVmPower.find(id.index);
-    return it == customerVmPower.end() ? SeriesView<KeyedSample>()
-                                       : it->second.view();
+    return id.index < customerVmPower.size()
+        ? customerVmPower[id.index].view()
+        : SeriesView<KeyedSample>();
 }
 
 SeriesView<KeyedSample>
 TelemetryStore::endpointVmPowerSeries(EndpointId id) const
 {
-    const auto it = endpointVmPower.find(id.index);
-    return it == endpointVmPower.end() ? SeriesView<KeyedSample>()
-                                       : it->second.view();
+    return id.index < endpointVmPower.size()
+        ? endpointVmPower[id.index].view()
+        : SeriesView<KeyedSample>();
 }
 
 double
 TelemetryStore::rowPowerPeak(RowId id) const
 {
-    const auto it = rowPower.find(id.index);
-    return it == rowPower.end() ? 0.0 : it->second.peakValue();
+    return id.index < rowPower.size()
+        ? rowPower[id.index].peakValue()
+        : 0.0;
 }
 
 SimTime
 TelemetryStore::rowPowerSpan(RowId id) const
 {
-    const auto it = rowPower.find(id.index);
-    return it == rowPower.end() ? 0 : it->second.span();
+    return id.index < rowPower.size() ? rowPower[id.index].span()
+                                      : 0;
 }
 
 std::vector<RowId>
@@ -123,11 +123,10 @@ TelemetryStore::rowsWithData() const
 {
     std::vector<RowId> out;
     out.reserve(rowPower.size());
-    for (const auto &[key, series] : rowPower) {
-        if (!series.empty())
-            out.push_back(RowId(key));
+    for (std::size_t key = 0; key < rowPower.size(); ++key) {
+        if (!rowPower[key].empty())
+            out.push_back(RowId(static_cast<std::uint32_t>(key)));
     }
-    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -136,11 +135,12 @@ TelemetryStore::customersWithData() const
 {
     std::vector<CustomerId> out;
     out.reserve(customerVmPower.size());
-    for (const auto &[key, series] : customerVmPower) {
-        if (!series.empty())
-            out.push_back(CustomerId(key));
+    for (std::size_t key = 0; key < customerVmPower.size(); ++key) {
+        if (!customerVmPower[key].empty()) {
+            out.push_back(
+                CustomerId(static_cast<std::uint32_t>(key)));
+        }
     }
-    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -149,82 +149,95 @@ TelemetryStore::endpointsWithData() const
 {
     std::vector<EndpointId> out;
     out.reserve(endpointVmPower.size());
-    for (const auto &[key, series] : endpointVmPower) {
-        if (!series.empty())
-            out.push_back(EndpointId(key));
+    for (std::size_t key = 0; key < endpointVmPower.size(); ++key) {
+        if (!endpointVmPower[key].empty()) {
+            out.push_back(
+                EndpointId(static_cast<std::uint32_t>(key)));
+        }
     }
-    std::sort(out.begin(), out.end());
     return out;
 }
 
 SimTime
 TelemetryStore::customerLoadSpan(CustomerId id) const
 {
-    const auto it = customerLoads.find(id.index);
-    if (it == customerLoads.end() || it->second.first < 0)
+    if (id.index >= customerLoads.size() ||
+        customerLoads[id.index].first < 0) {
         return 0;
-    return it->second.last - it->second.first;
+    }
+    const LoadDigest &digest = customerLoads[id.index];
+    return digest.last - digest.first;
 }
 
 SimTime
 TelemetryStore::endpointLoadSpan(EndpointId id) const
 {
-    const auto it = endpointLoads.find(id.index);
-    if (it == endpointLoads.end() || it->second.first < 0)
+    if (id.index >= endpointLoads.size() ||
+        endpointLoads[id.index].first < 0) {
         return 0;
-    return it->second.last - it->second.first;
+    }
+    const LoadDigest &digest = endpointLoads[id.index];
+    return digest.last - digest.first;
 }
 
 double
 TelemetryStore::customerPeakLoad(CustomerId id) const
 {
-    const auto it = customerLoads.find(id.index);
-    return it == customerLoads.end() ? 1.0 : it->second.peak;
+    // A slot materialized by a higher id but never recorded reads
+    // as absent (the map behaved the same way).
+    if (id.index >= customerLoads.size() ||
+        customerLoads[id.index].first < 0) {
+        return 1.0;
+    }
+    return customerLoads[id.index].peak;
 }
 
 double
 TelemetryStore::endpointPeakLoad(EndpointId id) const
 {
-    const auto it = endpointLoads.find(id.index);
-    return it == endpointLoads.end() ? 1.0 : it->second.peak;
+    if (id.index >= endpointLoads.size() ||
+        endpointLoads[id.index].first < 0) {
+        return 1.0;
+    }
+    return endpointLoads[id.index].peak;
 }
 
 double
 TelemetryStore::customerPredictedPeak(CustomerId id,
                                       SimTime min_span) const
 {
-    // Single lookup for the span gate + peak read (the placement
-    // view rebuild does this for every placed VM).
-    const auto it = customerLoads.find(id.index);
-    if (it == customerLoads.end() || it->second.first < 0 ||
-        it->second.last - it->second.first < min_span) {
+    // Single slot read for the span gate + peak (the predicted-peak
+    // refresh does this for every customer on telemetry ticks).
+    if (id.index >= customerLoads.size())
         return 1.0;
-    }
-    return it->second.peak;
+    const LoadDigest &digest = customerLoads[id.index];
+    if (digest.first < 0 || digest.last - digest.first < min_span)
+        return 1.0;
+    return digest.peak;
 }
 
 double
 TelemetryStore::endpointPredictedPeak(EndpointId id,
                                       SimTime min_span) const
 {
-    const auto it = endpointLoads.find(id.index);
-    if (it == endpointLoads.end() || it->second.first < 0 ||
-        it->second.last - it->second.first < min_span) {
+    if (id.index >= endpointLoads.size())
         return 1.0;
-    }
-    return it->second.peak;
+    const LoadDigest &digest = endpointLoads[id.index];
+    if (digest.first < 0 || digest.last - digest.first < min_span)
+        return 1.0;
+    return digest.peak;
 }
 
 void
 TelemetryStore::trimBefore(SimTime cutoff)
 {
-    for (auto &[key, series] : serverData)
+    for (ServerSeriesRing &series : serverData)
         series.trimBefore(cutoff);
-    for (auto &[key, series] : rowPower)
+    for (KeyedSeriesRing &series : rowPower)
         series.trimBefore(cutoff);
-    for (auto &[key, series] : customerVmPower)
+    for (KeyedSeriesRing &series : customerVmPower)
         series.trimBefore(cutoff);
-    for (auto &[key, series] : endpointVmPower)
+    for (KeyedSeriesRing &series : endpointVmPower)
         series.trimBefore(cutoff);
 }
 

@@ -15,7 +15,6 @@
 #ifndef TAPAS_TELEMETRY_HISTORY_HH
 #define TAPAS_TELEMETRY_HISTORY_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -143,18 +142,20 @@ class TelemetryStore
 
     std::size_t seriesCapacity;
 
-    std::unordered_map<std::uint32_t, ServerSeriesRing> serverData;
-    std::unordered_map<std::uint32_t, KeyedSeriesRing> rowPower;
-    std::unordered_map<std::uint32_t, KeyedSeriesRing>
-        customerVmPower;
-    std::unordered_map<std::uint32_t, KeyedSeriesRing>
-        endpointVmPower;
-    std::unordered_map<std::uint32_t, LoadDigest> customerLoads;
-    std::unordered_map<std::uint32_t, LoadDigest> endpointLoads;
+    // Dense slot tables indexed by the (dense, small) entity ids:
+    // the recorder runs every sensor tick for every server and VM,
+    // so each record is one bounds check plus a direct index instead
+    // of a hash probe. Slots materialize lazily on first record;
+    // untouched slots read as empty series / absent digests.
+    std::vector<ServerSeriesRing> serverData;
+    std::vector<KeyedSeriesRing> rowPower;
+    std::vector<KeyedSeriesRing> customerVmPower;
+    std::vector<KeyedSeriesRing> endpointVmPower;
+    std::vector<LoadDigest> customerLoads;
+    std::vector<LoadDigest> endpointLoads;
 
-    KeyedSeriesRing &keyedRing(
-        std::unordered_map<std::uint32_t, KeyedSeriesRing> &map,
-        std::uint32_t key);
+    KeyedSeriesRing &keyedRing(std::vector<KeyedSeriesRing> &table,
+                               std::uint32_t key);
 };
 
 } // namespace tapas

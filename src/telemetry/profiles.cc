@@ -379,6 +379,219 @@ ProfileBank::predictServerAirflowCfm(ServerId id,
     return w[0] + w[1] * x;
 }
 
+void
+ProfileBank::predictInletBatch(double outside_c, double dc_load_frac,
+                               std::size_t count, double *out) const
+{
+    tapas_assert(count <= profiledServers,
+                 "batch of %zu exceeds %zu profiled servers", count,
+                 profiledServers);
+    // The hinge terms depend only on the shared ambient input;
+    // hoisting them keeps the walk one contiguous coefficient read
+    // plus four fused multiply-adds per server. Term order matches
+    // evalInlet exactly, so results are bit-identical.
+    const double h0 = std::max(0.0, outside_c - kInletKnots[0]);
+    const double h1 = std::max(0.0, outside_c - kInletKnots[1]);
+    const double *w = inletCoeffs.data();
+    for (std::size_t s = 0; s < count; ++s, w += kInletWidth) {
+        double acc = w[0];
+        acc += w[1] * outside_c;
+        acc += w[2] * h0;
+        acc += w[3] * h1;
+        acc += w[4] * dc_load_frac;
+        out[s] = acc;
+    }
+}
+
+void
+ProfileBank::predictPowerBatch(const double *load_frac,
+                               std::size_t count, double *out) const
+{
+    tapas_assert(count <= profiledServers,
+                 "batch of %zu exceeds %zu profiled servers", count,
+                 profiledServers);
+    const double *w = powerCoeffs.data();
+    for (std::size_t s = 0; s < count; ++s, w += kPowerWidth) {
+        const double x = std::clamp(load_frac[s], 0.0, 1.0);
+        double acc = w[0];
+        double term = x;
+        for (std::size_t p = 1; p < kPowerWidth; ++p) {
+            acc += w[p] * term;
+            term *= x;
+        }
+        out[s] = acc;
+    }
+}
+
+void
+ProfileBank::predictPowerUniformBatch(double load_frac,
+                                      std::size_t count,
+                                      double *out) const
+{
+    tapas_assert(count <= profiledServers,
+                 "batch of %zu exceeds %zu profiled servers", count,
+                 profiledServers);
+    const double x = std::clamp(load_frac, 0.0, 1.0);
+    const double *w = powerCoeffs.data();
+    for (std::size_t s = 0; s < count; ++s, w += kPowerWidth) {
+        double acc = w[0];
+        double term = x;
+        for (std::size_t p = 1; p < kPowerWidth; ++p) {
+            acc += w[p] * term;
+            term *= x;
+        }
+        out[s] = acc;
+    }
+}
+
+void
+ProfileBank::predictAirflowBatch(const double *load_frac,
+                                 std::size_t count, double *out) const
+{
+    tapas_assert(count <= profiledServers,
+                 "batch of %zu exceeds %zu profiled servers", count,
+                 profiledServers);
+    const double *w = airflowCoeffs.data();
+    for (std::size_t s = 0; s < count; ++s, w += kAirflowWidth) {
+        const double x = std::clamp(load_frac[s], 0.0, 1.0);
+        out[s] = w[0] + w[1] * x;
+    }
+}
+
+void
+ProfileBank::predictAirflowUniformBatch(double load_frac,
+                                        std::size_t count,
+                                        double *out) const
+{
+    tapas_assert(count <= profiledServers,
+                 "batch of %zu exceeds %zu profiled servers", count,
+                 profiledServers);
+    const double x = std::clamp(load_frac, 0.0, 1.0);
+    const double *w = airflowCoeffs.data();
+    for (std::size_t s = 0; s < count; ++s, w += kAirflowWidth)
+        out[s] = w[0] + w[1] * x;
+}
+
+void
+ProfileBank::predictPowerGather(const ServerId *ids,
+                                const double *load_frac,
+                                std::size_t n, double *out) const
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        tapas_assert(ids[i].index < profiledServers,
+                     "server %u not profiled", ids[i].index);
+        const double x = std::clamp(load_frac[i], 0.0, 1.0);
+        const double *w = &powerCoeffs[ids[i].index * kPowerWidth];
+        double acc = w[0];
+        double term = x;
+        for (std::size_t p = 1; p < kPowerWidth; ++p) {
+            acc += w[p] * term;
+            term *= x;
+        }
+        out[i] = acc;
+    }
+}
+
+void
+ProfileBank::predictAirflowGather(const ServerId *ids,
+                                  const double *load_frac,
+                                  std::size_t n, double *out) const
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        tapas_assert(ids[i].index < profiledServers,
+                     "server %u not profiled", ids[i].index);
+        const double x = std::clamp(load_frac[i], 0.0, 1.0);
+        const double *w =
+            &airflowCoeffs[ids[i].index * kAirflowWidth];
+        out[i] = w[0] + w[1] * x;
+    }
+}
+
+void
+ProfileBank::predictHottestGpuBatch(const double *inlet_c,
+                                    const double *gpu_power_w,
+                                    std::size_t count,
+                                    double *out) const
+{
+    tapas_assert(count <= profiledServers,
+                 "batch of %zu exceeds %zu profiled servers", count,
+                 profiledServers);
+    const std::size_t gpus =
+        static_cast<std::size_t>(gpusPerServer);
+    const double *w = gpuTempCoeffs.data();
+    const double *p = gpu_power_w;
+    for (std::size_t s = 0; s < count; ++s, p += gpus) {
+        const double inlet = inlet_c[s];
+        double hottest = -1e9;
+        for (std::size_t g = 0; g < gpus; ++g, w += kGpuTempWidth) {
+            hottest = std::max(
+                hottest, w[0] + w[1] * inlet + w[2] * p[g]);
+        }
+        out[s] = hottest;
+    }
+}
+
+void
+ProfileBank::predictHottestGpuUniformBatch(
+    const double *inlet_c, const double *per_gpu_power_w,
+    std::size_t count, double *out) const
+{
+    tapas_assert(count <= profiledServers,
+                 "batch of %zu exceeds %zu profiled servers", count,
+                 profiledServers);
+    const std::size_t gpus =
+        static_cast<std::size_t>(gpusPerServer);
+    const double *w = gpuTempCoeffs.data();
+    for (std::size_t s = 0; s < count; ++s) {
+        const double inlet = inlet_c[s];
+        const double power = per_gpu_power_w[s];
+        double hottest = -1e9;
+        for (std::size_t g = 0; g < gpus; ++g, w += kGpuTempWidth) {
+            hottest = std::max(
+                hottest, w[0] + w[1] * inlet + w[2] * power);
+        }
+        out[s] = hottest;
+    }
+}
+
+void
+ProfileBank::predictHottestGpuCandidates(ServerId id, double inlet_c,
+                                         const double *per_gpu_power_w,
+                                         std::size_t n,
+                                         double *out) const
+{
+    tapas_assert(id.index < profiledServers,
+                 "server %u not profiled", id.index);
+    const std::size_t gpus =
+        static_cast<std::size_t>(gpusPerServer);
+    const double *block =
+        &gpuTempCoeffs[id.index * gpus * kGpuTempWidth];
+    for (std::size_t i = 0; i < n; ++i) {
+        const double power = per_gpu_power_w[i];
+        const double *w = block;
+        double hottest = -1e9;
+        for (std::size_t g = 0; g < gpus; ++g, w += kGpuTempWidth) {
+            hottest = std::max(
+                hottest, w[0] + w[1] * inlet_c + w[2] * power);
+        }
+        out[i] = hottest;
+    }
+}
+
+void
+ProfileBank::predictAirflowCandidates(ServerId id,
+                                      const double *load_frac,
+                                      std::size_t n, double *out) const
+{
+    tapas_assert(id.index < profiledServers,
+                 "server %u not profiled", id.index);
+    const double *w = &airflowCoeffs[id.index * kAirflowWidth];
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = std::clamp(load_frac[i], 0.0, 1.0);
+        out[i] = w[0] + w[1] * x;
+    }
+}
+
 ThermalClass
 ProfileBank::thermalClass(ServerId id) const
 {

@@ -68,6 +68,19 @@ class ProfileBank
     bool profiled() const { return profiledServers > 0; }
     std::size_t profiledServerCount() const { return profiledServers; }
 
+    // ------------------------------------------------------------
+    // Scalar predictions.
+    //
+    // scalar-predict-deprecated: the per-server predict* calls below
+    // survive for tests, offline benches, and debug cross-checks
+    // only. Decision hot loops (risk refresh, the TAPAS allocator,
+    // the configurator) must go through the batched passes further
+    // down, which stream the flat coefficient arrays once per fleet
+    // (or once per candidate block) instead of re-entering per
+    // server. The batched passes evaluate the exact same expressions
+    // element-wise, so results are bit-identical to the scalar calls.
+    // ------------------------------------------------------------
+
     /** Predicted inlet temperature (fitted Eq. 1). */
     double predictInletC(ServerId id, double outside_c,
                          double dc_load_frac) const;
@@ -93,6 +106,86 @@ class ProfileBank
     /** Predicted server airflow at a load fraction (fitted Eq. 3). */
     double predictServerAirflowCfm(ServerId id,
                                    double load_frac) const;
+
+    // ------------------------------------------------------------
+    // Batched prediction passes (the hot-loop entry points).
+    //
+    // Fleet-wide variants cover servers [0, count) and write one
+    // result per server into the caller-owned output span; gather
+    // variants evaluate an arbitrary server subset; the per-server
+    // "candidates" variants stream one server's coefficient block
+    // over many candidate operating points (configurator scoring).
+    // ------------------------------------------------------------
+
+    /** Predicted inlet for servers [0, count) at shared ambient
+     *  conditions (the hinge terms are hoisted out of the fleet
+     *  walk). */
+    void predictInletBatch(double outside_c, double dc_load_frac,
+                           std::size_t count, double *out) const;
+
+    /** Predicted server power for servers [0, count) at per-server
+     *  loads. */
+    void predictPowerBatch(const double *load_frac, std::size_t count,
+                           double *out) const;
+
+    /** Predicted server power for servers [0, count) at one shared
+     *  load (placement what-ifs). */
+    void predictPowerUniformBatch(double load_frac, std::size_t count,
+                                  double *out) const;
+
+    /** Predicted airflow for servers [0, count) at per-server
+     *  loads. */
+    void predictAirflowBatch(const double *load_frac,
+                             std::size_t count, double *out) const;
+
+    /** Predicted airflow for servers [0, count) at one shared
+     *  load. */
+    void predictAirflowUniformBatch(double load_frac,
+                                    std::size_t count,
+                                    double *out) const;
+
+    /** Predicted server power for an arbitrary server subset. */
+    void predictPowerGather(const ServerId *ids,
+                            const double *load_frac, std::size_t n,
+                            double *out) const;
+
+    /** Predicted airflow for an arbitrary server subset. */
+    void predictAirflowGather(const ServerId *ids,
+                              const double *load_frac, std::size_t n,
+                              double *out) const;
+
+    /**
+     * Hottest predicted GPU for servers [0, count) from per-server
+     * inlets and measured per-GPU powers (flattened
+     * [server * gpus + gpu]); risk-refresh hot path.
+     */
+    void predictHottestGpuBatch(const double *inlet_c,
+                                const double *gpu_power_w,
+                                std::size_t count, double *out) const;
+
+    /**
+     * Hottest predicted GPU for servers [0, count) from per-server
+     * inlets and one per-GPU power per server (placement
+     * projections).
+     */
+    void predictHottestGpuUniformBatch(const double *inlet_c,
+                                       const double *per_gpu_power_w,
+                                       std::size_t count,
+                                       double *out) const;
+
+    /**
+     * Hottest predicted GPU of one server over n candidate per-GPU
+     * powers at a fixed inlet (configurator candidate scoring: the
+     * server's coefficient block streams once over the block).
+     */
+    void predictHottestGpuCandidates(ServerId id, double inlet_c,
+                                     const double *per_gpu_power_w,
+                                     std::size_t n, double *out) const;
+
+    /** Airflow of one server over n candidate heat loads. */
+    void predictAirflowCandidates(ServerId id,
+                                  const double *load_frac,
+                                  std::size_t n, double *out) const;
 
     /**
      * Thermal placement class: servers are split into equal terciles

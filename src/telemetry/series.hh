@@ -160,18 +160,38 @@ class SampleRing
             data.push_back(sample);
             ++count;
         } else if (count < cap) {
-            data[(head + count) % cap] = sample;
+            // Partially trimmed full-size ring: wrap by comparison
+            // (head < cap and count < cap, so one subtraction
+            // suffices; the telemetry recorder pushes every sensor
+            // tick, so this path avoids the division).
+            std::size_t pos = head + count;
+            if (pos >= cap)
+                pos -= cap;
+            data[pos] = sample;
             ++count;
         } else {
             // Full: overwrite the oldest slot.
             digestEvict(data[head]);
             data[head] = sample;
-            head = (head + 1) % cap;
+            ++head;
+            if (head == cap)
+                head = 0;
         }
         digestAppend(sample);
     }
 
-    /** Drop samples with time < cutoff: search + one head advance. */
+    /**
+     * Drop samples with time < cutoff: search + one head advance.
+     *
+     * Edge cases (audited, pinned in test_series_ring.cc): a cutoff
+     * at exactly the head sample's timestamp removes nothing
+     * (samples are dropped strictly below the cutoff); a cutoff past
+     * the last sample empties the ring and resets it to a fresh
+     * growth phase, so the next push lands at the physical start and
+     * the growth-path invariant (head + count == data.size()) holds
+     * for every later regrow/wrap sequence — the PR-2 regrow bug was
+     * a reset that skipped this step.
+     */
     void
     trimBefore(SimTime cutoff)
     {
@@ -192,7 +212,11 @@ class SampleRing
             for (std::size_t i = 0; i < lo; ++i)
                 digestEvict(at(i));
         }
-        head = (head + lo) % std::max<std::size_t>(1, data.size());
+        // count > 0 here (lo > 0), so data is non-empty; head and lo
+        // are both bounded by data.size(), so one subtraction wraps.
+        head += lo;
+        if (head >= data.size())
+            head -= data.size();
         count -= lo;
         if (count == 0) {
             // Reset to a fresh growth phase (capacity retained):
@@ -208,7 +232,12 @@ class SampleRing
     {
         tapas_assert(i < count, "ring index %zu out of %zu", i,
                      count);
-        return data[(head + i) % data.size()];
+        // head < data.size() and i < count <= data.size(): a single
+        // comparison wraps (no modulo on the per-sample read path).
+        std::size_t pos = head + i;
+        if (pos >= data.size())
+            pos -= data.size();
+        return data[pos];
     }
 
     const T &front() const { return at(0); }

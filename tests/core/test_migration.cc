@@ -49,6 +49,40 @@ TEST_F(MigrationTest, NeverMovesIaas)
     EXPECT_TRUE(planner.plan(view, 3).empty());
 }
 
+TEST_F(MigrationTest, AppliesAcceptedMovesToTheView)
+{
+    // The planner explores what-ifs by overlay/undo on the caller's
+    // view and leaves accepted moves applied, so the view matches
+    // the plan it hands back (the simulator then mirrors the same
+    // moves into its tables).
+    const Row &row = dc.row(RowId(0));
+    for (ServerId sid : row.servers)
+        occupy(sid, VmKind::SaaS, 0.95, 0.8);
+    const auto plans = planner.plan(view, 2);
+    ASSERT_FALSE(plans.empty());
+    for (const MigrationPlan &plan : plans) {
+        EXPECT_FALSE(view.occupied[plan.from.index]);
+        EXPECT_TRUE(view.occupied[plan.to.index]);
+        bool found = false;
+        for (const PlacedVmView &vm : view.vms) {
+            if (vm.id == plan.vm) {
+                found = true;
+                EXPECT_EQ(vm.server, plan.to);
+            }
+        }
+        EXPECT_TRUE(found);
+    }
+    // Rejected explorations must leave no trace: every VM still has
+    // exactly one entry and the occupancy count is unchanged.
+    EXPECT_EQ(view.vms.size(), row.servers.size());
+    std::size_t occupied_count = 0;
+    for (std::size_t s = 0; s < view.occupied.size(); ++s) {
+        if (view.occupied[s])
+            ++occupied_count;
+    }
+    EXPECT_EQ(occupied_count, row.servers.size());
+}
+
 TEST_F(MigrationTest, RespectsMaxMoves)
 {
     const Row &row = dc.row(RowId(0));
@@ -84,8 +118,9 @@ TEST(MigrationSim, PeriodicMigrationRunsInSimulator)
     // machinery must never corrupt placement state.
     const VmTable &vms = sim.vms();
     for (std::size_t i = 0; i < vms.size(); ++i) {
-        if (vms.active(i))
+        if (vms.active(i)) {
             EXPECT_TRUE(vms.server(i).valid());
+        }
     }
     EXPECT_TRUE(sim.verifyVmTable());
     EXPECT_GT(sim.metrics().sloAttainment(), 0.90);

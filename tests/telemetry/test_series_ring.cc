@@ -130,6 +130,84 @@ TEST(SampleRing, PeakRecomputesAfterEvictingThePeak)
     EXPECT_DOUBLE_EQ(ring.peakValue(), 6.0);
 }
 
+TEST(SampleRing, TrimExactlyAtHeadRemovesNothing)
+{
+    // Samples strictly below the cutoff are dropped, so a cutoff at
+    // exactly the head sample's timestamp is a no-op — including on
+    // a wrapped full ring and with duplicate head timestamps.
+    KeyedSeriesRing ring(4);
+    for (SimTime t = 0; t < 6; ++t)
+        ring.push({t, static_cast<float>(t)});
+    ASSERT_EQ(ring.front().time, 2);
+    ring.trimBefore(2);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.front().time, 2);
+    EXPECT_DOUBLE_EQ(ring.peakValue(), 5.0);
+    EXPECT_EQ(ring.span(), 3);
+
+    KeyedSeriesRing dup(8);
+    dup.push({5, 1.0f});
+    dup.push({5, 2.0f});
+    dup.push({6, 3.0f});
+    dup.trimBefore(5);
+    EXPECT_EQ(dup.size(), 3u);
+    EXPECT_DOUBLE_EQ(dup.peakValue(), 3.0);
+}
+
+TEST(SampleRing, TrimPastLastSampleEmptiesAndRegrows)
+{
+    // A cutoff beyond the last sample empties the ring and resets it
+    // to a fresh growth phase; pushes afterwards must land in order
+    // with exact digests — on a growth-phase ring, a wrapped full
+    // ring, and repeatedly (the PR-2 regrow bug was a reset that
+    // left the physical run misaligned).
+    for (int prefill : {3, 12}) { // below capacity / wrapped-full
+        KeyedSeriesRing ring(8);
+        for (SimTime t = 0; t < prefill; ++t)
+            ring.push({t, static_cast<float>(100 + t)});
+        ring.trimBefore(1000);
+        EXPECT_EQ(ring.size(), 0u);
+        EXPECT_TRUE(ring.view().empty());
+        EXPECT_DOUBLE_EQ(ring.peakValue(), 0.0);
+        EXPECT_EQ(ring.span(), 0);
+
+        // Regrow past capacity: eviction and digests must behave
+        // like a freshly constructed ring.
+        for (SimTime t = 2000; t < 2012; ++t)
+            ring.push({t, static_cast<float>(t - 2000)});
+        EXPECT_EQ(ring.size(), 8u);
+        EXPECT_EQ(ring.front().time, 2004);
+        EXPECT_EQ(ring.back().time, 2011);
+        EXPECT_DOUBLE_EQ(ring.peakValue(), 11.0);
+        EXPECT_EQ(ring.span(), 7);
+
+        // And a second trim-to-empty on the regrown ring.
+        ring.trimBefore(3000);
+        EXPECT_EQ(ring.size(), 0u);
+        ring.push({3000, 9.0f});
+        EXPECT_EQ(ring.size(), 1u);
+        EXPECT_EQ(ring.front().time, 3000);
+        EXPECT_DOUBLE_EQ(ring.peakValue(), 9.0);
+    }
+}
+
+TEST(SampleRing, TrimToEmptyWhilePeakDigestIsInvalid)
+{
+    // Evicting the peak defers the digest rescan; trimming the rest
+    // away while the digest is invalid must still leave a clean
+    // empty ring (peak 0) and exact digests after regrowth.
+    KeyedSeriesRing ring(4);
+    ring.push({0, 50.0f});
+    ring.push({1, 1.0f});
+    ring.push({2, 2.0f});
+    ring.trimBefore(1); // evicts the 50 peak -> digest invalid
+    ring.trimBefore(10); // empties the ring before any peak query
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_DOUBLE_EQ(ring.peakValue(), 0.0);
+    ring.push({20, 4.0f});
+    EXPECT_DOUBLE_EQ(ring.peakValue(), 4.0);
+}
+
 TEST(SampleRing, ViewChunksAreContiguousAndOrdered)
 {
     KeyedSeriesRing ring(6);
