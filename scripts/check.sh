@@ -67,4 +67,20 @@ echo "== step-loop bench under Debug asserts =="
 (cd build-dbg && ./bench_step_loop --smoke --check \
     ../BENCH_step_loop.json)
 
+echo "== configure (ASan+UBSan) =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DTAPAS_SANITIZE=ON
+
+echo "== build (ASan+UBSan) =="
+cmake --build build-asan -j
+
+echo "== tier-1 tests (ASan+UBSan) =="
+# The batched passes hand caller-owned output spans and raw pointer
+# lanes through the hot loops; this leg catches out-of-bounds lane
+# writes, stale scratch aliasing, and UB in the branch-free solves
+# that Release codegen can silently absorb.
+asan_log=$(mktemp)
+(cd build-asan && ctest --output-on-failure -j --no-tests=error) \
+    | tee "$asan_log"
+fail_on_skipped "$asan_log"
+
 echo "OK: all checks passed"

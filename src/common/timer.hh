@@ -10,6 +10,7 @@
 #define TAPAS_COMMON_TIMER_HH
 
 #include <chrono>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,37 @@ class WallTimer
 
   private:
     std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * Process-CPU-time stopwatch; starts on construction. On shared or
+ * oversubscribed hosts, wall time charges hypervisor steal and
+ * preemption to the benchmark; CPU time only advances while the
+ * process actually runs, so single-threaded hot-loop rates measured
+ * with it are stable across load. Not meaningful around multi-thread
+ * phases (CPU time sums across threads).
+ */
+class CpuTimer
+{
+  public:
+    CpuTimer() { reset(); }
+
+    void reset() { start = now(); }
+
+    /** CPU seconds since construction or the last reset(). */
+    double elapsedS() const { return now() - start; }
+
+  private:
+    static double
+    now()
+    {
+        timespec ts{};
+        clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+        return static_cast<double>(ts.tv_sec) +
+            static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+
+    double start = 0.0;
 };
 
 /** One named benchmark case: ordered (metric, value) pairs. */

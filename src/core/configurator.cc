@@ -136,16 +136,52 @@ InstanceConfigurator::choose(ServerId server,
     constexpr std::size_t kBlock = 8;
     std::size_t flush_target = 1;
     const ConfigProfile *cands[kBlock];
+    double feas_demands[kBlock];
+    std::size_t cand_idxs[kBlock];
     PerfModel::OperatingPoint ops[kBlock];
     double gpu_power[kBlock];
     double heat[kBlock];
     double hottest[kBlock];
     double airflow[kBlock];
+    // Memo-miss lanes awaiting the batched solve at flush time.
+    const ConfigProfile *miss_cands[kBlock];
+    double miss_demands[kBlock];
+    std::size_t miss_lanes[kBlock];
+    PerfModel::OperatingPoint miss_ops[kBlock];
     std::size_t pending = 0;
 
     auto flush = [&]() {
         if (pending == 0)
             return;
+        // Solve the memo-miss lanes of the block in one batched
+        // pass, then backfill the memo so same-demand siblings hit.
+        std::size_t misses = 0;
+        for (std::size_t i = 0; i < pending; ++i) {
+            if (cache && cache->valid[cand_idxs[i]]) {
+                ops[i] = cache->ops[cand_idxs[i]];
+                continue;
+            }
+            miss_cands[misses] = cands[i];
+            miss_demands[misses] = feas_demands[i];
+            miss_lanes[misses] = i;
+            ++misses;
+        }
+        if (misses > 0) {
+            perf.operatingPointBatch(miss_cands, miss_demands,
+                                     misses, miss_ops);
+            for (std::size_t k = 0; k < misses; ++k) {
+                const std::size_t i = miss_lanes[k];
+                ops[i] = miss_ops[k];
+                if (cache) {
+                    cache->ops[cand_idxs[i]] = miss_ops[k];
+                    cache->valid[cand_idxs[i]] = 1;
+                }
+            }
+        }
+        for (std::size_t i = 0; i < pending; ++i) {
+            gpu_power[i] = ops[i].gpuPower.value();
+            heat[i] = heatFractionOf(*cands[i], ops[i]);
+        }
         profiles.predictHottestGpuCandidates(
             server, limits.inletC, gpu_power, pending, hottest);
         profiles.predictAirflowCandidates(server, heat, pending,
@@ -230,23 +266,13 @@ InstanceConfigurator::choose(ServerId server,
         // the same demand whenever goodput can serve one token/s) —
         // and shared across instances at the same demand via the
         // caller's memo (the point is a pure function of candidate
-        // and demand).
-        const double feas_demand =
-            std::min(demand_tps, cand.goodputTps);
+        // and demand). The actual solves happen batched at flush
+        // time, one branch-free pass over the block's memo misses.
         cands[pending] = &cand;
-        const std::size_t cand_idx =
+        feas_demands[pending] = std::min(demand_tps,
+                                         cand.goodputTps);
+        cand_idxs[pending] =
             static_cast<std::size_t>(&cand - space.data());
-        if (cache && cache->valid[cand_idx]) {
-            ops[pending] = cache->ops[cand_idx];
-        } else {
-            ops[pending] = perf.operatingPointAt(cand, feas_demand);
-            if (cache) {
-                cache->ops[cand_idx] = ops[pending];
-                cache->valid[cand_idx] = 1;
-            }
-        }
-        gpu_power[pending] = ops[pending].gpuPower.value();
-        heat[pending] = heatFractionOf(cand, ops[pending]);
         ++pending;
         if (pending == flush_target) {
             flush();

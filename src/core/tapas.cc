@@ -119,6 +119,20 @@ TapasController::configurePass(
         ? cfg.emergencyQualityFloor
         : cfg.normalQualityFloor;
 
+    // Effective provisions are per-row/per-aisle, not per-instance:
+    // evaluate each once per pass (they walk the failure state) and
+    // let the instance loop index the scratch arrays.
+    rowProvisionScratch.resize(layout.rowCount());
+    for (const Row &row : layout.rows()) {
+        rowProvisionScratch[row.id.index] =
+            power.effectiveRowProvision(row.id).value();
+    }
+    aisleProvisionScratch.resize(layout.aisleCount());
+    for (const Aisle &aisle : layout.aisles()) {
+        aisleProvisionScratch[aisle.id.index] =
+            cooling.effectiveProvision(aisle.id).value();
+    }
+
     // Process instances grouped by demand: the candidate walk's
     // operating points depend only on (candidate, demand), so
     // equal-demand instances (VMs of one endpoint under symmetric
@@ -143,7 +157,7 @@ TapasController::configurePass(
 
         InstanceLimits limits;
         const double row_budget =
-            power.effectiveRowProvision(server.row).value();
+            rowProvisionScratch[server.row.index];
         const int saas_in_row =
             std::max(1, row_saas[server.row.index]);
         limits.maxServerPowerW = std::max(
@@ -152,7 +166,7 @@ TapasController::configurePass(
             zeroPowerScratch[inst.server.index]);
 
         const double aisle_budget =
-            cooling.effectiveProvision(server.aisle).value();
+            aisleProvisionScratch[server.aisle.index];
         const int saas_in_aisle =
             std::max(1, aisle_saas[server.aisle.index]);
         limits.maxAirflowCfm = std::max(

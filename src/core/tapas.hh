@@ -110,6 +110,11 @@ class TapasController
     std::vector<double> inletScratch;
     std::vector<double> zeroPowerScratch;
     std::vector<double> zeroAirflowScratch;
+    /** Per-row/per-aisle effective provisions, hoisted out of the
+     *  per-instance limit computation (one call per row/aisle per
+     *  pass instead of one per instance). */
+    std::vector<double> rowProvisionScratch;
+    std::vector<double> aisleProvisionScratch;
     /** Instances sorted by demand so equal-demand runs share the
      *  configurator's operating-point memo (instance order does not
      *  affect decisions: each is independent). */

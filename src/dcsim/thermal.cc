@@ -109,6 +109,9 @@ ThermalModel::inletTemperature(ServerId id, Celsius outside,
                  dc_load_frac);
     tapas_assert(aisle_overdraw_frac >= 0.0,
                  "overdraw fraction must be non-negative");
+    tapas_assert(id.index < serverOffsets.size(),
+                 "server %u not materialized (missing extend()?)",
+                 id.index);
 
     double t = coolingCurve(outside);
     t += cfg.loadSlopeC * dc_load_frac;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -87,10 +88,17 @@ PerfModel::PerfModel(const PerfModel &other)
     : hwSpec(other.hwSpec), perfParams(other.perfParams),
       sloSpec(other.sloSpec)
 {
-    std::lock_guard<std::mutex> lock(other.cacheMutex);
-    profileCache = other.profileCache;
-    cacheHits = other.cacheHits;
-    cacheMisses = other.cacheMisses;
+    {
+        std::lock_guard<std::mutex> lock(other.cacheMutex);
+        profileCache = other.profileCache;
+        cacheHits = other.cacheHits;
+        cacheMisses = other.cacheMisses;
+    }
+    // Table grids rebuild lazily (pure functions of spec + params),
+    // so copying the enable parameters is enough.
+    std::lock_guard<std::mutex> lock(other.opTableMutex);
+    opTableStepTps = other.opTableStepTps;
+    opTableMaxTps = other.opTableMaxTps;
 }
 
 PerfModel &
@@ -98,13 +106,19 @@ PerfModel::operator=(const PerfModel &other)
 {
     if (this == &other)
         return *this;
-    std::scoped_lock lock(cacheMutex, other.cacheMutex);
-    hwSpec = other.hwSpec;
-    perfParams = other.perfParams;
-    sloSpec = other.sloSpec;
-    profileCache = other.profileCache;
-    cacheHits = other.cacheHits;
-    cacheMisses = other.cacheMisses;
+    {
+        std::scoped_lock lock(cacheMutex, other.cacheMutex);
+        hwSpec = other.hwSpec;
+        perfParams = other.perfParams;
+        sloSpec = other.sloSpec;
+        profileCache = other.profileCache;
+        cacheHits = other.cacheHits;
+        cacheMisses = other.cacheMisses;
+    }
+    std::scoped_lock lock(opTableMutex, other.opTableMutex);
+    opTableStepTps = other.opTableStepTps;
+    opTableMaxTps = other.opTableMaxTps;
+    opTables.clear();
     return *this;
 }
 
@@ -470,6 +484,310 @@ PerfModel::operatingGpuPointAt(const ConfigProfile &profile,
     return out;
 }
 
+void
+PerfModel::solveOpChunk(const ConfigProfile *const *profiles,
+                        const double *demand_tps, std::size_t m,
+                        OperatingPoint *out, bool server_power) const
+{
+    tapas_assert(m <= kOpChunk, "operating-point chunk overflow");
+    const double fp = perfParams.mix.prefillFraction();
+    const double fd = perfParams.mix.decodeFraction();
+    const double idle = hwSpec.gpuIdlePower.value();
+
+    double prefT[kOpChunk], wS[kOpChunk], kS[kOpChunk];
+    double maxB[kOpChunk], b1W[kOpChunk], bMaxW[kOpChunk];
+    double prefW[kOpChunk], act[kOpChunk];
+    double upA[kOpChunk], udA[kOpChunk], batchA[kOpChunk];
+    double busyA[kOpChunk], pshareA[kOpChunk], dwA[kOpChunk];
+    double gwA[kOpChunk];
+
+    // Gather: one pass of pointer-chasing, then everything below is
+    // stride-1 arithmetic over the stack arrays.
+    for (std::size_t i = 0; i < m; ++i) {
+        const ConfigProfile &p = *profiles[i];
+        prefT[i] = p.prefill.throughputTps;
+        wS[i] = p.decodeWeightS;
+        kS[i] = p.decodeKvS;
+        maxB[i] = static_cast<double>(p.config.maxBatchSize);
+        b1W[i] = p.decodePowerBatch1W;
+        bMaxW[i] = p.decodePowerBatchMaxW;
+        prefW[i] = p.prefill.gpuPower.value();
+        act[i] = static_cast<double>(p.activeGpus);
+    }
+
+    // Branch-free solve: the scalar sub-saturated/saturated decode
+    // split becomes selects over speculatively computed values. The
+    // speculative division wS*r/denom is only selected when
+    // denom > 1e-9, and every lane that reaches the select keeps it
+    // finite (r == 0 forces denom = share > 0), so no NaN/inf
+    // survives selection. Expression order mirrors
+    // operatingGpuPointAt term for term — the std::min/max/clamp
+    // calls are spelled as the ternaries they expand to, because
+    // their by-reference returns block the loop vectorizer — so with
+    // -ffp-contract=off every lane is bit-identical to the scalar
+    // solve.
+    for (std::size_t i = 0; i < m; ++i) {
+        const double d_raw = demand_tps[i];
+        const double demand = 0.0 < d_raw ? d_raw : 0.0;
+        const double u_raw = demand * fp / prefT[i];
+        const double u_p = u_raw < 1.0 ? u_raw : 1.0;
+        const double r = demand * fd;
+        const double tau1 = wS[i] + kS[i];
+        const double s_raw = 1.0 - u_p;
+        const double share = 0.05 < s_raw ? s_raw : 0.05;
+        const double rt = r * tau1;
+        const double denom = share - kS[i] * r;
+        const double braw = wS[i] * r / denom;
+        const double bsel = denom > 1e-9 ? braw : maxB[i];
+        const double bsat = bsel < 1.0
+            ? 1.0
+            : (maxB[i] < bsel ? maxB[i] : bsel);
+        const bool sat = !(rt < share);
+        double batch = sat ? bsat : 1.0;
+        double u_d = sat ? share : rt;
+        batch = r > 0.0 ? batch : 0.0;
+        u_d = r > 0.0 ? u_d : 0.0;
+        const double sum = u_p + u_d;
+        const double busy = sum < 1.0 ? sum : 1.0;
+        upA[i] = u_p;
+        udA[i] = u_d;
+        batchA[i] = batch;
+        busyA[i] = busy;
+        pshareA[i] = busy > 0.0 ? u_p / sum : 0.0;
+        // Decode power endpoints (the two cases continuous batching
+        // actually lands on, batch <= 1 taking priority like the
+        // scalar fast path); -1 marks the rare mid-range-batch or
+        // uncached-endpoint lanes for the scalar fixup below.
+        double dw = (batch == maxB[i] && bMaxW[i] >= 0.0)
+            ? bMaxW[i]
+            : -1.0;
+        dw = (batch <= 1.0 && b1W[i] >= 0.0) ? b1W[i] : dw;
+        dwA[i] = u_d > 0.0 ? dw : 0.0;
+    }
+
+    // Scalar fixup: lanes whose decode power needs the full log2
+    // formula (or whose profile lacks cached endpoints) go through
+    // the very function the scalar path uses.
+    for (std::size_t i = 0; i < m; ++i) {
+        if (dwA[i] < 0.0)
+            dwA[i] =
+                decodeGpuPowerAt(*profiles[i], batchA[i]).value();
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+        gwA[i] = idle * (1.0 - busyA[i]) + upA[i] * prefW[i] +
+            udA[i] * dwA[i];
+    }
+
+    if (server_power) {
+        // serverPowerFromGpu, element-wise, with the loop-invariant
+        // spec terms hoisted (same values, same per-lane expression
+        // order as the scalar function).
+        const double gps =
+            static_cast<double>(hwSpec.gpusPerServer);
+        const double idle_sum = idle * gps;
+        const double max_sum = hwSpec.gpuMaxPower.value() * gps;
+        const double span_sum = max_sum - idle_sum;
+        const bool has_span = max_sum > idle_sum;
+        const double chassis_idle = hwSpec.chassisIdlePower.value();
+        const double chassis_active =
+            hwSpec.chassisActivePower.value();
+        const double fan_max = hwSpec.fanMaxPower.value();
+        for (std::size_t i = 0; i < m; ++i) {
+            const double gpu_total =
+                gwA[i] * act[i] + idle * (gps - act[i]);
+            const double h_raw = (gpu_total - idle_sum) / span_sum;
+            const double h_clamped =
+                h_raw < 0.0 ? 0.0 : (1.0 < h_raw ? 1.0 : h_raw);
+            const double heat = has_span ? h_clamped : 0.0;
+            double total = chassis_idle + chassis_active * heat +
+                gpu_total;
+            const double speed = 0.35 + 0.65 * heat;
+            total += fan_max * speed * speed * speed;
+            out[i].serverPower = Watts(total);
+        }
+    } else {
+        for (std::size_t i = 0; i < m; ++i)
+            out[i].serverPower = Watts(0.0);
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+        out[i].busyFrac = busyA[i];
+        out[i].prefillShare = pshareA[i];
+        out[i].decodeBatch = batchA[i];
+        out[i].gpuPower = Watts(gwA[i]);
+    }
+}
+
+void
+PerfModel::solveOpBatch(const ConfigProfile *const *profiles,
+                        const double *demand_tps, std::size_t n,
+                        OperatingPoint *out, bool server_power) const
+{
+    for (std::size_t base = 0; base < n; base += kOpChunk) {
+        const std::size_t m = std::min(kOpChunk, n - base);
+        solveOpChunk(profiles + base, demand_tps + base, m,
+                     out + base, server_power);
+    }
+}
+
+void
+PerfModel::operatingPointBatch(const ConfigProfile *const *profiles,
+                               const double *demand_tps,
+                               std::size_t n,
+                               OperatingPoint *out) const
+{
+    if (operatingPointTableEnabled()) {
+        tableOpBatch(profiles, demand_tps, n, out, true);
+        return;
+    }
+    solveOpBatch(profiles, demand_tps, n, out, true);
+}
+
+void
+PerfModel::operatingGpuPointBatch(
+    const ConfigProfile *const *profiles, const double *demand_tps,
+    std::size_t n, OperatingPoint *out) const
+{
+    if (operatingPointTableEnabled()) {
+        tableOpBatch(profiles, demand_tps, n, out, false);
+        return;
+    }
+    solveOpBatch(profiles, demand_tps, n, out, false);
+}
+
+void
+PerfModel::operatingPointBatch(const ConfigProfile *profiles,
+                               const std::uint32_t *profile_idx,
+                               const double *demand_tps,
+                               std::size_t n,
+                               OperatingPoint *out) const
+{
+    const ConfigProfile *ptrs[kOpChunk];
+    for (std::size_t base = 0; base < n; base += kOpChunk) {
+        const std::size_t m = std::min(kOpChunk, n - base);
+        for (std::size_t i = 0; i < m; ++i)
+            ptrs[i] = profiles + profile_idx[base + i];
+        if (operatingPointTableEnabled())
+            tableOpBatch(ptrs, demand_tps + base, m, out + base,
+                         true);
+        else
+            solveOpChunk(ptrs, demand_tps + base, m, out + base,
+                         true);
+    }
+}
+
+void
+PerfModel::operatingGpuPointBatch(const ConfigProfile *profiles,
+                                  const std::uint32_t *profile_idx,
+                                  const double *demand_tps,
+                                  std::size_t n,
+                                  OperatingPoint *out) const
+{
+    const ConfigProfile *ptrs[kOpChunk];
+    for (std::size_t base = 0; base < n; base += kOpChunk) {
+        const std::size_t m = std::min(kOpChunk, n - base);
+        for (std::size_t i = 0; i < m; ++i)
+            ptrs[i] = profiles + profile_idx[base + i];
+        if (operatingPointTableEnabled())
+            tableOpBatch(ptrs, demand_tps + base, m, out + base,
+                         false);
+        else
+            solveOpChunk(ptrs, demand_tps + base, m, out + base,
+                         false);
+    }
+}
+
+void
+PerfModel::enableOperatingPointTable(double demand_step_tps,
+                                     double max_demand_tps)
+{
+    tapas_assert(demand_step_tps > 0.0 &&
+                     max_demand_tps > demand_step_tps,
+                 "operating-point table needs positive step < max");
+    std::lock_guard<std::mutex> lock(opTableMutex);
+    opTableStepTps = demand_step_tps;
+    opTableMaxTps = max_demand_tps;
+    opTables.clear();
+}
+
+const PerfModel::OpTableGrid *
+PerfModel::opGridFor(const ConfigProfile &profile) const
+{
+    std::lock_guard<std::mutex> lock(opTableMutex);
+    auto it = opTables.find(profile.config);
+    if (it != opTables.end())
+        return it->second.get();
+    auto grid = std::make_unique<OpTableGrid>();
+    grid->stepTps = opTableStepTps;
+    // One node past the configured max so the last interpolation
+    // interval still has a right endpoint.
+    const std::size_t nodes = static_cast<std::size_t>(
+                                  opTableMaxTps / opTableStepTps) +
+        2;
+    grid->nodes.resize(nodes);
+    for (std::size_t j = 0; j < nodes; ++j) {
+        // Exact full solve at each grid node (the scalar reference
+        // path); the GPU-only entry points zero serverPower on
+        // output.
+        grid->nodes[j] = operatingPointAt(
+            profile, grid->stepTps * static_cast<double>(j));
+    }
+    // Demands at/past the last node fall back to the exact solve.
+    grid->maxDemandTps =
+        grid->stepTps * static_cast<double>(nodes - 1);
+    const OpTableGrid *out = grid.get();
+    opTables.emplace(profile.config, std::move(grid));
+    return out;
+}
+
+void
+PerfModel::tableOpBatch(const ConfigProfile *const *profiles,
+                        const double *demand_tps, std::size_t n,
+                        OperatingPoint *out, bool server_power) const
+{
+    // Consecutive lanes usually share a profile (demand-sorted
+    // sweeps, per-candidate blocks), so memoize the last grid lookup
+    // on the profile pointer before falling back to the map.
+    const ConfigProfile *last_p = nullptr;
+    const OpTableGrid *grid = nullptr;
+    for (std::size_t i = 0; i < n; ++i) {
+        const ConfigProfile *p = profiles[i];
+        if (p != last_p) {
+            grid = opGridFor(*p);
+            last_p = p;
+        }
+        const double d = std::max(0.0, demand_tps[i]);
+        if (d >= grid->maxDemandTps) {
+            // Beyond the grid: exact solve — the table is a pure
+            // accelerator, never an extrapolator.
+            solveOpChunk(&p, &d, 1, &out[i], server_power);
+            continue;
+        }
+        const std::size_t j =
+            static_cast<std::size_t>(d / grid->stepTps);
+        const double t =
+            (d - grid->stepTps * static_cast<double>(j)) /
+            grid->stepTps;
+        const OperatingPoint &a = grid->nodes[j];
+        const OperatingPoint &b = grid->nodes[j + 1];
+        OperatingPoint &o = out[i];
+        o.busyFrac = a.busyFrac + t * (b.busyFrac - a.busyFrac);
+        o.prefillShare =
+            a.prefillShare + t * (b.prefillShare - a.prefillShare);
+        o.decodeBatch =
+            a.decodeBatch + t * (b.decodeBatch - a.decodeBatch);
+        o.gpuPower =
+            Watts(a.gpuPower.value() +
+                  t * (b.gpuPower.value() - a.gpuPower.value()));
+        o.serverPower = server_power
+            ? Watts(a.serverPower.value() +
+                    t * (b.serverPower.value() -
+                         a.serverPower.value()))
+            : Watts(0.0);
+    }
+}
+
 std::vector<ConfigProfile>
 PerfModel::paretoFrontier(const std::vector<ConfigProfile> &profiles,
                           bool use_power)
@@ -482,27 +800,62 @@ PerfModel::paretoFrontier(const std::vector<ConfigProfile> &profiles,
         // Hottest-GPU proxy: per-GPU power drives temperature.
         return p.prefill.gpuPower.value();
     };
-    std::vector<ConfigProfile> frontier;
-    for (const ConfigProfile &cand : profiles) {
-        if (cand.goodputTps <= 0.0)
+    // Single-pass dominance sweep instead of the all-pairs scan:
+    // sorted by goodput descending, a candidate is dominated iff a
+    // strictly-higher-goodput candidate has metric <= its own, or an
+    // equal-goodput candidate has a strictly smaller metric. Both
+    // are prefix minima of the sweep, so one ordered pass decides
+    // every candidate (O(n log n) versus the old O(n^2)); exact
+    // duplicates (equal goodput and metric) all survive, as before.
+    // Survivors are collected in input order and run through the
+    // same final sort, so the output — tie order included — matches
+    // the old scan element for element (pinned by
+    // tests/llm/test_perf.cc).
+    struct Entry
+    {
+        double goodput;
+        double metric;
+        std::uint32_t index;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(profiles.size());
+    for (std::uint32_t i = 0; i < profiles.size(); ++i) {
+        if (profiles[i].goodputTps <= 0.0)
             continue;
-        bool dominated = false;
-        for (const ConfigProfile &other : profiles) {
-            if (&other == &cand)
-                continue;
-            const bool better_goodput =
-                other.goodputTps >= cand.goodputTps;
-            const bool better_metric = metric(other) <= metric(cand);
-            const bool strictly =
-                other.goodputTps > cand.goodputTps ||
-                metric(other) < metric(cand);
-            if (better_goodput && better_metric && strictly) {
-                dominated = true;
-                break;
-            }
+        entries.push_back(
+            {profiles[i].goodputTps, metric(profiles[i]), i});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.goodput > b.goodput;
+              });
+
+    std::vector<char> survives(profiles.size(), 0);
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    // Min metric among strictly higher goodputs seen so far.
+    double best_above = inf;
+    for (std::size_t lo = 0; lo < entries.size();) {
+        // Group of equal goodputs.
+        std::size_t hi = lo;
+        double group_min = inf;
+        while (hi < entries.size() &&
+               entries[hi].goodput == entries[lo].goodput) {
+            group_min = std::min(group_min, entries[hi].metric);
+            ++hi;
         }
-        if (!dominated)
-            frontier.push_back(cand);
+        for (std::size_t k = lo; k < hi; ++k) {
+            const double m = entries[k].metric;
+            if (best_above > m && group_min >= m)
+                survives[entries[k].index] = 1;
+        }
+        best_above = std::min(best_above, group_min);
+        lo = hi;
+    }
+
+    std::vector<ConfigProfile> frontier;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        if (survives[i])
+            frontier.push_back(profiles[i]);
     }
     std::sort(frontier.begin(), frontier.end(),
               [](const ConfigProfile &a, const ConfigProfile &b) {

@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -223,18 +224,92 @@ class PerfModel
         Watts serverPower{0.0};
     };
 
-    /** Evaluate the operating point at a token demand (tokens/s). */
+    /**
+     * Evaluate the operating point at a token demand (tokens/s).
+     *
+     * scalar-op-solve-deprecated: the per-call solves below survive
+     * for tests, cold paths (configurator fallback/hysteresis), and
+     * debug cross-checks only. Decision hot loops (flow-mode load
+     * assignment, the configurator candidate walk) must go through
+     * the batched passes further down, which gather the profile
+     * scalars once per lane and run the solve body branch-free over
+     * packed spans. The batched passes evaluate the exact same
+     * expressions element-wise, so results are bit-identical to
+     * these scalar calls (pinned by tests/llm/test_perf_op_batch.cc).
+     */
     OperatingPoint operatingPointAt(const ConfigProfile &profile,
                                     double demand_tps) const;
 
     /**
      * Same solve without the whole-server power term (left at 0):
-     * for callers that only need utilization and GPU power — the
-     * flow-mode load assignment evaluates this once per SaaS VM per
-     * step and never reads serverPower.
+     * for callers that only need utilization and GPU power.
+     * scalar-op-solve-deprecated — see operatingPointAt.
      */
     OperatingPoint operatingGpuPointAt(const ConfigProfile &profile,
                                        double demand_tps) const;
+
+    // ------------------------------------------------------------
+    // Batched operating-point solver (the hot-loop entry points).
+    //
+    // Packed spans of (profile, demand_tps) in, caller-owned
+    // OperatingPoint spans out. The solve body is restructured
+    // branch-free (the sub-saturated/saturated decode split becomes
+    // select/clamp arithmetic over chunked stride-1 arrays) so the
+    // autovectorizer gets through; only the rare mid-range decode
+    // batch falls back to the scalar power formula per lane.
+    // Results are bit-identical to the scalar solves above in the
+    // default FP mode (-ffp-contract=off pins this even under
+    // -march=native).
+    //
+    // When the optional operating-point table is enabled (see
+    // enableOperatingPointTable), these entry points answer from the
+    // precomputed (config, quantized-demand) grid with linear
+    // interpolation instead of the exact solve; the scalar calls
+    // above always stay exact.
+    // ------------------------------------------------------------
+
+    /** Batched full solve over packed (profile-index, demand)
+     *  lanes; profile_idx indexes into the packed profiles span. */
+    void operatingPointBatch(const ConfigProfile *profiles,
+                             const std::uint32_t *profile_idx,
+                             const double *demand_tps, std::size_t n,
+                             OperatingPoint *out) const;
+
+    /** Batched GPU-only solve (serverPower left 0), index lanes. */
+    void operatingGpuPointBatch(const ConfigProfile *profiles,
+                                const std::uint32_t *profile_idx,
+                                const double *demand_tps,
+                                std::size_t n,
+                                OperatingPoint *out) const;
+
+    /** Batched full solve over per-lane profile pointers (callers
+     *  holding heterogeneous profile refs, e.g. per-VM engines). */
+    void operatingPointBatch(const ConfigProfile *const *profiles,
+                             const double *demand_tps, std::size_t n,
+                             OperatingPoint *out) const;
+
+    /** Batched GPU-only solve over per-lane profile pointers. */
+    void operatingGpuPointBatch(const ConfigProfile *const *profiles,
+                                const double *demand_tps,
+                                std::size_t n,
+                                OperatingPoint *out) const;
+
+    /**
+     * Enable the precomputed (config, quantized-demand) →
+     * operating-point table consulted by the batch entry points:
+     * per-config demand grids at @p demand_step_tps spacing over
+     * [0, max_demand_tps], built lazily per config and answered with
+     * linear interpolation. Demands at/beyond the grid end fall back
+     * to the exact solve, as do the scalar entry points. Off by
+     * default (SimConfig::opTableEnabled gates it in simulations);
+     * tests A/B-gate it against the exact batched path.
+     */
+    void enableOperatingPointTable(double demand_step_tps,
+                                   double max_demand_tps);
+
+    /** Whether the interpolated operating-point table is active. */
+    bool operatingPointTableEnabled() const
+    { return opTableStepTps > 0.0; }
 
     /** Decode per-GPU power at an arbitrary running batch size. */
     Watts decodeGpuPowerAt(const ConfigProfile &profile,
@@ -267,12 +342,58 @@ class PerfModel
     /** Uncached profile derivation (the actual analytic model). */
     ConfigProfile computeProfile(const InstanceConfig &config) const;
 
+    /** Lanes per chunk of the batched solve (stack-resident SoA). */
+    static constexpr std::size_t kOpChunk = 32;
+
+    /**
+     * One chunk (<= kOpChunk lanes) of the branch-free batched
+     * operating-point solve; the shared kernel behind all four batch
+     * entry points. @p server_power selects the full solve (inlined
+     * serverPowerFromGpu arithmetic) versus the GPU-only variant.
+     */
+    void solveOpChunk(const ConfigProfile *const *profiles,
+                      const double *demand_tps, std::size_t m,
+                      OperatingPoint *out, bool server_power) const;
+
+    /** Chunked dispatch over pointer lanes (exact path). */
+    void solveOpBatch(const ConfigProfile *const *profiles,
+                      const double *demand_tps, std::size_t n,
+                      OperatingPoint *out, bool server_power) const;
+
+    /** Per-config demand grid of the interpolated table. */
+    struct OpTableGrid
+    {
+        double stepTps = 0.0;
+        double maxDemandTps = 0.0;
+        /** Exact operating points at demand j * stepTps (full solve
+         *  including serverPower; the GPU-only entry points zero it
+         *  on output). */
+        std::vector<OperatingPoint> nodes;
+    };
+
+    /** Lazily built grid for one config (locks opTableMutex). */
+    const OpTableGrid *opGridFor(const ConfigProfile &profile) const;
+
+    /** Table-mode batch answer (falls back to exact past the grid). */
+    void tableOpBatch(const ConfigProfile *const *profiles,
+                      const double *demand_tps, std::size_t n,
+                      OperatingPoint *out, bool server_power) const;
+
     mutable std::unordered_map<InstanceConfig, ConfigProfile,
                                InstanceConfigHash>
         profileCache;
     mutable std::uint64_t cacheHits = 0;
     mutable std::uint64_t cacheMisses = 0;
     mutable std::mutex cacheMutex;
+
+    /** Interpolated-table state; stepTps <= 0 means disabled. */
+    double opTableStepTps = 0.0;
+    double opTableMaxTps = 0.0;
+    mutable std::unordered_map<InstanceConfig,
+                               std::unique_ptr<OpTableGrid>,
+                               InstanceConfigHash>
+        opTables;
+    mutable std::mutex opTableMutex;
 };
 
 /** The reference configuration the paper's SLOs anchor on. */

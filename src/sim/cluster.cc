@@ -1,6 +1,7 @@
 #include "sim/cluster.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -96,6 +97,17 @@ ClusterSim::ClusterSim(const SimConfig &config)
     bank.offlineProfile(thermal, powerModel, mixSeed(cfg.seed, 0x555));
     refProfile = perf.profile(referenceConfig());
     refGoodput = refProfile.goodputTps;
+
+    if (cfg.opTableEnabled) {
+        const double step = cfg.opTableStepTps > 0.0
+            ? cfg.opTableStepTps
+            : refGoodput / 256.0;
+        // The reference config has the largest goodput and flow
+        // routing caps per-VM demand at 1.2x goodput, so 2x the
+        // reference covers every profile's reachable demand; rarer
+        // demands past the grid fall back to the exact solve.
+        perf.enableOperatingPointTable(step, refGoodput * 2.0);
+    }
 
     tapas = std::make_unique<TapasController>(
         cfg.policy, layout, cooling, hierarchy, &bank, &perf);
@@ -802,26 +814,41 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
         }
     }
 
-    // Advance engines (blackout progression) and set loads.
+    // Advance engines (blackout progression) and pack the VMs with
+    // demand into stride-1 lanes for one batched solve; zero-demand
+    // VMs keep their exact fast path (zero busy time, idle GPU
+    // power) without occupying a lane.
+    opProfScratch.clear();
+    opDemandScratch.clear();
+    opVmScratch.clear();
     for (std::uint32_t i : activeVms) {
         if (!vmTable.isSaas(i))
             continue;
         InferenceEngine *engine = vmTable.engine[i];
         engine->step(static_cast<double>(from),
                      static_cast<double>(to));
-        const ConfigProfile &profile = engine->profile();
         if (vmTable.demandTps[i] == 0.0) {
-            // Zero demand solves to exactly zero busy time and idle
-            // GPU power; skip the full operating-point evaluation.
             vmTable.load[i] = 0.0;
             saasOpGpuPowerW[i] = perf.spec().gpuIdlePower.value();
             continue;
         }
-        // GPU-only solve: this loop never reads serverPower.
-        const PerfModel::OperatingPoint op =
-            perf.operatingGpuPointAt(profile, vmTable.demandTps[i]);
+        opProfScratch.push_back(&engine->profile());
+        opDemandScratch.push_back(vmTable.demandTps[i]);
+        opVmScratch.push_back(i);
+    }
+
+    // GPU-only batch: this pass never reads serverPower.
+    opPointScratch.resize(opVmScratch.size());
+    perf.operatingGpuPointBatch(opProfScratch.data(),
+                                opDemandScratch.data(),
+                                opVmScratch.size(),
+                                opPointScratch.data());
+
+    for (std::size_t lane = 0; lane < opVmScratch.size(); ++lane) {
+        const std::uint32_t i = opVmScratch[lane];
+        const PerfModel::OperatingPoint &op = opPointScratch[lane];
         vmTable.load[i] = op.busyFrac *
-            static_cast<double>(profile.activeGpus) /
+            static_cast<double>(opProfScratch[lane]->activeGpus) /
             static_cast<double>(gpus);
         // Demand and profile are now fixed for the step: cache the
         // base GPU power so computeDraws (and its capping/thermal
@@ -1365,6 +1392,20 @@ ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
 void
 ClusterSim::step()
 {
+    // Per-phase wall accounting: one clock read per phase boundary,
+    // only when a perf harness asked for it (enablePhaseTiming) —
+    // the clock reads are measurable against a small layout's step.
+    const bool timing = phaseTiming_;
+    auto mark = timing ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point{};
+    auto lap = [&mark, timing](double &acc) {
+        if (!timing)
+            return;
+        const auto now = std::chrono::steady_clock::now();
+        acc += std::chrono::duration<double>(now - mark).count();
+        mark = now;
+    };
+
     processFailureSchedule();
     processDepartures();
     // Placement and the risk refresh below share the maintained
@@ -1372,12 +1413,14 @@ ClusterSim::step()
     // membership) — the same state the per-phase rebuilds observed.
     processArrivals();
     tryPlaceWaiting();
+    lap(phaseTimes_.placeS);
 
     // Risk refresh uses last step's sensor data (5-min cadence).
     // Skip even the lazy view re-sync on steps where the cache is
     // still fresh.
     if (tapas->riskRefreshDue(currentTime))
         tapas->maybeRefreshRisk(currentView(), gpuPowerW);
+    lap(phaseTimes_.riskS);
 
     // Reset this step's hardware caps.
     std::fill(vmTable.freqCap.begin(), vmTable.freqCap.end(), 1.0);
@@ -1390,10 +1433,13 @@ ClusterSim::step()
         assignSaasLoadFlowMode(from, to);
     }
     replayIaasLoads(from);
+    lap(phaseTimes_.assignS);
 
     computeDraws();
+    lap(phaseTimes_.drawsS);
     const std::uint64_t caps_before = simMetrics.powerCapSteps;
     enforcePowerBudgets();
+    lap(phaseTimes_.powerS);
     const std::uint64_t throttles_before =
         simMetrics.thermalThrottleSteps;
     evaluateThermal(true);
@@ -1405,15 +1451,19 @@ ClusterSim::step()
                 vmTable.freqCap[i]);
         }
     }
+    lap(phaseTimes_.thermalS);
 
     recordTelemetry(from);
+    lap(phaseTimes_.telemetryS);
     // Loads (and on telemetry ticks, predicted peaks) moved: advance
     // the snapshot epoch so the configurator/migration phases see
     // this step's post-load state, exactly as their per-phase
     // rebuilds used to.
     ++viewLoadEpoch;
     configuratorPass();
+    lap(phaseTimes_.configureS);
     migrationPass();
+    lap(phaseTimes_.migrateS);
     collectMetrics(simMetrics.powerCapSteps > caps_before,
                    simMetrics.thermalThrottleSteps >
                        throttles_before);
@@ -1430,6 +1480,7 @@ ClusterSim::step()
     currentTime = to;
     // Step boundary: time and the datacenter load fraction moved.
     ++viewLoadEpoch;
+    lap(phaseTimes_.metricsS);
 
 #ifndef NDEBUG
     tapas_assert(verifyVmTable(),

@@ -41,6 +41,37 @@
 
 namespace tapas {
 
+/**
+ * Cumulative wall-clock seconds spent in each step-loop phase since
+ * construction. Off by default — the clock reads are measurable
+ * against a small layout's ~10us step — and switched on by perf
+ * harnesses via enablePhaseTiming(); bench_step_loop emits the
+ * per-step breakdown into BENCH_step_loop.json.
+ */
+struct StepPhaseTimes
+{
+    /** Failure schedule + departures/arrivals + placement. */
+    double placeS = 0.0;
+    /** Risk-assessor refresh. */
+    double riskS = 0.0;
+    /** SaaS load assignment (flow or request mode) + IaaS replay. */
+    double assignS = 0.0;
+    /** Ground-truth draw aggregation (first computeDraws). */
+    double drawsS = 0.0;
+    /** Power-budget enforcement (capping iterations). */
+    double powerS = 0.0;
+    /** Airflow/thermal evaluation + hardware throttling. */
+    double thermalS = 0.0;
+    /** Telemetry recording + predicted-peak refresh. */
+    double telemetryS = 0.0;
+    /** Configurator pass. */
+    double configureS = 0.0;
+    /** Migration pass. */
+    double migrateS = 0.0;
+    /** Metric collection + step bookkeeping. */
+    double metricsS = 0.0;
+};
+
 /** End-to-end cluster simulation. */
 class ClusterSim
 {
@@ -79,6 +110,12 @@ class ClusterSim
     /** Per-server draw of the last completed step, watts. */
     const std::vector<double> &lastServerDrawW() const
     { return serverDrawW; }
+
+    /** Cumulative per-phase step-loop timing since construction. */
+    const StepPhaseTimes &phaseTimes() const { return phaseTimes_; }
+
+    /** Turn on per-phase step timing (see StepPhaseTimes). */
+    void enablePhaseTiming() { phaseTiming_ = true; }
 
     /** Per-GPU temperature of the last completed step. */
     const std::vector<double> &lastGpuTempC() const
@@ -202,6 +239,15 @@ class ClusterSim
      * reuse it instead of re-evaluating the perf model per pass.
      */
     std::vector<double> saasOpGpuPowerW;
+    /**
+     * Packed lanes of the flow-mode batched operating-point solve:
+     * per-VM profile pointers, demands, VM indices and the solved
+     * points (only VMs with non-zero demand occupy a lane).
+     */
+    std::vector<const ConfigProfile *> opProfScratch;
+    std::vector<double> opDemandScratch;
+    std::vector<std::uint32_t> opVmScratch;
+    std::vector<PerfModel::OperatingPoint> opPointScratch;
     std::vector<double> customerPowerScratch;
     std::vector<int> customerCountScratch;
     std::vector<double> endpointPowerScratch;
@@ -224,6 +270,10 @@ class ClusterSim
     std::uint64_t viewGeneration = 0;
     /** Fresh-rebuild scratch for the debug cross-check. */
     ClusterView debugViewScratch;
+
+    /** Per-phase step-loop wall time (see StepPhaseTimes). */
+    StepPhaseTimes phaseTimes_;
+    bool phaseTiming_ = false;
 
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 

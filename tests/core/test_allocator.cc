@@ -86,6 +86,10 @@ TEST_F(AllocatorTest, TapasValidatorBlocksOverdrawnRow)
     for (ServerId sid : dc.row(crowded).servers)
         occupy(sid, VmKind::IaaS, 1.0, 1.0);
     dc.addRack(crowded);
+    // Mirror the production oversubscription sequence (sim/cluster.cc):
+    // materialize the new servers in the thermal model before
+    // profiling them.
+    thermal.extend();
     bank.profileNewServers(thermal, powerModel, 9);
     view.occupied.resize(dc.serverCount(), false);
     view.serverLoads.resize(dc.serverCount(), 0.0);

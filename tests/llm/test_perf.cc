@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <vector>
 
 #include "llm/perf.hh"
@@ -262,6 +264,58 @@ TEST(Pareto, FrontierContainsReferenceClassConfig)
     const auto frontier =
         PerfModel::paretoFrontier(model.allProfiles(), true);
     EXPECT_GE(frontier.back().config.maxBatchSize, 16);
+}
+
+TEST(Pareto, SinglePassSweepMatchesAllPairsScan)
+{
+    // Pin the sorted single-pass frontier against the original
+    // all-pairs dominance scan, element for element — including the
+    // order of goodput ties, which the final sort (stable only by
+    // accident of input order) preserves from the input sequence.
+    const PerfModel model = makeModel();
+    for (bool use_power : {false, true}) {
+        const auto profiles = model.allProfiles();
+        auto metric = [&](const ConfigProfile &p) {
+            return use_power
+                ? p.prefill.gpuPower.value() * p.activeGpus
+                : p.prefill.gpuPower.value();
+        };
+        std::vector<ConfigProfile> reference;
+        for (const ConfigProfile &p : profiles) {
+            if (p.goodputTps <= 0.0)
+                continue;
+            bool dominated = false;
+            for (const ConfigProfile &other : profiles) {
+                if (other.goodputTps <= 0.0)
+                    continue;
+                if ((other.goodputTps > p.goodputTps &&
+                     metric(other) <= metric(p)) ||
+                    (other.goodputTps == p.goodputTps &&
+                     metric(other) < metric(p))) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if (!dominated)
+                reference.push_back(p);
+        }
+        std::sort(reference.begin(), reference.end(),
+                  [](const ConfigProfile &a, const ConfigProfile &b) {
+                      return a.goodputTps < b.goodputTps;
+                  });
+
+        const auto frontier =
+            PerfModel::paretoFrontier(profiles, use_power);
+        ASSERT_EQ(frontier.size(), reference.size())
+            << "use_power=" << use_power;
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+            EXPECT_EQ(frontier[i].config.label(),
+                      reference[i].config.label())
+                << "use_power=" << use_power << " index " << i;
+            EXPECT_EQ(frontier[i].goodputTps,
+                      reference[i].goodputTps);
+        }
+    }
 }
 
 TEST(PerfModel, H100OutperformsA100)

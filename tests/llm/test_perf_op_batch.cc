@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Equivalence suite for the batched operating-point solver: the
+ * branch-free batch entry points must reproduce the scalar solves
+ * bit for bit across every configuration profile and every demand
+ * regime (zero, sub-saturated, saturated, clamped-batch), in the
+ * default FP mode (-ffp-contract=off pins per-operation IEEE
+ * semantics even under -march=native). The interpolated table mode
+ * is A/B-checked against the exact path with explicit error bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/perf.hh"
+
+namespace tapas {
+namespace {
+
+PerfModel
+makeModel()
+{
+    return PerfModel::withReferenceSlo(
+        ServerSpec::a100(), PerfParams::forSku(GpuSku::A100));
+}
+
+/**
+ * Demand grid stressing every solver regime for one profile:
+ * negative and zero demand, deep sub-saturation (batch 1), points
+ * around the saturation boundary, the goodput/capacity band, and
+ * demands large enough to clamp the decode batch at its max.
+ */
+std::vector<double>
+demandGridFor(const ConfigProfile &p)
+{
+    const double anchor =
+        p.goodputTps > 0.0 ? p.goodputTps : p.capacityTps;
+    std::vector<double> grid = {-5.0, 0.0, 1e-6, 0.01, 0.1, 1.0};
+    for (const double frac :
+         {0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.2, 1.5,
+          2.0, 4.0, 16.0, 256.0}) {
+        grid.push_back(anchor * frac);
+    }
+    return grid;
+}
+
+void
+expectPointsIdentical(const PerfModel::OperatingPoint &batch,
+                      const PerfModel::OperatingPoint &scalar,
+                      const ConfigProfile &p, double demand)
+{
+    const std::string at =
+        p.config.label() + " @ " + std::to_string(demand);
+    EXPECT_EQ(batch.busyFrac, scalar.busyFrac) << at;
+    EXPECT_EQ(batch.prefillShare, scalar.prefillShare) << at;
+    EXPECT_EQ(batch.decodeBatch, scalar.decodeBatch) << at;
+    EXPECT_EQ(batch.gpuPower.value(), scalar.gpuPower.value()) << at;
+    EXPECT_EQ(batch.serverPower.value(), scalar.serverPower.value())
+        << at;
+}
+
+TEST(PerfOpBatch, PointerLanesBitIdenticalToScalarAllProfiles)
+{
+    const PerfModel model = makeModel();
+    const std::vector<ConfigProfile> profiles = model.allProfiles();
+    ASSERT_FALSE(profiles.empty());
+
+    for (const ConfigProfile &p : profiles) {
+        const std::vector<double> demands = demandGridFor(p);
+        std::vector<const ConfigProfile *> lanes(demands.size(), &p);
+        std::vector<PerfModel::OperatingPoint> full(demands.size());
+        std::vector<PerfModel::OperatingPoint> gpu(demands.size());
+        model.operatingPointBatch(lanes.data(), demands.data(),
+                                  demands.size(), full.data());
+        model.operatingGpuPointBatch(lanes.data(), demands.data(),
+                                     demands.size(), gpu.data());
+        for (std::size_t i = 0; i < demands.size(); ++i) {
+            expectPointsIdentical(
+                full[i], model.operatingPointAt(p, demands[i]), p,
+                demands[i]);
+            expectPointsIdentical(
+                gpu[i], model.operatingGpuPointAt(p, demands[i]), p,
+                demands[i]);
+        }
+    }
+}
+
+TEST(PerfOpBatch, IndexLanesHeterogeneousProfilesBitIdentical)
+{
+    const PerfModel model = makeModel();
+    const std::vector<ConfigProfile> profiles = model.allProfiles();
+    ASSERT_GT(profiles.size(), 1u);
+
+    // Interleave every profile against a shared demand grid so one
+    // batch call mixes regimes and configs across its chunks.
+    std::vector<std::uint32_t> idx;
+    std::vector<double> demands;
+    const std::vector<double> shared =
+        demandGridFor(profiles.front());
+    for (std::size_t d = 0; d < shared.size(); ++d) {
+        for (std::uint32_t pi = 0; pi < profiles.size(); ++pi) {
+            idx.push_back(pi);
+            demands.push_back(shared[d] * (1.0 + 0.013 * pi));
+        }
+    }
+
+    std::vector<PerfModel::OperatingPoint> full(idx.size());
+    std::vector<PerfModel::OperatingPoint> gpu(idx.size());
+    model.operatingPointBatch(profiles.data(), idx.data(),
+                              demands.data(), idx.size(),
+                              full.data());
+    model.operatingGpuPointBatch(profiles.data(), idx.data(),
+                                 demands.data(), idx.size(),
+                                 gpu.data());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        const ConfigProfile &p = profiles[idx[i]];
+        expectPointsIdentical(
+            full[i], model.operatingPointAt(p, demands[i]), p,
+            demands[i]);
+        expectPointsIdentical(
+            gpu[i], model.operatingGpuPointAt(p, demands[i]), p,
+            demands[i]);
+    }
+}
+
+TEST(PerfOpBatch, UncachedDecodeEndpointsFallBackIdentically)
+{
+    const PerfModel model = makeModel();
+    // Strip the precomputed decode-power endpoints: the batch kernel
+    // must route those lanes through the same full formula the
+    // scalar path uses.
+    ConfigProfile p = model.profile(referenceConfig());
+    p.decodePowerBatch1W = -1.0;
+    p.decodePowerBatchMaxW = -1.0;
+
+    const std::vector<double> demands = demandGridFor(p);
+    std::vector<const ConfigProfile *> lanes(demands.size(), &p);
+    std::vector<PerfModel::OperatingPoint> full(demands.size());
+    model.operatingPointBatch(lanes.data(), demands.data(),
+                              demands.size(), full.data());
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        expectPointsIdentical(
+            full[i], model.operatingPointAt(p, demands[i]), p,
+            demands[i]);
+    }
+}
+
+TEST(PerfOpBatch, ChunkBoundariesCoverEveryResidue)
+{
+    // Lane counts straddling the kernel's internal chunking must all
+    // produce the same per-lane answers (no tail mishandling).
+    const PerfModel model = makeModel();
+    const ConfigProfile p = model.profile(referenceConfig());
+    for (const std::size_t n : {1u, 2u, 7u, 31u, 32u, 33u, 64u, 65u,
+                                100u}) {
+        std::vector<const ConfigProfile *> lanes(n, &p);
+        std::vector<double> demands(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            demands[i] =
+                p.goodputTps * 1.3 * static_cast<double>(i) /
+                static_cast<double>(n);
+        }
+        std::vector<PerfModel::OperatingPoint> out(n);
+        model.operatingPointBatch(lanes.data(), demands.data(), n,
+                                  out.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            expectPointsIdentical(
+                out[i], model.operatingPointAt(p, demands[i]), p,
+                demands[i]);
+        }
+    }
+}
+
+TEST(PerfOpBatch, TableDisabledByDefault)
+{
+    const PerfModel model = makeModel();
+    EXPECT_FALSE(model.operatingPointTableEnabled());
+}
+
+TEST(PerfOpBatch, TableInterpolationWithinErrorBounds)
+{
+    PerfModel exact = makeModel();
+    PerfModel tabled = makeModel();
+    const ConfigProfile ref = exact.profile(referenceConfig());
+    const double step = ref.goodputTps / 256.0;
+    tabled.enableOperatingPointTable(step, ref.goodputTps * 2.0);
+    ASSERT_TRUE(tabled.operatingPointTableEnabled());
+
+    const std::vector<ConfigProfile> profiles = exact.allProfiles();
+    for (const ConfigProfile &p : profiles) {
+        // Off-node demands across the grid (worst case for linear
+        // interpolation sits mid-interval).
+        for (int k = 0; k < 64; ++k) {
+            const double demand =
+                step * (0.5 + 7.0 * static_cast<double>(k));
+            const ConfigProfile *lane = &p;
+            PerfModel::OperatingPoint t_op;
+            tabled.operatingPointBatch(&lane, &demand, 1, &t_op);
+            const PerfModel::OperatingPoint e_op =
+                exact.operatingPointAt(p, demand);
+            // The solve is piecewise-smooth in demand with one kink
+            // (the saturation boundary). The step is shared across
+            // configs (sized off the reference goodput), so for the
+            // slowest profiles the kink can land mid-interval and
+            // busy time absorbs the largest relative error — bounded
+            // at 3% absolute here; power stays within 2%.
+            EXPECT_NEAR(t_op.busyFrac, e_op.busyFrac, 0.03)
+                << p.config.label() << " @ " << demand;
+            EXPECT_NEAR(t_op.gpuPower.value(), e_op.gpuPower.value(),
+                        0.02 * ServerSpec::a100().gpuMaxPower.value())
+                << p.config.label() << " @ " << demand;
+            EXPECT_NEAR(
+                t_op.serverPower.value(), e_op.serverPower.value(),
+                0.02 * e_op.serverPower.value())
+                << p.config.label() << " @ " << demand;
+        }
+    }
+}
+
+TEST(PerfOpBatch, TableExactAtNodesAndPastGridEnd)
+{
+    PerfModel tabled = makeModel();
+    const ConfigProfile ref = tabled.profile(referenceConfig());
+    const double step = ref.goodputTps / 64.0;
+    tabled.enableOperatingPointTable(step, ref.goodputTps);
+
+    PerfModel exact = makeModel();
+    // On-node demands interpolate with t = 0: exactly the node
+    // value, which is the exact solve there.
+    for (int j = 0; j < 8; ++j) {
+        const double demand = step * static_cast<double>(j * 3);
+        const ConfigProfile *lane = &ref;
+        PerfModel::OperatingPoint t_op;
+        tabled.operatingPointBatch(&lane, &demand, 1, &t_op);
+        expectPointsIdentical(
+            t_op, exact.operatingPointAt(ref, demand), ref, demand);
+    }
+    // Demands past the grid fall back to the exact batched solve.
+    const double beyond = ref.goodputTps * 5.0;
+    const ConfigProfile *lane = &ref;
+    PerfModel::OperatingPoint t_op;
+    tabled.operatingPointBatch(&lane, &beyond, 1, &t_op);
+    expectPointsIdentical(
+        t_op, exact.operatingPointAt(ref, beyond), ref, beyond);
+}
+
+TEST(PerfOpBatch, CopiedModelKeepsTableMode)
+{
+    PerfModel tabled = makeModel();
+    const ConfigProfile ref = tabled.profile(referenceConfig());
+    tabled.enableOperatingPointTable(ref.goodputTps / 64.0,
+                                     ref.goodputTps);
+    const PerfModel copy(tabled);
+    EXPECT_TRUE(copy.operatingPointTableEnabled());
+    PerfModel assigned = makeModel();
+    assigned = tabled;
+    EXPECT_TRUE(assigned.operatingPointTableEnabled());
+}
+
+} // namespace
+} // namespace tapas

@@ -317,6 +317,11 @@ TEST_F(ProfileBankTest, ProfileNewServersAfterOversubscription)
 {
     const std::size_t before = bank.profiledServerCount();
     dc.addRack(RowId(0));
+    // Mirror the production oversubscription sequence (sim/cluster.cc):
+    // the thermal model must materialize the new servers before anyone
+    // profiles against it, or its per-server offset reads run past the
+    // arrays sized at construction.
+    thermal.extend();
     bank.profileNewServers(thermal, power, 123);
     EXPECT_EQ(bank.profiledServerCount(), before + 3);
     // New server predictions work.
