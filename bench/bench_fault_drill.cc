@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Compound-emergency fault drill: the small cluster through a
+ * heat-wave day with a scripted chiller derate stacked on the
+ * afternoon demand peak (sim/scenario.hh faultDrillScenario),
+ * Baseline vs TAPAS, with sensor quarantine armed on the TAPAS run.
+ *
+ * Emits the per-run robustness report — thermal excursion steps,
+ * unresolved power-budget violations, throughput lost during the
+ * fault window, and time-to-recover — as a console table and
+ * `BENCH_fault_drill.json`.
+ *
+ * `--smoke` shortens the horizon to the fault window plus recovery;
+ * `--check` exits non-zero unless the drill bites (baseline has
+ * inlet excursions) and TAPAS strictly dominates the baseline on
+ * excursion time — the robustness gate of scripts/check.sh-style
+ * pre-PR runs.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "common/timer.hh"
+#include "sim/cluster.hh"
+#include "sim/scenario.hh"
+
+using namespace tapas;
+
+namespace {
+
+struct DrillOutcome
+{
+    SimMetrics metrics;
+    double wallS = 0.0;
+};
+
+DrillOutcome
+runDrill(const SimConfig &cfg)
+{
+    WallTimer timer;
+    ClusterSim sim(cfg);
+    sim.run();
+    DrillOutcome out;
+    out.metrics = sim.metrics();
+    out.wallS = timer.elapsedS();
+    return out;
+}
+
+BenchCase
+reportCase(const std::string &name, const DrillOutcome &outcome)
+{
+    const SimMetrics &m = outcome.metrics;
+    BenchCase c;
+    c.name = name;
+    c.set("wall_s", outcome.wallS);
+    c.set("steps", static_cast<double>(m.totalSteps));
+    c.set("inlet_excursion_steps",
+          static_cast<double>(m.inletExcursionSteps));
+    c.set("inlet_excursion_frac", m.inletExcursionFraction());
+    c.set("gpu_excursion_steps",
+          static_cast<double>(m.gpuExcursionSteps));
+    c.set("power_violation_steps",
+          static_cast<double>(m.powerViolationSteps));
+    c.set("fault_steps", static_cast<double>(m.faultSteps));
+    c.set("fault_active_s", static_cast<double>(m.faultActiveS));
+    c.set("fault_loss_frac", m.faultThroughputLossFrac());
+    c.set("mean_recovery_s", m.meanRecoveryS());
+    c.set("max_recovery_s", static_cast<double>(m.maxRecoveryS));
+    c.set("recoveries", static_cast<double>(m.recoveries));
+    c.set("quarantined_server_steps",
+          static_cast<double>(m.quarantinedServerSteps));
+    c.set("total_tokens", m.totalTokens);
+    c.set("mean_quality", m.meanQuality());
+    c.set("slo_attainment", m.sloAttainment());
+    return c;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+    }
+
+    printBanner(std::cout,
+                "Fault drill: chiller derate + heat wave + "
+                "demand peak");
+
+    SimConfig cfg = faultDrillScenario(41);
+    if (smoke) {
+        // Fault window (11h-18h) plus recovery headroom.
+        cfg.horizon = 20 * kHour;
+    }
+    // The TAPAS run drills the full degradation stack: sensor
+    // quarantine armed (a no-op while every sensor stays healthy)
+    // and periodic gated profile refits from live telemetry.
+    SimConfig tapas_cfg = cfg.asTapas();
+    tapas_cfg.policy.sensorQuarantineEnabled = true;
+    tapas_cfg.profileRefitPeriod = 6 * kHour;
+
+    const DrillOutcome base = runDrill(cfg.asBaseline());
+    const DrillOutcome tapas = runDrill(tapas_cfg);
+
+    ConsoleTable table({"metric", "Baseline", "TAPAS"});
+    auto row = [&](const char *name, double b, double t,
+                   int digits) {
+        table.addRow({name, ConsoleTable::num(b, digits),
+                      ConsoleTable::num(t, digits)});
+    };
+    const SimMetrics &bm = base.metrics;
+    const SimMetrics &tm = tapas.metrics;
+    row("inlet excursion steps",
+        static_cast<double>(bm.inletExcursionSteps),
+        static_cast<double>(tm.inletExcursionSteps), 0);
+    row("inlet excursion frac", bm.inletExcursionFraction(),
+        tm.inletExcursionFraction(), 4);
+    row("gpu excursion steps",
+        static_cast<double>(bm.gpuExcursionSteps),
+        static_cast<double>(tm.gpuExcursionSteps), 0);
+    row("power violation steps",
+        static_cast<double>(bm.powerViolationSteps),
+        static_cast<double>(tm.powerViolationSteps), 0);
+    row("fault-window loss frac", bm.faultThroughputLossFrac(),
+        tm.faultThroughputLossFrac(), 4);
+    row("mean recovery (s)", bm.meanRecoveryS(), tm.meanRecoveryS(),
+        0);
+    row("max recovery (s)", static_cast<double>(bm.maxRecoveryS),
+        static_cast<double>(tm.maxRecoveryS), 0);
+    row("quarantined server steps",
+        static_cast<double>(bm.quarantinedServerSteps),
+        static_cast<double>(tm.quarantinedServerSteps), 0);
+    row("mean quality", bm.meanQuality(), tm.meanQuality(), 3);
+    row("total tokens (M)", bm.totalTokens / 1e6,
+        tm.totalTokens / 1e6, 1);
+    table.print(std::cout);
+
+    writeBenchJson("BENCH_fault_drill.json", "fault_drill",
+                   smoke ? "smoke" : "full",
+                   {reportCase("baseline", base),
+                    reportCase("tapas", tapas)});
+
+    if (check) {
+        // The robustness gate: the drill must actually stress the
+        // plant, and TAPAS must spend strictly less time in thermal
+        // excursion than the baseline.
+        if (bm.inletExcursionSteps == 0) {
+            std::cerr << "CHECK FAIL: drill produced no baseline "
+                         "inlet excursions (scenario too mild)\n";
+            return 1;
+        }
+        if (tm.inletExcursionSteps >= bm.inletExcursionSteps) {
+            std::cerr << "CHECK FAIL: TAPAS inlet excursion steps ("
+                      << tm.inletExcursionSteps
+                      << ") not strictly below baseline ("
+                      << bm.inletExcursionSteps << ")\n";
+            return 1;
+        }
+        std::cout << "CHECK OK: TAPAS " << tm.inletExcursionSteps
+                  << " excursion steps vs baseline "
+                  << bm.inletExcursionSteps << "\n";
+    }
+    return 0;
+}

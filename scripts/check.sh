@@ -83,4 +83,24 @@ asan_log=$(mktemp)
     | tee "$asan_log"
 fail_on_skipped "$asan_log"
 
+echo "== configure (TSan) =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DTAPAS_SANITIZE=thread
+
+echo "== build (TSan) =="
+cmake --build build-tsan -j
+
+echo "== threadpool/sweep + fault suites (TSan) =="
+# The suites that actually fan work across the shared thread pool:
+# the parallel scenario sweeps (property suite), the fault-engine
+# and failure-manager suites (fault drills construct simulators on
+# worker threads), and the fault-drill integration test. A full
+# ctest pass under TSan is several times slower for no extra
+# concurrency coverage — everything else is single-threaded.
+tsan_log=$(mktemp)
+(cd build-tsan && ctest --output-on-failure -j --no-tests=error \
+    -R 'property_test_sweeps|test_failure|test_faults|fault_drill') \
+    | tee "$tsan_log"
+fail_on_skipped "$tsan_log"
+
 echo "OK: all checks passed"

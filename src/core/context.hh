@@ -131,6 +131,33 @@ struct TapasPolicyConfig
     /** Quality floor during emergencies (Table 2 last resort). */
     double emergencyQualityFloor = 0.60;
 
+    // --- Sensor-fault quarantine (graceful degradation). ---
+
+    /**
+     * Cross-check the observed per-GPU power sum against the power
+     * reconstructed from the server's load fraction each risk
+     * refresh, and quarantine servers whose sensors diverge. In a
+     * healthy run the two agree exactly (the load IS the normalized
+     * GPU power), so enabling this on a fault-free run changes no
+     * decision. Off by default (historical behavior).
+     */
+    bool sensorQuarantineEnabled = false;
+    /** Relative divergence tolerance on the reconstructed power. */
+    double sensorEnvelopeFrac = 0.05;
+    /** Absolute tolerance floor, watts (sensor noise scale). */
+    double sensorEnvelopeFloorW = 150.0;
+    /** Consecutive diverging refreshes before quarantine. */
+    int sensorQuarantineAfter = 2;
+    /** Consecutive healthy refreshes before release. */
+    int sensorRecoverAfter = 3;
+    /**
+     * Extra thermal margin applied to quarantined servers: with its
+     * sensors untrusted the controller predicts from the last known
+     * good power snapshot and keeps this much more distance to the
+     * throttle point.
+     */
+    double quarantineExtraMarginC = 4.0;
+
     /** Enable periodic SaaS migration (Section 4.1 extension). */
     bool migrationEnabled = false;
     /** How often the migration planner runs. */

@@ -1,5 +1,9 @@
 #include "core/failure.hh"
 
+#include <algorithm>
+
+#include "common/logging.hh"
+
 namespace tapas {
 
 FailureManager::FailureManager(CoolingPlant &cooling_,
@@ -7,40 +11,113 @@ FailureManager::FailureManager(CoolingPlant &cooling_,
                                const DatacenterLayout &layout_)
     : cooling(cooling_), power(power_), layout(layout_)
 {
+    aisleFrac.resize(layout.aisleCount(), 1.0);
+    upsFrac.resize(layout.upsCount(), 1.0);
+}
+
+void
+FailureManager::applyAisle(AisleId id)
+{
+    const double frac = aisleFrac[id.index];
+    if (frac >= 1.0)
+        cooling.restoreAhu(id);
+    else
+        cooling.failAhu(id, frac);
+}
+
+void
+FailureManager::applyUps(UpsId id)
+{
+    const double frac = upsFrac[id.index];
+    if (frac >= 1.0)
+        power.restoreUps(id);
+    else
+        power.failUps(id, frac);
 }
 
 void
 FailureManager::triggerThermalEmergency(double remaining_frac)
 {
     for (const Aisle &aisle : layout.aisles())
-        cooling.failAhu(aisle.id, remaining_frac);
+        failAisle(aisle.id, remaining_frac);
 }
 
 void
 FailureManager::triggerPowerEmergency(double remaining_frac)
 {
-    power.failUps(UpsId(0), remaining_frac);
+    failUps(UpsId(0), remaining_frac);
 }
 
 void
 FailureManager::failAisle(AisleId id, double remaining_frac)
 {
-    cooling.failAhu(id, remaining_frac);
+    tapas_assert(id.index < aisleFrac.size(), "unknown aisle %u",
+                 id.index);
+    tapas_assert(remaining_frac > 0.0 && remaining_frac <= 1.0,
+                 "derating fraction must be in (0,1]");
+    aisleFrac[id.index] =
+        std::min(aisleFrac[id.index], remaining_frac);
+    applyAisle(id);
 }
 
 void
 FailureManager::failUps(UpsId id, double remaining_frac)
 {
-    power.failUps(id, remaining_frac);
+    tapas_assert(id.index < upsFrac.size(), "unknown UPS %u",
+                 id.index);
+    tapas_assert(remaining_frac > 0.0 && remaining_frac <= 1.0,
+                 "derating fraction must be in (0,1]");
+    upsFrac[id.index] = std::min(upsFrac[id.index], remaining_frac);
+    applyUps(id);
+}
+
+void
+FailureManager::setAisleDerate(AisleId id, double frac)
+{
+    tapas_assert(id.index < aisleFrac.size(), "unknown aisle %u",
+                 id.index);
+    tapas_assert(frac > 0.0, "derate fraction must be positive");
+    aisleFrac[id.index] = std::min(frac, 1.0);
+    applyAisle(id);
+}
+
+void
+FailureManager::setUpsDerate(UpsId id, double frac)
+{
+    tapas_assert(id.index < upsFrac.size(), "unknown UPS %u",
+                 id.index);
+    tapas_assert(frac > 0.0, "derate fraction must be positive");
+    upsFrac[id.index] = std::min(frac, 1.0);
+    applyUps(id);
 }
 
 void
 FailureManager::clearAll()
 {
-    for (const Aisle &aisle : layout.aisles())
+    for (const Aisle &aisle : layout.aisles()) {
+        aisleFrac[aisle.id.index] = 1.0;
         cooling.restoreAhu(aisle.id);
-    for (const Ups &ups : layout.upses())
+    }
+    for (const Ups &ups : layout.upses()) {
+        upsFrac[ups.id.index] = 1.0;
         power.restoreUps(ups.id);
+    }
+}
+
+double
+FailureManager::aisleDerate(AisleId id) const
+{
+    tapas_assert(id.index < aisleFrac.size(), "unknown aisle %u",
+                 id.index);
+    return aisleFrac[id.index];
+}
+
+double
+FailureManager::upsDerate(UpsId id) const
+{
+    tapas_assert(id.index < upsFrac.size(), "unknown UPS %u",
+                 id.index);
+    return upsFrac[id.index];
 }
 
 EmergencyKind

@@ -7,10 +7,20 @@
  * 75%. The FailureManager mutates the plant objects (the same ones
  * the ground-truth simulation enforces) so both the physics and
  * TAPAS's risk views see the new limits immediately.
+ *
+ * Overlapping failures compose by minimum: failing an aisle at 0.8
+ * and then triggering a plant-wide 0.9 emergency leaves that aisle at
+ * 0.8 (the deeper derate wins), and clearAll() restores exact design
+ * capacities regardless of how many failures stacked up. The
+ * stochastic FaultEngine (core/faults.hh) composes its own overlap
+ * state and drives the plants through the absolute set*Derate entry
+ * points instead.
  */
 
 #ifndef TAPAS_CORE_FAILURE_HH
 #define TAPAS_CORE_FAILURE_HH
+
+#include <vector>
 
 #include "dcsim/power.hh"
 #include "dcsim/thermal.hh"
@@ -33,14 +43,30 @@ class FailureManager
     /** UPS failure; all row budgets drop (default 75% capacity). */
     void triggerPowerEmergency(double remaining_frac = 0.75);
 
-    /** Degrade a single aisle's AHU group. */
+    /** Degrade a single aisle's AHU group (min-composes). */
     void failAisle(AisleId id, double remaining_frac);
 
-    /** Fail a specific UPS. */
+    /** Fail a specific UPS (min-composes). */
     void failUps(UpsId id, double remaining_frac = 0.75);
+
+    /**
+     * Set an aisle's derate absolutely, replacing any composed
+     * state; 1.0 (or more) restores design capacity. Entry point for
+     * the FaultEngine, which owns its own overlap composition.
+     */
+    void setAisleDerate(AisleId id, double frac);
+
+    /** Set a UPS derate absolutely; >= 1.0 restores. */
+    void setUpsDerate(UpsId id, double frac);
 
     /** Restore everything to design capacity. */
     void clearAll();
+
+    /** Currently composed aisle derate (1.0 = design capacity). */
+    double aisleDerate(AisleId id) const;
+
+    /** Currently composed UPS derate (1.0 = design capacity). */
+    double upsDerate(UpsId id) const;
 
     EmergencyKind active() const;
 
@@ -48,6 +74,12 @@ class FailureManager
     CoolingPlant &cooling;
     PowerHierarchy &power;
     const DatacenterLayout &layout;
+    /** Composed requested derates; 1.0 = healthy. */
+    std::vector<double> aisleFrac;
+    std::vector<double> upsFrac;
+
+    void applyAisle(AisleId id);
+    void applyUps(UpsId id);
 };
 
 } // namespace tapas

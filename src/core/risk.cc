@@ -31,6 +31,14 @@ RiskAssessor::refresh(const ClusterView &view,
     powerScratch.resize(servers);
     inletScratch.resize(servers);
     hottestScratch.resize(servers);
+    // Sensor sanity gate: quarantined servers have their untrusted
+    // per-GPU readings replaced by the last known good snapshot
+    // before any prediction reads them. With the gate disabled (or
+    // every sensor healthy) this IS the caller's vector.
+    const std::vector<double> &effective_gpu_w =
+        cfg.sensorQuarantineEnabled
+        ? applySensorQuarantine(view, gpu_power_w, gpus)
+        : gpu_power_w;
     profiles.predictAirflowBatch(view.serverLoads.data(), servers,
                                  airflowScratch.data());
     profiles.predictPowerBatch(view.serverLoads.data(), servers,
@@ -38,7 +46,7 @@ RiskAssessor::refresh(const ClusterView &view,
     profiles.predictInletBatch(view.outsideC, view.dcLoadFrac,
                                servers, inletScratch.data());
     profiles.predictHottestGpuBatch(inletScratch.data(),
-                                    gpu_power_w.data(), servers,
+                                    effective_gpu_w.data(), servers,
                                     hottestScratch.data());
 
     // Aisle airflow and row power headrooms from the batched
@@ -93,10 +101,122 @@ RiskAssessor::refresh(const ClusterView &view,
         entry.rowHeadroomW = rowHeadroomScratch[server.row.index];
         entry.powerRisk = rowRiskScratch[server.row.index] != 0;
         entry.predictedHottestGpuC = hottest;
-        entry.thermalRisk = hottest > thermalLimitC[server.id.index];
+        // Quarantined servers keep extra distance to the throttle
+        // point: the prediction ran on a stale snapshot.
+        entry.quarantined = quarantined(server.id);
+        const double limit = entry.quarantined
+            ? thermalLimitC[server.id.index] -
+                cfg.quarantineExtraMarginC
+            : thermalLimitC[server.id.index];
+        entry.thermalRisk = hottest > limit;
     }
 
     lastRefreshAt = view.now;
+}
+
+const std::vector<double> &
+RiskAssessor::applySensorQuarantine(
+    const ClusterView &view, const std::vector<double> &gpu_power_w,
+    int gpus)
+{
+    const DatacenterLayout &layout = *view.layout;
+    const std::size_t servers = layout.serverCount();
+    const std::size_t width = static_cast<std::size_t>(gpus);
+
+    if (divergeStreak.size() != servers) {
+        divergeStreak.assign(servers, 0);
+        healthyStreak.assign(servers, 0);
+        quarantinedFlag.assign(servers, 0);
+        // Seed the known-good snapshot at idle: a server that is
+        // quarantined before its first healthy refresh predicts
+        // from the most conservative trusted state there is.
+        lastGoodGpuW.resize(servers * width);
+        idleTotalW.resize(servers);
+        maxTotalW.resize(servers);
+        for (const Server &server : layout.servers()) {
+            const ServerSpec &spec = layout.specOf(server.id);
+            idleTotalW[server.id.index] =
+                spec.gpuIdlePower.value() * spec.gpusPerServer;
+            maxTotalW[server.id.index] =
+                spec.gpuMaxPower.value() * spec.gpusPerServer;
+            for (std::size_t g = 0; g < width; ++g) {
+                lastGoodGpuW[server.id.index * width + g] =
+                    spec.gpuIdlePower.value();
+            }
+        }
+    }
+
+    bool any_substituted = false;
+    for (std::size_t s = 0; s < servers; ++s) {
+        double observed = 0.0;
+        for (std::size_t g = 0; g < width; ++g)
+            observed += gpu_power_w[s * width + g];
+
+        // Reconstruct the GPU power the load fraction implies: the
+        // simulator's server load IS the normalized GPU power, so a
+        // healthy sensor matches this reconstruction exactly. An
+        // all-zero reading is pre-first-step state, not a fault.
+        const double load = view.serverLoads[s];
+        const double recon = idleTotalW[s] +
+            load * (maxTotalW[s] - idleTotalW[s]);
+        const double tol = std::max(
+            cfg.sensorEnvelopeFloorW,
+            cfg.sensorEnvelopeFrac * recon);
+        bool diverging;
+        if (observed <= 0.0) {
+            diverging = false;
+        } else if (load >= 1.0) {
+            // Load saturated at the clamp: readings above the
+            // reconstruction are consistent with it.
+            diverging = observed < recon - tol;
+        } else if (load <= 0.0) {
+            diverging = observed > recon + tol;
+        } else {
+            diverging = observed < recon - tol ||
+                observed > recon + tol;
+        }
+
+        if (diverging) {
+            healthyStreak[s] = 0;
+            if (divergeStreak[s] < cfg.sensorQuarantineAfter)
+                ++divergeStreak[s];
+            if (!quarantinedFlag[s] &&
+                divergeStreak[s] >= cfg.sensorQuarantineAfter) {
+                quarantinedFlag[s] = 1;
+                ++quarantinedCount;
+                ++quarantineEventCount;
+            }
+        } else {
+            divergeStreak[s] = 0;
+            if (healthyStreak[s] < cfg.sensorRecoverAfter)
+                ++healthyStreak[s];
+            if (quarantinedFlag[s] &&
+                healthyStreak[s] >= cfg.sensorRecoverAfter) {
+                quarantinedFlag[s] = 0;
+                --quarantinedCount;
+            }
+            if (!quarantinedFlag[s] && observed > 0.0) {
+                // Trusted reading: refresh the known-good snapshot.
+                for (std::size_t g = 0; g < width; ++g) {
+                    lastGoodGpuW[s * width + g] =
+                        gpu_power_w[s * width + g];
+                }
+            }
+        }
+
+        if (quarantinedFlag[s] && !any_substituted) {
+            // First substitution this refresh: materialize the copy.
+            gpuPowerScratch = gpu_power_w;
+            any_substituted = true;
+        }
+        if (quarantinedFlag[s]) {
+            for (std::size_t g = 0; g < width; ++g) {
+                gpuPowerScratch[s * width + g] =
+                    lastGoodGpuW[s * width + g];
+            }
+        }
+    }
+    return any_substituted ? gpuPowerScratch : gpu_power_w;
 }
 
 bool

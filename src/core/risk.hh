@@ -23,6 +23,9 @@ struct ServerRisk
     bool thermalRisk = false;
     bool powerRisk = false;
     bool airflowRisk = false;
+    /** Sensors untrusted: predictions fell back to the last known
+     *  good snapshot and the thermal margin was widened. */
+    bool quarantined = false;
 
     double predictedHottestGpuC = 0.0;
     double rowHeadroomW = 0.0;
@@ -70,6 +73,24 @@ class RiskAssessor
     /** Count of servers currently flagged (for tests/metrics). */
     std::size_t flaggedCount() const;
 
+    // --- Sensor quarantine (graceful degradation under sensor
+    // faults; see TapasPolicyConfig::sensorQuarantineEnabled). ---
+
+    /** Whether this server's sensors are currently quarantined. */
+    bool
+    quarantined(ServerId id) const
+    {
+        return id.index < quarantinedFlag.size() &&
+            quarantinedFlag[id.index] != 0;
+    }
+
+    /** Servers currently under quarantine (O(1)). */
+    std::size_t quarantinedNow() const { return quarantinedCount; }
+
+    /** Cumulative quarantine entries (recoveries not counted). */
+    std::uint64_t quarantineEvents() const
+    { return quarantineEventCount; }
+
   private:
     TapasPolicyConfig cfg;
     std::vector<ServerRisk> risks;
@@ -90,6 +111,32 @@ class RiskAssessor
     std::vector<char> aisleRiskScratch;
     std::vector<double> rowHeadroomScratch;
     std::vector<char> rowRiskScratch;
+
+    // --- Sensor-quarantine state ---
+    /** Consecutive diverging / healthy refreshes per server. */
+    std::vector<int> divergeStreak;
+    std::vector<int> healthyStreak;
+    std::vector<char> quarantinedFlag;
+    /** Last per-GPU power snapshot taken while healthy (flattened
+     *  like the refresh input); predictions for quarantined servers
+     *  read this instead of the untrusted sensors. */
+    std::vector<double> lastGoodGpuW;
+    /** Substitution copy of the refresh's gpu_power_w input. */
+    std::vector<double> gpuPowerScratch;
+    /** Per-server idle and max GPU-power totals (spec constants for
+     *  the load -> power reconstruction), cached like the limits. */
+    std::vector<double> idleTotalW;
+    std::vector<double> maxTotalW;
+    std::size_t quarantinedCount = 0;
+    std::uint64_t quarantineEventCount = 0;
+
+    /** Detect diverging sensors, update streaks/quarantine state,
+     *  and return the (possibly substituted) per-GPU power vector
+     *  the predictions should use. */
+    const std::vector<double> &
+    applySensorQuarantine(const ClusterView &view,
+                          const std::vector<double> &gpu_power_w,
+                          int gpus);
 };
 
 } // namespace tapas

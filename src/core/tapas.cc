@@ -152,6 +152,14 @@ TapasController::configurePass(
     for (const SaasInstanceRef &inst : sortedInstancesScratch) {
         if (inst.engine->reconfiguring())
             continue;
+        // Freeze reconfiguration on quarantined servers: every
+        // reconfig decision reads this server's (untrusted) sensor
+        // state, so hold the instance at its current configuration
+        // until the sensors check out again. Unaffected servers'
+        // limits are computed per-pass from plant budgets and are
+        // untouched by the skip.
+        if (risk && risk->quarantined(inst.server))
+            continue;
         const Server &server = layout.server(inst.server);
         const ServerSpec &spec = layout.specOf(inst.server);
 

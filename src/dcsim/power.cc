@@ -82,6 +82,7 @@ PowerHierarchy::PowerHierarchy(const DatacenterLayout &layout_,
     rowProvisionW.resize(layout.rowCount(), 0.0);
     upsProvisionW.resize(layout.upsCount(), 0.0);
     upsFailed.resize(layout.upsCount(), false);
+    upsRemainingFrac.resize(layout.upsCount(), 1.0);
 
     const double row_factor = model.config().rowProvisionFactor;
     const double ups_factor = model.config().upsProvisionFactor;
@@ -148,24 +149,37 @@ PowerHierarchy::failUps(UpsId id, double remaining_frac)
     tapas_assert(remaining_frac > 0.0 && remaining_frac <= 1.0,
                  "derating fraction must be in (0,1]");
     upsFailed[id.index] = true;
-    deratingFrac = std::min(deratingFrac, remaining_frac);
+    upsRemainingFrac[id.index] = remaining_frac;
+    recomputeDerating();
 }
 
 void
 PowerHierarchy::restoreUps(UpsId id)
 {
+    tapas_assert(id.index < upsFailed.size(), "unknown UPS %u",
+                 id.index);
     upsFailed[id.index] = false;
+    upsRemainingFrac[id.index] = 1.0;
     recomputeDerating();
 }
 
 void
 PowerHierarchy::recomputeDerating()
 {
-    bool any = false;
-    for (bool failed : upsFailed)
-        any = any || failed;
-    if (!any)
-        deratingFrac = 1.0;
+    double frac = 1.0;
+    for (std::size_t i = 0; i < upsFailed.size(); ++i) {
+        if (upsFailed[i])
+            frac = std::min(frac, upsRemainingFrac[i]);
+    }
+    deratingFrac = frac;
+}
+
+double
+PowerHierarchy::upsDerate(UpsId id) const
+{
+    tapas_assert(id.index < upsRemainingFrac.size(),
+                 "unknown UPS %u", id.index);
+    return upsRemainingFrac[id.index];
 }
 
 bool

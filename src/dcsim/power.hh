@@ -140,14 +140,24 @@ class PowerHierarchy
     /**
      * Fail a UPS: per the paper's emergency semantics, the remaining
      * units absorb its load and every row's effective budget drops to
-     * the given fraction (75% in the paper's 4N/3 design).
+     * the given fraction (75% in the paper's 4N/3 design). The
+     * fraction is stored per UPS (absolute, latest call wins for that
+     * unit); with several units down the datacenter-wide derate is
+     * the minimum over the failed units, so restores are exact — no
+     * compounding across overlapping failures.
      */
     void failUps(UpsId id, double remaining_frac = 0.75);
 
-    /** Restore a failed UPS and the full budgets. */
+    /** Restore a failed UPS and recompute the effective derate. */
     void restoreUps(UpsId id);
 
     bool anyFailure() const;
+
+    /** Stored remaining fraction of a UPS (1.0 when healthy). */
+    double upsDerate(UpsId id) const;
+
+    /** Datacenter-wide derate: min over failed units, 1.0 if none. */
+    double datacenterDerate() const { return deratingFrac; }
 
     /**
      * Aggregate per-server draws up the hierarchy and flag every
@@ -169,6 +179,8 @@ class PowerHierarchy
     std::vector<double> rowProvisionW;
     std::vector<double> upsProvisionW;
     std::vector<bool> upsFailed;
+    /** Per-UPS remaining fraction while failed (1.0 otherwise). */
+    std::vector<double> upsRemainingFrac;
     /** Cached row -> UPS index (avoids PDU hops in assess()). */
     std::vector<std::uint32_t> rowUps;
     double deratingFrac = 1.0;

@@ -154,7 +154,29 @@ ClusterSim::ClusterSim(const SimConfig &config)
     gpuTempC.assign(gpus, 25.0);
     hottestGpuC.assign(layout.serverCount(), 25.0);
     inletC.assign(layout.serverCount(), 22.0);
-    activeFailures.assign(cfg.failures.size(), 0);
+
+    // Fault engine: the configured plan plus the legacy scheduled
+    // failures translated to scripted faults (thermal = every
+    // aisle's AHU group, power = UPS 0 — the exact semantics the
+    // old schedule walker applied). No plan, no engine, no step
+    // overhead.
+    {
+        FaultPlan plan = cfg.faults;
+        for (const FailureEvent &event : cfg.failures) {
+            ScriptedFault fault;
+            fault.at = event.at;
+            fault.until = event.until;
+            fault.kind =
+                event.thermal ? FaultKind::Ahu : FaultKind::Ups;
+            fault.target = event.thermal ? -1 : 0;
+            fault.remainingFrac = event.remainingFrac;
+            plan.scripted.push_back(fault);
+        }
+        if (plan.any()) {
+            faultEngine = std::make_unique<FaultEngine>(
+                plan, layout, cfg.horizon, cfg.seed);
+        }
+    }
 
     throttleAtC.reserve(layout.serverCount());
     for (const Server &server : layout.servers())
@@ -365,39 +387,42 @@ ClusterSim::placedVmView(std::size_t vm_index) const
 }
 
 void
-ClusterSim::processFailureSchedule()
+ClusterSim::processFaults()
 {
-    for (std::size_t i = 0; i < cfg.failures.size(); ++i) {
-        const FailureEvent &event = cfg.failures[i];
-        if (activeFailures[i] == 0 && currentTime >= event.at &&
-            currentTime < event.until) {
-            if (event.thermal) {
-                failureMgr->triggerThermalEmergency(
-                    event.remainingFrac);
-            } else {
-                failureMgr->triggerPowerEmergency(
-                    event.remainingFrac);
-            }
-            activeFailures[i] = 1;
-        } else if (activeFailures[i] == 1 &&
-                   currentTime >= event.until) {
-            failureMgr->clearAll();
-            activeFailures[i] = 2;
-            // Re-apply any still-active overlapping failures.
-            for (std::size_t j = 0; j < cfg.failures.size(); ++j) {
-                if (activeFailures[j] == 1) {
-                    const FailureEvent &other = cfg.failures[j];
-                    if (other.thermal) {
-                        failureMgr->triggerThermalEmergency(
-                            other.remainingFrac);
-                    } else {
-                        failureMgr->triggerPowerEmergency(
-                            other.remainingFrac);
-                    }
-                }
-            }
-        }
+    if (faultEngine)
+        faultEngine->advanceTo(currentTime, *failureMgr);
+}
+
+const std::vector<double> &
+ClusterSim::observedGpuPower()
+{
+    // What the controller's sensors report. With no active sensor
+    // fault this IS the ground-truth vector (no copy); under a fault
+    // the affected servers' slices are corrupted in a scratch copy.
+    if (!faultEngine || !faultEngine->anySensorFaultActive())
+        return gpuPowerW;
+    observedGpuPowerW = gpuPowerW;
+    const int gpus = gpusPerServer;
+    for (const Server &server : layout.servers()) {
+        if (!faultEngine->sensorFaultActive(server.id))
+            continue;
+        faultEngine->corruptObservedGpuPower(
+            server.id, currentTime,
+            &observedGpuPowerW[server.id.index *
+                               static_cast<std::size_t>(gpus)],
+            gpus);
     }
+    return observedGpuPowerW;
+}
+
+void
+ClusterSim::maybeRefitProfiles()
+{
+    if (cfg.profileRefitPeriod <= 0 || currentTime == 0 ||
+        currentTime % cfg.profileRefitPeriod != 0) {
+        return;
+    }
+    bank.refitPowerFromTelemetry(store);
 }
 
 void
@@ -655,6 +680,7 @@ ClusterSim::assignSaasLoadRequestMode(SimTime from, SimTime to)
 {
     const double dt = static_cast<double>(to - from);
     const int gpus = gpusPerServer;
+    stepDemandTps = 0.0;
 
     // Route this step's requests endpoint by endpoint.
     routedTokensScratch.assign(vmTable.size(), 0.0);
@@ -664,6 +690,7 @@ ClusterSim::assignSaasLoadRequestMode(SimTime from, SimTime to)
     for (const EndpointDemand &ep : requestGen->endpoints()) {
         const auto &candidates = endpointCandidates(ep.id);
         requestGen->generate(ep.id, from, to, requestsScratch);
+        stepDemandTps += requestGen->demandTokensPerS(ep.id, from);
         if (candidates.empty())
             continue;
         // Configuration floor: even a VM that received little load
@@ -727,6 +754,7 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
     const SimTime mid = from + (to - from) / 2;
     const int gpus = gpusPerServer;
     const RiskAssessor *risk = tapas->riskAssessor();
+    stepDemandTps = 0.0;
 
     // Clear stale assignments (reconfiguring VMs receive nothing).
     for (std::uint32_t i : activeVms) {
@@ -750,6 +778,7 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
         const auto &candidates = endpointCandidates(ep.id);
         const double demand =
             requestGen->demandTokensPerS(ep.id, mid);
+        stepDemandTps += demand;
         if (candidates.empty())
             continue;
 
@@ -973,8 +1002,10 @@ ClusterSim::enforcePowerBudgets()
     // the member scratch, so the capping loop allocates nothing.
     PowerAssessment &assessment = assessScratch;
     hierarchy.assess(serverDrawWatts, assessment);
-    if (!assessment.anyViolation())
+    if (!assessment.anyViolation()) {
+        lastPowerViolation = false;
         return;
+    }
     ++simMetrics.powerCapSteps;
 
     const bool iaas_first = tapas->capIaasFirst();
@@ -1030,6 +1061,9 @@ ClusterSim::enforcePowerBudgets()
         computeDraws();
         hierarchy.assess(serverDrawWatts, assessment);
     }
+    // A violation the capping loop could not converge away is a
+    // genuine budget excursion (robustness accounting).
+    lastPowerViolation = assessment.anyViolation();
 }
 
 void
@@ -1131,7 +1165,14 @@ ClusterSim::recordTelemetry(SimTime t)
         sample.gpuLoad = static_cast<float>(serverLoads[s]);
         sample.outsideC = static_cast<float>(outside);
         sample.dcLoadFrac = static_cast<float>(dcLoadFrac);
-        store.recordServer(server.id, sample);
+        // Sensor faults corrupt (or drop) the recorded sample; row
+        // power keeps the true draw — PDU metering is a separate
+        // instrument from the server's onboard sensors.
+        if (!faultEngine ||
+            !faultEngine->sensorFaultActive(server.id) ||
+            faultEngine->corruptSample(server.id, t, sample)) {
+            store.recordServer(server.id, sample);
+        }
         row_power[server.row.index] += serverDrawW[s];
     }
     for (const Row &row : layout.rows())
@@ -1290,8 +1331,6 @@ ClusterSim::migrationPass()
 void
 ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
 {
-    (void)power_capped;
-    (void)thermal_throttled;
     const double dt = static_cast<double>(cfg.stepLength);
 
     // Row draws and datacenter power.
@@ -1386,6 +1425,50 @@ ClusterSim::collectMetrics(bool power_capped, bool thermal_throttled)
     simMetrics.saasQuality.add(
         currentTime, served > 0.0 ? quality_weighted / served : 1.0);
 
+    // --- Robustness accounting (fault drills). ---
+    bool inlet_over = false;
+    for (double c : inletC) {
+        if (c > cfg.inletLimitC) {
+            inlet_over = true;
+            break;
+        }
+    }
+    if (inlet_over)
+        ++simMetrics.inletExcursionSteps;
+    if (thermal_throttled)
+        ++simMetrics.gpuExcursionSteps;
+    if (lastPowerViolation)
+        ++simMetrics.powerViolationSteps;
+
+    const bool faults_active =
+        faultEngine && faultEngine->anyComponentFaultActive();
+    if (faults_active) {
+        ++simMetrics.faultSteps;
+        simMetrics.faultActiveS += cfg.stepLength;
+        simMetrics.faultDemandTokens += stepDemandTps * dt;
+        simMetrics.faultServedTokens += served * dt;
+    }
+    if (const RiskAssessor *risk = tapas->riskAssessor())
+        simMetrics.quarantinedServerSteps += risk->quarantinedNow();
+
+    // Time-to-recover: from a fault clearing to the first step the
+    // plant runs clean (no excursion, violation, throttle, or cap).
+    const bool stressed = inlet_over || lastPowerViolation ||
+        thermal_throttled || power_capped;
+    if (prevFaultsActive && !faults_active) {
+        faultClearAt = currentTime;
+        recoveringFromFault = true;
+    }
+    if (recoveringFromFault && !faults_active && !stressed) {
+        const SimTime recovery = currentTime - faultClearAt;
+        simMetrics.recoverySumS += recovery;
+        simMetrics.maxRecoveryS =
+            std::max(simMetrics.maxRecoveryS, recovery);
+        ++simMetrics.recoveries;
+        recoveringFromFault = false;
+    }
+    prevFaultsActive = faults_active;
+
     ++simMetrics.totalSteps;
 }
 
@@ -1406,7 +1489,7 @@ ClusterSim::step()
         mark = now;
     };
 
-    processFailureSchedule();
+    processFaults();
     processDepartures();
     // Placement and the risk refresh below share the maintained
     // view at the pre-load snapshot (last step's loads, this step's
@@ -1419,7 +1502,7 @@ ClusterSim::step()
     // Skip even the lazy view re-sync on steps where the cache is
     // still fresh.
     if (tapas->riskRefreshDue(currentTime))
-        tapas->maybeRefreshRisk(currentView(), gpuPowerW);
+        tapas->maybeRefreshRisk(currentView(), observedGpuPower());
     lap(phaseTimes_.riskS);
 
     // Reset this step's hardware caps.
@@ -1454,6 +1537,7 @@ ClusterSim::step()
     lap(phaseTimes_.thermalS);
 
     recordTelemetry(from);
+    maybeRefitProfiles();
     lap(phaseTimes_.telemetryS);
     // Loads (and on telemetry ticks, predicted peaks) moved: advance
     // the snapshot epoch so the configurator/migration phases see

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/failure.hh"
+#include "core/faults.hh"
 #include "core/migration.hh"
 #include "core/tapas.hh"
 #include "llm/engine.hh"
@@ -95,6 +96,11 @@ class ClusterSim
     const PerfModel &perfModel() const { return perf; }
     TapasController &controller() { return *tapas; }
     FailureManager &failures() { return *failureMgr; }
+    /** The fault-injection engine, or nullptr when the config has
+     *  neither a fault plan nor legacy failure events. */
+    FaultEngine *faultInjector() { return faultEngine.get(); }
+    const FaultEngine *faultInjector() const
+    { return faultEngine.get(); }
     const WeatherModel &weather() const { return weatherModel; }
     const VmTraceGenerator &vmTrace() const { return vmGen; }
 
@@ -178,7 +184,8 @@ class ClusterSim
     /** server index -> vm index (or npos). */
     std::vector<std::size_t> serverVm;
     std::vector<std::uint32_t> waitingVms;
-    std::vector<std::size_t> activeFailures;
+    /** Fault-injection timeline (nullptr = faults disabled). */
+    std::unique_ptr<FaultEngine> faultEngine;
     double dcLoadFrac = 0.5;
     double refGoodput = 0.0;
     bool lastEmergency = false;
@@ -253,6 +260,24 @@ class ClusterSim
     std::vector<double> endpointPowerScratch;
     std::vector<int> endpointCountScratch;
     PowerAssessment assessScratch;
+    /**
+     * Observation-path copy of gpuPowerW with sensor faults applied
+     * (what the risk assessor "sees"). Only populated while a sensor
+     * fault is active; otherwise observedGpuPower() hands out the
+     * ground-truth vector directly, so fault-free runs pay nothing.
+     */
+    std::vector<double> observedGpuPowerW;
+
+    // --- Robustness bookkeeping (see collectMetrics) ---
+    /** Whether the last enforcePowerBudgets pass ended violated. */
+    bool lastPowerViolation = false;
+    /** Component-fault activity of the previous step. */
+    bool prevFaultsActive = false;
+    /** A fault cleared and the plant has not run clean since. */
+    bool recoveringFromFault = false;
+    SimTime faultClearAt = 0;
+    /** Total SaaS token demand of this step (flow mode). */
+    double stepDemandTps = 0.0;
 
     /**
      * The single maintained ClusterView shared by the placement,
@@ -278,7 +303,9 @@ class ClusterSim
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
     void step();
-    void processFailureSchedule();
+    void processFaults();
+    const std::vector<double> &observedGpuPower();
+    void maybeRefitProfiles();
     void processDepartures();
     void processArrivals();
     void tryPlaceWaiting();

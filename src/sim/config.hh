@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/context.hh"
+#include "core/faults.hh"
 #include "dcsim/layout.hh"
 #include "dcsim/power.hh"
 #include "dcsim/thermal.hh"
@@ -94,8 +95,31 @@ struct SimConfig
      *  fleets provision for spikes; typical peaks sit well below
      *  capacity). */
 
-    /** Scheduled failures. */
+    /** Scheduled failures. Legacy shorthand: each event is fed to
+     *  the FaultEngine as a scripted fault (thermal = every aisle's
+     *  AHU group, power = UPS 0), exactly the old semantics. */
     std::vector<FailureEvent> failures;
+
+    /**
+     * Fault-injection plan: stochastic MTBF/MTTR component and
+     * sensor fault processes plus scripted windows (core/faults.hh).
+     * Empty plan + empty failures = no engine, zero step overhead.
+     */
+    FaultPlan faults;
+
+    /**
+     * Inlet temperature excursion limit used by the robustness
+     * accounting (ASHRAE-ish allowable envelope; steps with any
+     * server's true inlet above it count as excursion steps).
+     */
+    double inletLimitC = 32.0;
+
+    /**
+     * Cadence of online profile refits from telemetry (0 = never,
+     * the historical behavior). Each refit runs through the
+     * ProfileBank sanity gate, which quarantines diverging fits.
+     */
+    SimTime profileRefitPeriod = 0;
 
     /** Make the baseline (all policies off) variant of this config. */
     SimConfig

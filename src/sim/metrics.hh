@@ -8,6 +8,7 @@
 #ifndef TAPAS_SIM_METRICS_HH
 #define TAPAS_SIM_METRICS_HH
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/stats.hh"
@@ -54,6 +55,37 @@ struct SimMetrics
     std::uint64_t reconfigs = 0;
     std::uint64_t migrations = 0;
 
+    // --- Robustness accounting (fault drills; bench_fault_drill
+    // emits these as the per-run robustness report). ---
+
+    /** Steps with any server's true inlet above the configured
+     *  excursion limit (SimConfig::inletLimitC). */
+    std::uint64_t inletExcursionSteps = 0;
+    /** Steps where hardware throttling engaged (some GPU crossed its
+     *  throttle point before enforcement). */
+    std::uint64_t gpuExcursionSteps = 0;
+    /** Steps that ended with an unresolved power-budget violation
+     *  (after capping convergence). */
+    std::uint64_t powerViolationSteps = 0;
+
+    /** Steps with any component (AHU/UPS/chiller) fault active. */
+    std::uint64_t faultSteps = 0;
+    /** Simulated seconds with any component fault active. */
+    SimTime faultActiveS = 0;
+    /** SaaS token demand and delivery during fault steps (flow
+     *  mode); their gap is the throughput lost to faults. */
+    double faultDemandTokens = 0.0;
+    double faultServedTokens = 0.0;
+
+    /** Sum over steps of servers under sensor quarantine. */
+    std::uint64_t quarantinedServerSteps = 0;
+
+    /** Time from each fault-clear to the first clean step (no
+     *  excursion, violation, throttle, or cap). */
+    SimTime recoverySumS = 0;
+    SimTime maxRecoveryS = 0;
+    std::uint64_t recoveries = 0;
+
     double
     powerCappedFraction() const
     {
@@ -75,6 +107,34 @@ struct SimMetrics
     {
         return totalTokens > 0.0
             ? qualityWeightedTokens / totalTokens
+            : 0.0;
+    }
+
+    double
+    inletExcursionFraction() const
+    {
+        return totalSteps
+            ? static_cast<double>(inletExcursionSteps) / totalSteps
+            : 0.0;
+    }
+
+    /** Fraction of fault-window token demand that went unserved. */
+    double
+    faultThroughputLossFrac() const
+    {
+        if (faultDemandTokens <= 0.0)
+            return 0.0;
+        const double served =
+            std::min(faultServedTokens, faultDemandTokens);
+        return 1.0 - served / faultDemandTokens;
+    }
+
+    double
+    meanRecoveryS() const
+    {
+        return recoveries
+            ? static_cast<double>(recoverySumS) /
+                static_cast<double>(recoveries)
             : 0.0;
     }
 

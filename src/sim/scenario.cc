@@ -76,4 +76,32 @@ smallTestScenario(std::uint64_t seed)
     return cfg;
 }
 
+SimConfig
+faultDrillScenario(std::uint64_t seed)
+{
+    SimConfig cfg = smallTestScenario(seed);
+    // Heat wave: hot region, strong day-night swing, peaking
+    // mid-afternoon.
+    cfg.weather.climate = Climate::Hot;
+    cfg.weather.annualMeanC = 30.0;
+    cfg.weather.diurnalAmpC = 9.0;
+    // Demand peaks into the hottest hours (the synchronized diurnal
+    // the paper exploits, here working against the plant).
+    cfg.demandPeakHour = 14.0;
+    cfg.endpointPeakUtil = 0.55;
+    // Tight airflow provisioning: the drill probes the cooling
+    // margin, not nameplate slack.
+    cfg.thermal.airflowProvisionFactor = 0.82;
+    // Scripted chiller derate through the afternoon peak: the plant
+    // loses a quarter of its cooling capacity fleet-wide while the
+    // heat wave and the demand peak stack on top.
+    ScriptedFault chiller;
+    chiller.kind = FaultKind::Chiller;
+    chiller.at = 11 * kHour;
+    chiller.until = 18 * kHour;
+    chiller.remainingFrac = 0.75;
+    cfg.faults.scripted.push_back(chiller);
+    return cfg;
+}
+
 } // namespace tapas

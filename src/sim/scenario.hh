@@ -31,6 +31,16 @@ SimConfig largeScaleScenario(std::uint64_t seed);
  */
 SimConfig smallTestScenario(std::uint64_t seed);
 
+/**
+ * Compound-emergency fault drill: the small cluster on a heat-wave
+ * day (hot climate, amplified diurnal swing), demand peaking
+ * mid-afternoon on top of it, and a scripted chiller derate through
+ * the afternoon — the three stressors the paper's emergency analysis
+ * (Table 2) composes. Shared by bench_fault_drill, the failure-drill
+ * example, and the robustness integration tests.
+ */
+SimConfig faultDrillScenario(std::uint64_t seed);
+
 } // namespace tapas
 
 #endif // TAPAS_SIM_SCENARIO_HH

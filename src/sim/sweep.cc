@@ -1,5 +1,7 @@
 #include "sim/sweep.hh"
 
+#include <stdexcept>
+
 #include "common/timer.hh"
 
 namespace tapas {
@@ -17,16 +19,34 @@ ScenarioSweep::run(const std::vector<SweepJob> &jobs,
         [&](std::size_t, std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
                 const SweepJob &job = jobs[i];
-                WallTimer timer;
-                ClusterSim sim(job.config);
-                sim.run();
-                SweepOutcome &out = outcomes[i];
-                out.wallS = timer.elapsedS();
-                out.name = job.name;
-                out.seed = job.config.seed;
-                out.metrics = sim.metrics();
-                if (inspect)
-                    inspect(job, sim);
+                // A failure in a grid of hundreds of replications is
+                // undebuggable without knowing which one died:
+                // rethrow with the job's identity (name carries the
+                // grid coordinates, seed the replication) attached.
+                try {
+                    WallTimer timer;
+                    ClusterSim sim(job.config);
+                    sim.run();
+                    SweepOutcome &out = outcomes[i];
+                    out.wallS = timer.elapsedS();
+                    out.name = job.name;
+                    out.seed = job.config.seed;
+                    out.metrics = sim.metrics();
+                    if (inspect)
+                        inspect(job, sim);
+                } catch (const std::exception &err) {
+                    throw std::runtime_error(
+                        "sweep job '" + job.name + "' (index " +
+                        std::to_string(i) + ", seed " +
+                        std::to_string(job.config.seed) +
+                        ") failed: " + err.what());
+                } catch (...) {
+                    throw std::runtime_error(
+                        "sweep job '" + job.name + "' (index " +
+                        std::to_string(i) + ", seed " +
+                        std::to_string(job.config.seed) +
+                        ") failed with a non-standard exception");
+                }
             }
         },
         jobs.size());

@@ -228,6 +228,40 @@ TelemetryStore::endpointPredictedPeak(EndpointId id,
     return digest.peak;
 }
 
+SimTime
+TelemetryStore::serverLastSampleAge(ServerId id, SimTime now) const
+{
+    if (id.index >= serverData.size() ||
+        serverData[id.index].empty()) {
+        return -1;
+    }
+    return now - serverData[id.index].lastTime();
+}
+
+SimTime
+TelemetryStore::serverSampleGap(ServerId id) const
+{
+    return id.index < serverData.size()
+        ? serverData[id.index].lastGap()
+        : 0;
+}
+
+SimTime
+TelemetryStore::serverMaxSampleGap(ServerId id) const
+{
+    return id.index < serverData.size()
+        ? serverData[id.index].maxGap()
+        : 0;
+}
+
+bool
+TelemetryStore::serverFresh(ServerId id, SimTime now,
+                            SimTime max_age) const
+{
+    const SimTime age = serverLastSampleAge(id, now);
+    return age >= 0 && age <= max_age;
+}
+
 void
 TelemetryStore::trimBefore(SimTime cutoff)
 {

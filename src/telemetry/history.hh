@@ -129,6 +129,28 @@ class TelemetryStore
     double endpointPredictedPeak(EndpointId id,
                                  SimTime min_span) const;
 
+    // --- Freshness / gap queries (sensor-fault handling). ---
+
+    /**
+     * Age of the newest server sample relative to @p now; -1 when
+     * the server has never recorded a sample. A dropped-sample
+     * sensor fault shows up as a growing age.
+     */
+    SimTime serverLastSampleAge(ServerId id, SimTime now) const;
+
+    /** Gap between the server's two newest samples (0 if < 2). */
+    SimTime serverSampleGap(ServerId id) const;
+
+    /** Largest inter-sample gap seen for the server's series. */
+    SimTime serverMaxSampleGap(ServerId id) const;
+
+    /**
+     * "Is this series fresh?": true when the newest sample is at
+     * most @p max_age old. Servers with no samples are stale.
+     */
+    bool serverFresh(ServerId id, SimTime now, SimTime max_age)
+        const;
+
     /** Drop samples older than the cutoff (weekly refit window). */
     void trimBefore(SimTime cutoff);
 

@@ -1,10 +1,12 @@
 #include "telemetry/profiles.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/threadpool.hh"
+#include "telemetry/history.hh"
 
 namespace tapas {
 
@@ -25,6 +27,53 @@ constexpr double kRefOutsideC = 24.0;
 constexpr double kRefDcLoad = 0.7;
 /** Below this fleet size the parallel fit fan-out is overhead. */
 constexpr std::size_t kParallelFitThreshold = 64;
+
+// Refit sanity gate (refitPowerFromTelemetry). The envelope is
+// anchored to the offline bench fit, so a slowly drifting sensor
+// cannot walk the model away one accepted refit at a time.
+/** Minimum telemetry samples before a refit is attempted. */
+constexpr std::size_t kRefitMinSamples = 12;
+/** Minimum observed load spread to identify the cubic. */
+constexpr double kRefitMinLoadSpread = 0.08;
+/** Allowed refit deviation from the offline curve, relative. */
+constexpr double kRefitEnvelopeFrac = 0.25;
+/** Absolute envelope floor, watts. */
+constexpr double kRefitEnvelopeFloorW = 250.0;
+/** Max refit residual RMS, watts (sensor-noise scale). */
+constexpr double kRefitMaxResidualW = 150.0;
+
+/** In-place 4x4 Gaussian elimination with partial pivoting. */
+bool
+solveNormal4(double a[4][4], double b[4], double *out)
+{
+    int perm[4] = {0, 1, 2, 3};
+    for (int col = 0; col < 4; ++col) {
+        int pivot = col;
+        for (int r = col + 1; r < 4; ++r) {
+            if (std::abs(a[perm[r]][col]) >
+                std::abs(a[perm[pivot]][col])) {
+                pivot = r;
+            }
+        }
+        std::swap(perm[col], perm[pivot]);
+        const double diag = a[perm[col]][col];
+        if (std::abs(diag) < 1e-9)
+            return false;
+        for (int r = col + 1; r < 4; ++r) {
+            const double f = a[perm[r]][col] / diag;
+            for (int c = col; c < 4; ++c)
+                a[perm[r]][c] -= f * a[perm[col]][c];
+            b[perm[r]] -= f * b[perm[col]];
+        }
+    }
+    for (int col = 3; col >= 0; --col) {
+        double acc = b[perm[col]];
+        for (int c = col + 1; c < 4; ++c)
+            acc -= a[perm[col]][c] * out[c];
+        out[col] = acc / a[perm[col]][col];
+    }
+    return true;
+}
 
 /** Inlet spline basis rows: {x0, hinge(15), hinge(25), x1}. */
 SharedDesign
@@ -606,6 +655,121 @@ ProfileBank::inletBiasC(ServerId id) const
     tapas_assert(id.index < profiledServers,
                  "server %u not profiled", id.index);
     return inletBias[id.index];
+}
+
+void
+ProfileBank::refitPowerFromTelemetry(const TelemetryStore &store)
+{
+    tapas_assert(profiled(),
+                 "power refit before offline profiling");
+    if (fitQuarantinedFlag.size() != profiledServers)
+        fitQuarantinedFlag.resize(profiledServers, 0);
+    // Anchor the envelope at the offline fit the first time each
+    // server is eligible (coefficients are still the bench fit
+    // then; refits are the only writer afterwards).
+    if (offlinePowerCoeffs.size() < powerCoeffs.size()) {
+        offlinePowerCoeffs.insert(
+            offlinePowerCoeffs.end(),
+            powerCoeffs.begin() +
+                static_cast<std::ptrdiff_t>(
+                    offlinePowerCoeffs.size()),
+            powerCoeffs.end());
+    }
+
+    auto eval = [](const double *w, double x) {
+        double acc = w[0];
+        double term = x;
+        for (std::size_t p = 1; p < kPowerWidth; ++p) {
+            acc += w[p] * term;
+            term *= x;
+        }
+        return acc;
+    };
+
+    for (std::size_t s = 0; s < profiledServers; ++s) {
+        const ServerId id(static_cast<std::uint32_t>(s));
+        const SeriesView<ServerSample> samples =
+            store.serverSeries(id);
+        if (samples.size() < kRefitMinSamples)
+            continue;
+
+        // Live loads differ per server, so the shared offline
+        // design doesn't apply; accumulate this server's cubic
+        // normal equations directly.
+        double xtx[4][4] = {};
+        double xty[4] = {};
+        double lo = 1.0;
+        double hi = 0.0;
+        for (const ServerSample &sample : samples) {
+            const double x = std::clamp(
+                static_cast<double>(sample.gpuLoad), 0.0, 1.0);
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+            const double basis[4] = {1.0, x, x * x, x * x * x};
+            for (int i = 0; i < 4; ++i) {
+                for (int j = 0; j < 4; ++j)
+                    xtx[i][j] += basis[i] * basis[j];
+                xty[i] += basis[i] *
+                    static_cast<double>(sample.serverPowerW);
+            }
+        }
+        // One operating point cannot identify a cubic; wait for a
+        // wider sweep of observed loads.
+        if (hi - lo < kRefitMinLoadSpread)
+            continue;
+
+        double w[4];
+        if (!solveNormal4(xtx, xty, w))
+            continue;
+
+        // Gate 1: the refit curve must stay inside a band around
+        // the offline anchor over the whole load range.
+        const double *anchor = &offlinePowerCoeffs[s * kPowerWidth];
+        bool diverging = false;
+        for (const double x : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+            const double ref = eval(anchor, x);
+            const double tol =
+                std::max(kRefitEnvelopeFloorW,
+                         kRefitEnvelopeFrac * std::abs(ref));
+            if (std::abs(eval(w, x) - ref) > tol) {
+                diverging = true;
+                break;
+            }
+        }
+        // Gate 2: residuals against the fitted samples stay at
+        // sensor-noise scale (a stuck sensor leaves a bimodal cloud
+        // no cubic fits tightly).
+        if (!diverging) {
+            double sq = 0.0;
+            for (const ServerSample &sample : samples) {
+                const double x = std::clamp(
+                    static_cast<double>(sample.gpuLoad), 0.0, 1.0);
+                const double resid = eval(w, x) -
+                    static_cast<double>(sample.serverPowerW);
+                sq += resid * resid;
+            }
+            const double rms = std::sqrt(
+                sq / static_cast<double>(samples.size()));
+            diverging = rms > kRefitMaxResidualW;
+        }
+
+        if (diverging) {
+            ++refitsRejectedCount;
+            if (!fitQuarantinedFlag[s]) {
+                fitQuarantinedFlag[s] = 1;
+                ++fitQuarantinedServers;
+            }
+            continue; // keep the last accepted model
+        }
+        ++refitsAcceptedCount;
+        if (fitQuarantinedFlag[s]) {
+            fitQuarantinedFlag[s] = 0;
+            --fitQuarantinedServers;
+        }
+        double *dst = &powerCoeffs[s * kPowerWidth];
+        for (int i = 0; i < 4; ++i)
+            dst[i] = w[i];
+    }
 }
 
 } // namespace tapas

@@ -36,6 +36,8 @@
 
 namespace tapas {
 
+class TelemetryStore;
+
 /** Placement temperature class of a server (Section 4.5, rule 2). */
 enum class ThermalClass { Cold, Medium, Warm };
 
@@ -67,6 +69,37 @@ class ProfileBank
 
     bool profiled() const { return profiledServers > 0; }
     std::size_t profiledServerCount() const { return profiledServers; }
+
+    /**
+     * Rebuild per-server power polynomials from live telemetry (the
+     * weekly refit). Every candidate fit runs through a sanity gate:
+     * the refit curve must stay inside a band around the current
+     * model over the whole load range, and its residuals against
+     * the samples it was fitted from must stay at sensor-noise
+     * scale. A diverging fit (corrupted telemetry, e.g. a stuck or
+     * drifting power sensor) is rejected — the server keeps its
+     * last accepted model and is marked fit-quarantined until a
+     * later refit passes the gate.
+     */
+    void refitPowerFromTelemetry(const TelemetryStore &store);
+
+    /** Whether the server's last power refit was rejected. */
+    bool
+    fitQuarantined(ServerId id) const
+    {
+        return id.index < fitQuarantinedFlag.size() &&
+            fitQuarantinedFlag[id.index] != 0;
+    }
+
+    /** Servers currently holding a rejected refit (O(1)). */
+    std::size_t fitQuarantineCount() const
+    { return fitQuarantinedServers; }
+
+    /** Accepted / rejected refit counters (tests and reports). */
+    std::uint64_t refitsAccepted() const
+    { return refitsAcceptedCount; }
+    std::uint64_t refitsRejected() const
+    { return refitsRejectedCount; }
 
     // ------------------------------------------------------------
     // Scalar predictions.
@@ -221,6 +254,14 @@ class ProfileBank
     std::vector<ThermalClass> classes;
     std::size_t profiledServers = 0;
     int gpusPerServer = 8;
+
+    /** Refit sanity-gate state (refitPowerFromTelemetry). */
+    /** Offline-fit anchor the refit envelope is measured against. */
+    std::vector<double> offlinePowerCoeffs;
+    std::vector<char> fitQuarantinedFlag;
+    std::size_t fitQuarantinedServers = 0;
+    std::uint64_t refitsAcceptedCount = 0;
+    std::uint64_t refitsRejectedCount = 0;
 
     void profileRange(std::size_t begin, std::size_t end,
                       const ThermalModel &thermal,

@@ -153,6 +153,13 @@ class SampleRing
                          Traits::timeOf(sample) >=
                              Traits::timeOf(back()),
                      "ring samples must arrive in time order");
+        if (count > 0) {
+            const SimTime gap =
+                Traits::timeOf(sample) - Traits::timeOf(back());
+            lastGapS = gap;
+            if (gap > maxGapS)
+                maxGapS = gap;
+        }
         if (data.size() < cap) {
             // Growth phase: the logical run always ends at the
             // physical end (trim preserves head + count ==
@@ -274,11 +281,33 @@ class SampleRing
             : Traits::timeOf(back()) - Traits::timeOf(front());
     }
 
+    /** Timestamp of the newest sample; -1 when empty. */
+    SimTime
+    lastTime() const
+    {
+        return count == 0 ? -1 : Traits::timeOf(back());
+    }
+
+    /**
+     * Gap between the two newest pushes (0 until a second sample
+     * arrives). A faulty feed that stops pushing shows up through
+     * lastTime() age; one that resumes shows the hole here.
+     */
+    SimTime lastGap() const { return lastGapS; }
+
+    /**
+     * Largest inter-push gap observed over the series' lifetime
+     * (maintained incrementally on push; trims do not rescan).
+     */
+    SimTime maxGap() const { return maxGapS; }
+
   private:
     std::vector<T> data;
     std::size_t cap = 1;
     std::size_t head = 0;
     std::size_t count = 0;
+    SimTime lastGapS = 0;
+    SimTime maxGapS = 0;
 
     /** Digest: peak is exact while valid; evicting the peak sample
      *  defers an O(n) rescan until the next query. */

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * FailureManager overlap semantics: overlapping failures compose by
+ * minimum, repeats are idempotent (no compounding), and clearAll()
+ * restores exact design capacities no matter what stacked up. These
+ * pins protect the contract the FaultEngine's absolute set*Derate
+ * entry points are built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/failure.hh"
+#include "fixture.hh"
+
+namespace tapas {
+namespace {
+
+class FailureFixture : public CoreFixture
+{
+  protected:
+    FailureFixture() : mgr(cooling, hierarchy, dc)
+    {
+        for (const Aisle &aisle : dc.aisles()) {
+            designAirflow.push_back(
+                cooling.effectiveProvision(aisle.id).value());
+        }
+        for (const Row &row : dc.rows()) {
+            designRowPower.push_back(
+                hierarchy.effectiveRowProvision(row.id).value());
+        }
+    }
+
+    void
+    expectDesignCapacities()
+    {
+        for (const Aisle &aisle : dc.aisles()) {
+            EXPECT_DOUBLE_EQ(
+                cooling.effectiveProvision(aisle.id).value(),
+                designAirflow[aisle.id.index]);
+        }
+        for (const Row &row : dc.rows()) {
+            EXPECT_DOUBLE_EQ(
+                hierarchy.effectiveRowProvision(row.id).value(),
+                designRowPower[row.id.index]);
+        }
+        EXPECT_FALSE(cooling.anyFailure());
+        EXPECT_FALSE(hierarchy.anyFailure());
+        EXPECT_EQ(mgr.active(), EmergencyKind::None);
+    }
+
+    FailureManager mgr;
+    std::vector<double> designAirflow;
+    std::vector<double> designRowPower;
+};
+
+TEST_F(FailureFixture, OverlapComposesByMinimum)
+{
+    mgr.failAisle(AisleId(0), 0.8);
+    mgr.triggerThermalEmergency(0.9);
+    // The deeper aisle-0 derate survives the shallower plant-wide
+    // emergency; aisle 1 takes the emergency derate.
+    EXPECT_DOUBLE_EQ(mgr.aisleDerate(AisleId(0)), 0.8);
+    EXPECT_DOUBLE_EQ(mgr.aisleDerate(AisleId(1)), 0.9);
+    EXPECT_DOUBLE_EQ(cooling.effectiveProvision(AisleId(0)).value(),
+                     designAirflow[0] * 0.8);
+    EXPECT_DOUBLE_EQ(cooling.effectiveProvision(AisleId(1)).value(),
+                     designAirflow[1] * 0.9);
+
+    // Shallower overlap on an already-deep derate changes nothing.
+    mgr.failAisle(AisleId(0), 0.95);
+    EXPECT_DOUBLE_EQ(mgr.aisleDerate(AisleId(0)), 0.8);
+    EXPECT_EQ(mgr.active(), EmergencyKind::Thermal);
+}
+
+TEST_F(FailureFixture, RepeatsAreIdempotentNoCompounding)
+{
+    mgr.triggerThermalEmergency(0.9);
+    const double once =
+        cooling.effectiveProvision(AisleId(0)).value();
+    mgr.triggerThermalEmergency(0.9);
+    mgr.triggerThermalEmergency(0.9);
+    // 0.9 applied three times is 0.9, not 0.9^3.
+    EXPECT_DOUBLE_EQ(cooling.effectiveProvision(AisleId(0)).value(),
+                     once);
+
+    mgr.triggerPowerEmergency(0.75);
+    const double row_once =
+        hierarchy.effectiveRowProvision(RowId(0)).value();
+    mgr.triggerPowerEmergency(0.75);
+    EXPECT_DOUBLE_EQ(
+        hierarchy.effectiveRowProvision(RowId(0)).value(), row_once);
+    EXPECT_EQ(mgr.active(), EmergencyKind::Both);
+}
+
+TEST_F(FailureFixture, ClearAllRestoresExactDesignCapacities)
+{
+    // Stack every kind of failure at mixed severities, twice.
+    mgr.failAisle(AisleId(0), 0.7);
+    mgr.triggerThermalEmergency(0.9);
+    mgr.failAisle(AisleId(1), 0.85);
+    mgr.failUps(UpsId(0), 0.6);
+    mgr.failUps(UpsId(1), 0.8);
+    mgr.triggerPowerEmergency(0.75);
+    mgr.clearAll();
+    expectDesignCapacities();
+
+    // A second drill after the restore behaves like the first.
+    mgr.failAisle(AisleId(0), 0.7);
+    EXPECT_DOUBLE_EQ(cooling.effectiveProvision(AisleId(0)).value(),
+                     designAirflow[0] * 0.7);
+    mgr.clearAll();
+    expectDesignCapacities();
+}
+
+TEST_F(FailureFixture, MixedSeverityUpsFailuresRestoreExactly)
+{
+    // The historical bug: a global derate scalar could not restore
+    // exact budgets after overlapping UPS failures of different
+    // severity were cleared one at a time.
+    mgr.failUps(UpsId(0), 0.6);
+    mgr.failUps(UpsId(1), 0.8);
+    EXPECT_DOUBLE_EQ(mgr.upsDerate(UpsId(0)), 0.6);
+    EXPECT_DOUBLE_EQ(mgr.upsDerate(UpsId(1)), 0.8);
+    // The datacenter-wide budget honors the deepest failed UPS.
+    EXPECT_DOUBLE_EQ(hierarchy.datacenterDerate(), 0.6);
+
+    // Repair the deep one first: budgets step to the shallow derate,
+    // not to some compounded residue.
+    mgr.setUpsDerate(UpsId(0), 1.0);
+    EXPECT_DOUBLE_EQ(hierarchy.datacenterDerate(), 0.8);
+    mgr.setUpsDerate(UpsId(1), 1.0);
+    expectDesignCapacities();
+}
+
+TEST_F(FailureFixture, AbsoluteSettersReplaceComposedState)
+{
+    mgr.failAisle(AisleId(0), 0.7);
+    // The engine's absolute entry point replaces the composed state
+    // outright (it owns its own overlap bookkeeping).
+    mgr.setAisleDerate(AisleId(0), 0.95);
+    EXPECT_DOUBLE_EQ(mgr.aisleDerate(AisleId(0)), 0.95);
+    EXPECT_DOUBLE_EQ(cooling.effectiveProvision(AisleId(0)).value(),
+                     designAirflow[0] * 0.95);
+    mgr.setAisleDerate(AisleId(0), 1.0);
+    expectDesignCapacities();
+}
+
+TEST_F(FailureFixture, EmergencyKindTracksPlantState)
+{
+    EXPECT_EQ(mgr.active(), EmergencyKind::None);
+    mgr.failAisle(AisleId(1), 0.9);
+    EXPECT_EQ(mgr.active(), EmergencyKind::Thermal);
+    mgr.failUps(UpsId(0), 0.75);
+    EXPECT_EQ(mgr.active(), EmergencyKind::Both);
+    mgr.setAisleDerate(AisleId(1), 1.0);
+    EXPECT_EQ(mgr.active(), EmergencyKind::Power);
+    mgr.clearAll();
+    EXPECT_EQ(mgr.active(), EmergencyKind::None);
+}
+
+} // namespace
+} // namespace tapas

@@ -12,6 +12,8 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <tuple>
 
 #include "common/threadpool.hh"
@@ -386,6 +388,127 @@ TEST(ScenarioSweepDeterminism, ThreadCountDoesNotChangeResults)
                      b[0].metrics.datacenterPowerW.mean());
     EXPECT_DOUBLE_EQ(a[0].metrics.maxGpuTempC.maxValue(),
                      b[0].metrics.maxGpuTempC.maxValue());
+}
+
+// --- Fault-path determinism across the thread pool ------------------
+
+/** sweepScenario with every stochastic fault process enabled plus
+ *  sensor quarantine and online refits — the full robustness path. */
+SimConfig
+faultSweepScenario(std::uint64_t seed)
+{
+    SimConfig cfg = sweepScenario(seed);
+    cfg.policy.sensorQuarantineEnabled = true;
+    cfg.profileRefitPeriod = 2 * kHour;
+    cfg.faults.ahu = {3.0 * kHour, 1.0 * kHour, 0.85};
+    cfg.faults.ups = {4.0 * kHour, 1.0 * kHour, 0.8};
+    cfg.faults.chiller = {6.0 * kHour, 2.0 * kHour, 0.9};
+    cfg.faults.sensor = {2.0 * kHour, 1.0 * kHour, 1.0};
+    return cfg;
+}
+
+TEST(ScenarioSweepDeterminism, FaultPathParallelMatchesSerial)
+{
+    // Same seed + same fault plan => bit-identical metrics whether
+    // the replication ran serially or inside the parallel sweep,
+    // including every robustness counter.
+    std::vector<SweepJob> variants;
+    variants.push_back(
+        {"baseline", faultSweepScenario(1).asBaseline()});
+    variants.push_back({"tapas", faultSweepScenario(1).asTapas()});
+    const auto jobs = ScenarioSweep::crossSeeds(variants, {3, 11});
+
+    ThreadPool pool(4);
+    const auto outcomes = ScenarioSweep(pool).run(jobs);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+
+    bool any_faults = false;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].name);
+        ClusterSim serial(jobs[i].config);
+        serial.run();
+        const SimMetrics &sm = serial.metrics();
+        const SimMetrics &pm = outcomes[i].metrics;
+
+        EXPECT_EQ(pm.totalSteps, sm.totalSteps);
+        EXPECT_DOUBLE_EQ(pm.totalTokens, sm.totalTokens);
+        EXPECT_DOUBLE_EQ(pm.datacenterPowerW.mean(),
+                         sm.datacenterPowerW.mean());
+        EXPECT_DOUBLE_EQ(pm.maxGpuTempC.maxValue(),
+                         sm.maxGpuTempC.maxValue());
+
+        EXPECT_EQ(pm.inletExcursionSteps, sm.inletExcursionSteps);
+        EXPECT_EQ(pm.gpuExcursionSteps, sm.gpuExcursionSteps);
+        EXPECT_EQ(pm.powerViolationSteps, sm.powerViolationSteps);
+        EXPECT_EQ(pm.faultSteps, sm.faultSteps);
+        EXPECT_EQ(pm.faultActiveS, sm.faultActiveS);
+        EXPECT_DOUBLE_EQ(pm.faultDemandTokens, sm.faultDemandTokens);
+        EXPECT_DOUBLE_EQ(pm.faultServedTokens, sm.faultServedTokens);
+        EXPECT_EQ(pm.quarantinedServerSteps,
+                  sm.quarantinedServerSteps);
+        EXPECT_EQ(pm.recoverySumS, sm.recoverySumS);
+        EXPECT_EQ(pm.maxRecoveryS, sm.maxRecoveryS);
+        EXPECT_EQ(pm.recoveries, sm.recoveries);
+        any_faults = any_faults || pm.faultSteps > 0;
+    }
+    // The plan actually injected component faults somewhere on the
+    // grid — otherwise the equalities above are vacuous.
+    EXPECT_TRUE(any_faults);
+}
+
+TEST(ScenarioSweepDeterminism, FaultPathThreadCountInvariant)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"tapas", faultSweepScenario(7).asTapas()});
+
+    ThreadPool one(1);
+    ThreadPool many(3);
+    const auto a = ScenarioSweep(one).run(jobs);
+    const auto b = ScenarioSweep(many).run(jobs);
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_DOUBLE_EQ(a[0].metrics.totalTokens,
+                     b[0].metrics.totalTokens);
+    EXPECT_EQ(a[0].metrics.faultSteps, b[0].metrics.faultSteps);
+    EXPECT_EQ(a[0].metrics.inletExcursionSteps,
+              b[0].metrics.inletExcursionSteps);
+    EXPECT_EQ(a[0].metrics.quarantinedServerSteps,
+              b[0].metrics.quarantinedServerSteps);
+    EXPECT_EQ(a[0].metrics.recoverySumS, b[0].metrics.recoverySumS);
+}
+
+// --- Sweep failures carry the failing job's identity ----------------
+
+TEST(ScenarioSweepErrors, FailurePropagatesJobIdentity)
+{
+    // A failure inside a grid of replications must surface which
+    // job died (grid coordinates in the name, plus index and seed),
+    // not just the raw error.
+    std::vector<SweepJob> variants;
+    SimConfig cfg = sweepScenario(1);
+    cfg.horizon = kHour;
+    variants.push_back({"grid", cfg});
+    const auto jobs = ScenarioSweep::crossSeeds(variants, {3, 11});
+
+    ThreadPool pool(2);
+    ScenarioSweep sweep(pool);
+    const auto poison = [](const SweepJob &job, ClusterSim &) {
+        if (job.name == "grid/s11")
+            throw std::runtime_error("synthetic inspect failure");
+    };
+
+    try {
+        sweep.run(jobs, poison);
+        FAIL() << "expected the poisoned job to propagate";
+    } catch (const std::runtime_error &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("grid/s11"), std::string::npos) << what;
+        EXPECT_NE(what.find("index 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("seed 11"), std::string::npos) << what;
+        EXPECT_NE(what.find("synthetic inspect failure"),
+                  std::string::npos)
+            << what;
+    }
 }
 
 } // namespace

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Telemetry freshness and gap detection: the queries the sensor-fault
+ * handling leans on. A dropped-sample fault shows up as a growing
+ * last-sample age and a widening inter-sample gap; both must read
+ * correctly on empty, single-sample, and resumed series.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/history.hh"
+
+namespace tapas {
+namespace {
+
+ServerSample
+sampleAt(SimTime t, float power_w = 1500.0f)
+{
+    ServerSample s;
+    s.time = t;
+    s.serverPowerW = power_w;
+    return s;
+}
+
+TEST(TelemetryFreshness, EmptySeriesIsStale)
+{
+    TelemetryStore store;
+    EXPECT_EQ(store.serverLastSampleAge(ServerId(0), kHour), -1);
+    EXPECT_EQ(store.serverSampleGap(ServerId(0)), 0);
+    EXPECT_EQ(store.serverMaxSampleGap(ServerId(0)), 0);
+    EXPECT_FALSE(store.serverFresh(ServerId(0), kHour, kDay));
+}
+
+TEST(TelemetryFreshness, AgeTracksNewestSample)
+{
+    TelemetryStore store;
+    store.recordServer(ServerId(0), sampleAt(0));
+    store.recordServer(ServerId(0), sampleAt(10 * kMinute));
+
+    EXPECT_EQ(store.serverLastSampleAge(ServerId(0), 10 * kMinute),
+              0);
+    EXPECT_EQ(store.serverLastSampleAge(ServerId(0), kHour),
+              kHour - 10 * kMinute);
+    EXPECT_TRUE(
+        store.serverFresh(ServerId(0), kHour, 50 * kMinute));
+    EXPECT_FALSE(
+        store.serverFresh(ServerId(0), kHour, 49 * kMinute));
+
+    // Another server's feed is independent.
+    EXPECT_EQ(store.serverLastSampleAge(ServerId(1), kHour), -1);
+}
+
+TEST(TelemetryFreshness, DroppedSamplesWidenTheGap)
+{
+    TelemetryStore store;
+    const SimTime cadence = 10 * kMinute;
+
+    // Healthy cadence: gap equals the cadence.
+    store.recordServer(ServerId(0), sampleAt(0));
+    store.recordServer(ServerId(0), sampleAt(cadence));
+    EXPECT_EQ(store.serverSampleGap(ServerId(0)), cadence);
+    EXPECT_EQ(store.serverMaxSampleGap(ServerId(0)), cadence);
+
+    // A dropped-sample fault silences the feed for two hours; the
+    // resuming sample exposes the hole.
+    store.recordServer(ServerId(0),
+                       sampleAt(cadence + 2 * kHour));
+    EXPECT_EQ(store.serverSampleGap(ServerId(0)), 2 * kHour);
+    EXPECT_EQ(store.serverMaxSampleGap(ServerId(0)), 2 * kHour);
+
+    // Back to cadence: the last gap heals, the max remembers.
+    store.recordServer(
+        ServerId(0), sampleAt(cadence + 2 * kHour + cadence));
+    EXPECT_EQ(store.serverSampleGap(ServerId(0)), cadence);
+    EXPECT_EQ(store.serverMaxSampleGap(ServerId(0)), 2 * kHour);
+}
+
+TEST(TelemetryFreshness, RingDigestsSurviveWrapAndTrim)
+{
+    // The gap digests live on the ring itself; eviction and trims
+    // must not corrupt them.
+    ServerSeriesRing ring(4);
+    for (int i = 0; i < 10; ++i)
+        ring.push(sampleAt(i * 10 * kMinute));
+    EXPECT_EQ(ring.lastTime(), 90 * kMinute);
+    EXPECT_EQ(ring.lastGap(), 10 * kMinute);
+    EXPECT_EQ(ring.maxGap(), 10 * kMinute);
+
+    ring.push(sampleAt(90 * kMinute + 3 * kHour));
+    EXPECT_EQ(ring.lastGap(), 3 * kHour);
+    EXPECT_EQ(ring.maxGap(), 3 * kHour);
+    EXPECT_EQ(ring.lastTime(), 90 * kMinute + 3 * kHour);
+}
+
+} // namespace
+} // namespace tapas
