@@ -73,8 +73,6 @@ main(int argc, char **argv)
     cfg.horizon = 2 * kDay;
 
     const double mixes[] = {1.0, 0.75, 0.5, 0.25, 0.0};
-    const char *mix_names[] = {"SaaS", "75/25", "50/50", "25/75",
-                               "IaaS"};
 
     std::cout << "Mean max temperature / mean peak row power, "
                  "normalized to Baseline per column:\n\n";

@@ -1,0 +1,315 @@
+#!/usr/bin/env python3
+"""tapas-lint: the repo-specific static-analysis gate.
+
+Dependency-free (python3 stdlib only). Codifies the conventions that
+used to live as grep-able prose — hot-path bans, determinism, lock
+discipline, header guards, test hygiene — as machine-checked rules.
+The rule table is data in tools/lint/rules.py; this file is the
+engine. Wired into scripts/check.sh (first leg) and CI.
+
+Usage:
+    scripts/tapas_lint.py                 # lint the whole repo
+    scripts/tapas_lint.py src/sim         # lint a subtree
+    scripts/tapas_lint.py --root DIR      # lint another root (the
+                                          # fixture mini-roots in
+                                          # tests/tooling/fixtures)
+    scripts/tapas_lint.py --list-rules    # print the rule table
+
+Output: one `path:line: RULE: message` per violation, sorted.
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+
+Escapes: `// lint-allow(<RULE>): <reason>` on the violating line or
+in the contiguous `//` comment block immediately above it.
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+
+_SCRIPT_DIR = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(_SCRIPT_DIR)
+sys.path.insert(0, os.path.join(_REPO_ROOT, "tools"))
+
+from lint.rules import RULES  # noqa: E402
+
+# Paths never linted in a default walk: fixture mini-roots contain
+# intentional violations of every rule (they are linted explicitly
+# with --root by the tooling test suite).
+DEFAULT_EXCLUDES = [
+    "tests/tooling/fixtures/**",
+    "build*/**",
+    ".git/**",
+]
+
+SOURCE_EXTS = (".hh", ".cc", ".cpp", ".h", ".hpp")
+
+HOT_BEGIN = re.compile(r"//\s*tapas-hot\s+begin\b")
+HOT_END = re.compile(r"//\s*tapas-hot\s+end\b")
+ALLOW = re.compile(r"lint-allow\(([A-Za-z0-9_,\s]+)\)")
+
+
+def matches_glob(rel, patterns):
+    """fnmatch with `**` meaning any path segment prefix."""
+    for pat in patterns:
+        if fnmatch.fnmatch(rel, pat):
+            return True
+        # "src/**" should also match "src/foo.cc" (fnmatch's "*"
+        # crosses "/" so this mostly works; keep prefix form too).
+        if pat.endswith("/**") and rel.startswith(pat[:-2]):
+            return True
+    return False
+
+
+BLOCK_OPEN = re.compile(r"/\*")
+BLOCK_CLOSE = re.compile(r"\*/")
+
+
+def strip_comments_file(lines):
+    """Return lines with // and /* */ comments blanked (naive about
+    string literals — acceptable for this codebase). Raw lines keep
+    carrying the lint-allow / tapas-hot markers."""
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                m = BLOCK_CLOSE.search(line, i)
+                if not m:
+                    i = len(line)
+                    break
+                i = m.end()
+                in_block = False
+            else:
+                slash = line.find("//", i)
+                block = line.find("/*", i)
+                if slash != -1 and (block == -1 or slash < block):
+                    buf.append(line[i:slash])
+                    i = len(line)
+                elif block != -1:
+                    buf.append(line[i:block])
+                    i = block + 2
+                    in_block = True
+                else:
+                    buf.append(line[i:])
+                    i = len(line)
+        out.append("".join(buf))
+    return out
+
+
+def allowed(rule_id, lines, idx):
+    """True when the violation at lines[idx] carries an escape: a
+    lint-allow naming this rule on the line itself or in the
+    contiguous // comment block directly above it."""
+    def names_rule(text):
+        m = ALLOW.search(text)
+        if not m:
+            return False
+        ids = [t.strip() for t in m.group(1).split(",")]
+        return rule_id in ids
+
+    if names_rule(lines[idx]):
+        return True
+    j = idx - 1
+    while j >= 0:
+        stripped = lines[j].strip()
+        if not stripped.startswith("//"):
+            break
+        if names_rule(stripped):
+            return True
+        j -= 1
+    return False
+
+
+def hot_region_lines(lines, rel, violations):
+    """Line indices inside // tapas-hot begin/end regions; unbalanced
+    markers are themselves violations (an unclosed region silently
+    un-gates everything after it)."""
+    inside = set()
+    open_at = None
+    for i, line in enumerate(lines):
+        if HOT_BEGIN.search(line):
+            if open_at is not None:
+                violations.append(
+                    (rel, i + 1, "R3",
+                     "nested tapas-hot begin (previous region opened"
+                     " at line %d never closed)" % (open_at + 1)))
+            open_at = i
+        elif HOT_END.search(line):
+            if open_at is None:
+                violations.append(
+                    (rel, i + 1, "R3",
+                     "tapas-hot end without a matching begin"))
+            open_at = None
+        elif open_at is not None:
+            inside.add(i)
+    if open_at is not None:
+        violations.append(
+            (rel, open_at + 1, "R3",
+             "unclosed tapas-hot region (missing // tapas-hot end)"))
+    return inside
+
+
+def check_pattern(rule, rel, lines, stripped, violations,
+                  hot_only=None):
+    rx = re.compile(rule["pattern"])
+    recv_allow = rule.get("receiver_allow")
+    recv_rx = re.compile(recv_allow) if recv_allow else None
+    for i, raw in enumerate(lines):
+        if hot_only is not None and i not in hot_only:
+            continue
+        text = stripped[i] if rule.get("strip_comments") else raw
+        for m in rx.finditer(text):
+            if recv_rx is not None:
+                recv = m.groupdict().get("recv")
+                if recv and recv_rx.search(recv):
+                    continue
+            if allowed(rule["id"], lines, i):
+                continue
+            violations.append(
+                (rel, i + 1, rule["id"],
+                 "%s [%s]" % (rule["summary"], m.group(0).strip())))
+
+
+def check_header_guard(rule, rel, lines, violations):
+    stem = rel
+    if stem.startswith("src/"):
+        stem = stem[len("src/"):]
+    expected = "TAPAS_" + re.sub(
+        r"[^A-Za-z0-9]", "_", stem).upper()
+    ifndef_rx = re.compile(r"^\s*#\s*ifndef\s+([A-Za-z0-9_]+)")
+    for i, raw in enumerate(lines):
+        m = ifndef_rx.match(raw)
+        if not m:
+            continue
+        guard = m.group(1)
+        if guard != expected:
+            if not allowed(rule["id"], lines, i):
+                violations.append(
+                    (rel, i + 1, rule["id"],
+                     "header guard '%s' must be '%s'"
+                     % (guard, expected)))
+            return
+        define_rx = re.compile(
+            r"^\s*#\s*define\s+%s\b" % re.escape(expected))
+        if i + 1 >= len(lines) or not define_rx.match(lines[i + 1]):
+            violations.append(
+                (rel, i + 1, rule["id"],
+                 "#ifndef %s must be followed by its #define"
+                 % expected))
+        return
+    violations.append(
+        (rel, 1, rule["id"],
+         "missing header guard (expected #ifndef %s)" % expected))
+
+
+def lint_file(root, rel, violations):
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print("tapas-lint: cannot read %s: %s" % (rel, e),
+              file=sys.stderr)
+        sys.exit(2)
+
+    stripped = strip_comments_file(lines)
+    for rule in RULES:
+        if not matches_glob(rel, rule["include"]):
+            continue
+        if matches_glob(rel, rule.get("exclude", [])):
+            continue
+        if rule["kind"] == "pattern":
+            check_pattern(rule, rel, lines, stripped, violations)
+        elif rule["kind"] == "hot-region":
+            hot = hot_region_lines(lines, rel, violations)
+            check_pattern(rule, rel, lines, stripped, violations,
+                          hot_only=hot)
+        elif rule["kind"] == "header-guard":
+            check_header_guard(rule, rel, lines, violations)
+        else:
+            print("tapas-lint: unknown rule kind %r"
+                  % rule["kind"], file=sys.stderr)
+            sys.exit(2)
+
+
+def collect_files(root, targets):
+    rels = []
+    for target in targets:
+        full = os.path.join(root, target)
+        if os.path.isfile(full):
+            rels.append(os.path.normpath(target))
+            continue
+        if not os.path.isdir(full):
+            print("tapas-lint: no such file or directory: %s"
+                  % target, file=sys.stderr)
+            sys.exit(2)
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name),
+                                      root)
+                rels.append(rel)
+    out = []
+    for rel in rels:
+        rel = rel.replace(os.sep, "/")
+        if matches_glob(rel, DEFAULT_EXCLUDES):
+            continue
+        out.append(rel)
+    return sorted(set(out))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        prog="tapas-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("targets", nargs="*",
+                    help="files/directories relative to the root"
+                         " (default: src tests bench examples)")
+    ap.add_argument("--root", default=_REPO_ROOT,
+                    help="lint root (default: the repo root; tests"
+                         " point this at fixture mini-roots)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule table and exit")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress the summary line")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule in RULES:
+            print("%s %-28s %s"
+                  % (rule["id"], rule["name"], rule["summary"]))
+        return 0
+
+    root = os.path.abspath(args.root)
+    targets = args.targets
+    if not targets:
+        targets = [d for d in ("src", "tests", "bench", "examples")
+                   if os.path.isdir(os.path.join(root, d))]
+        if not targets:
+            print("tapas-lint: nothing to lint under %s" % root,
+                  file=sys.stderr)
+            return 2
+
+    violations = []
+    for rel in collect_files(root, targets):
+        lint_file(root, rel, violations)
+
+    violations.sort()
+    for rel, line, rule_id, msg in violations:
+        print("%s:%d: %s: %s" % (rel, line, rule_id, msg))
+    if not args.quiet:
+        print("tapas-lint: %d violation%s"
+              % (len(violations),
+                 "" if len(violations) == 1 else "s"),
+              file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

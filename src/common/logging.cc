@@ -1,12 +1,20 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace tapas {
 
 namespace {
-LogLevel globalLevel = LogLevel::Warn;
+/**
+ * Atomic (relaxed): sweep jobs and parallel refits log from
+ * ThreadPool workers while a driver may adjust verbosity — a plain
+ * global here was a latent data race (the kind the TSan check.sh leg
+ * exists to catch). Relaxed ordering is enough: the level is a
+ * monotonic filter knob, not a synchronization point.
+ */
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
 
 void
 vreport(const char *tag, const char *fmt, va_list args)
@@ -20,13 +28,13 @@ vreport(const char *tag, const char *fmt, va_list args)
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
@@ -50,9 +58,26 @@ fatal(const char *fmt, ...)
 }
 
 void
+assertFailure(const char *expr, const char *file, int line,
+              const char *fmt, ...)
+{
+    // One stderr line, then the message tail, then abort — the same
+    // shape panic() produces, assembled in a single place so the
+    // format is pinned (tests/common/test_logging.cc).
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ",
+                 expr, file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
 warn(const char *fmt, ...)
 {
-    if (globalLevel < LogLevel::Warn)
+    if (logLevel() < LogLevel::Warn)
         return;
     va_list args;
     va_start(args, fmt);
@@ -63,7 +88,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (globalLevel < LogLevel::Info)
+    if (logLevel() < LogLevel::Info)
         return;
     va_list args;
     va_start(args, fmt);
@@ -74,7 +99,7 @@ inform(const char *fmt, ...)
 void
 debug(const char *fmt, ...)
 {
-    if (globalLevel < LogLevel::Debug)
+    if (logLevel() < LogLevel::Debug)
         return;
     va_list args;
     va_start(args, fmt);

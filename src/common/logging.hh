@@ -49,15 +49,31 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
+ * The single assertion-failure sink behind tapas_assert. Prints one
+ * line in the pinned format
+ *
+ *     panic: assertion '<expr>' failed at <file>:<line>: <message>
+ *
+ * and aborts (tests/common/test_logging.cc pins the format with a
+ * death test — every EXPECT_DEATH in the suite greps it). Keeping
+ * the formatting here instead of in the macro body means the macro
+ * expands to one comparison and one cold call, and the format cannot
+ * drift between call sites.
+ */
+[[noreturn]] void assertFailure(const char *expr, const char *file,
+                                int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
  * Assert an invariant with a formatted message; panics on failure.
  * Enabled in all build types: the simulator is cheap enough that
  * invariant checking is always worth it.
  */
-#define tapas_assert(cond, fmt, ...)                                     \
+#define tapas_assert(cond, ...)                                          \
     do {                                                                 \
         if (!(cond)) {                                                   \
-            ::tapas::panic("assertion '%s' failed at %s:%d: " fmt,       \
-                           #cond, __FILE__, __LINE__, ##__VA_ARGS__);    \
+            ::tapas::assertFailure(#cond, __FILE__, __LINE__,            \
+                                   __VA_ARGS__);                         \
         }                                                                \
     } while (0)
 

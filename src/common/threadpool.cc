@@ -8,7 +8,15 @@
 namespace tapas {
 
 namespace {
-thread_local bool on_worker_thread = false;
+/**
+ * Pool whose workerLoop owns this thread (null on non-worker
+ * threads). Tracking the owning pool — not just a bool — lets
+ * parallelChunks distinguish the fatal case (blocking on your own
+ * pool's queue from inside it) from the benign one (a worker of pool
+ * A fanning out across pool B, whose workers make progress
+ * independently).
+ */
+thread_local const ThreadPool *worker_pool = nullptr;
 } // namespace
 
 ThreadPool &
@@ -21,7 +29,7 @@ ThreadPool::shared()
 bool
 ThreadPool::onWorkerThread()
 {
-    return on_worker_thread;
+    return worker_pool != nullptr;
 }
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -40,7 +48,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(queueMutex);
+        MutexLock lock(queueMutex);
         stopping = true;
     }
     queueCv.notify_all();
@@ -51,14 +59,17 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop()
 {
-    on_worker_thread = true;
+    worker_pool = this;
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(queueMutex);
-            queueCv.wait(lock, [this]() {
-                return stopping || !queue.empty();
-            });
+            UniqueLock lock(queueMutex);
+            // Manual predicate loop (not wait(lock, pred)): the
+            // predicate reads queue/stopping, which the analysis
+            // only accepts with queueMutex visibly held — true here,
+            // opaque inside a lambda handed to wait().
+            while (!stopping && queue.empty())
+                queueCv.wait(lock);
             if (queue.empty()) {
                 // stopping && drained
                 return;
@@ -79,6 +90,14 @@ ThreadPool::parallelChunks(
 {
     if (count == 0)
         return;
+    // The ThreadPool self-deadlock rule, enforced: every chunk below
+    // waits on a future served by this pool's queue, so blocking
+    // here from one of this pool's own workers can wedge the whole
+    // pool (all workers parked in f.get(), nobody left to drain).
+    tapas_assert(worker_pool != this,
+                 "ThreadPool::parallelChunks called from one of this "
+                 "pool's own workers (self-deadlock); submit leaf "
+                 "work from a driver thread instead");
     std::size_t n = chunks != 0
         ? chunks
         : static_cast<std::size_t>(size()) * 4;

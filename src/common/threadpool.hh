@@ -4,7 +4,11 @@
  * independent scenario replications, sweep grids, and bench trial
  * fan-out. Tasks must not submit further tasks and then block on
  * them from inside a worker (classic self-deadlock); the intended
- * pattern is a driver thread submitting leaf work.
+ * pattern is a driver thread submitting leaf work. parallelFor /
+ * parallelChunks enforce the rule at runtime (they assert the caller
+ * is not one of this pool's own workers), and the queue state is
+ * annotated for clang's thread-safety analysis (scripts/check.sh
+ * build-clang leg).
  */
 
 #ifndef TAPAS_COMMON_THREADPOOL_HH
@@ -14,10 +18,11 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace tapas {
 
@@ -59,7 +64,7 @@ class ThreadPool
             std::forward<F>(fn));
         std::future<R> result = task->get_future();
         {
-            std::lock_guard<std::mutex> lock(queueMutex);
+            MutexLock lock(queueMutex);
             queue.emplace_back([task]() { (*task)(); });
         }
         queueCv.notify_one();
@@ -80,7 +85,9 @@ class ThreadPool
     /**
      * Chunk-granular variant: fn(chunk_index, begin, end) per chunk.
      * Use when each chunk carries its own state (e.g. an Rng seeded
-     * by chunk index).
+     * by chunk index). Asserts the caller is not one of this pool's
+     * own workers: blocking on futures served by the queue you are
+     * currently draining is the self-deadlock the file comment bans.
      */
     void parallelChunks(
         std::size_t count,
@@ -90,10 +97,12 @@ class ThreadPool
 
   private:
     std::vector<std::thread> workers;
-    std::deque<std::function<void()>> queue;
-    std::mutex queueMutex;
-    std::condition_variable queueCv;
-    bool stopping = false;
+    Mutex queueMutex;
+    std::deque<std::function<void()>> queue
+        TAPAS_GUARDED_BY(queueMutex);
+    bool stopping TAPAS_GUARDED_BY(queueMutex) = false;
+    /** _any: waits on the annotated UniqueLock, not std::mutex. */
+    std::condition_variable_any queueCv;
 
     void workerLoop();
 };

@@ -35,6 +35,8 @@ InstanceConfigurator::feasible(ServerId server,
     if (profile.goodputTps <= 0.0)
         return false;
     const PerfModel::OperatingPoint op =
+        // lint-allow(R1): cold path — single-candidate feasibility
+        // probe (fallback/hysteresis), not the block-batched walk.
         perf.operatingPointAt(profile,
                               std::min(demand_tps,
                                        profile.goodputTps));
@@ -107,6 +109,8 @@ InstanceConfigurator::choose(ServerId server,
     auto power_at_demand = [&](const ConfigProfile &p) {
         const double capped =
             std::min(demand_tps, std::max(1.0, p.goodputTps));
+        // lint-allow(R1): cold path — tie-break power probe for the
+        // handful of finalists, not the candidate block walk.
         return perf.operatingPointAt(p, capped)
             .serverPower.value();
     };
@@ -201,6 +205,8 @@ InstanceConfigurator::choose(ServerId server,
                 std::min(demand_tps, std::max(1.0, cand.goodputTps));
             const double rank_power_w = rank_demand == feas_demand
                 ? op.serverPower.value()
+                // lint-allow(R1): cold path — only candidates whose
+                // goodput cannot serve 1 token/s re-rank here.
                 : perf.operatingPointAt(cand, rank_demand)
                       .serverPower.value();
             const bool meets = cand.goodputTps >= target_tps;
@@ -323,6 +329,8 @@ InstanceConfigurator::choose(ServerId server,
         const double cur_feas_demand =
             std::min(demand_tps, current.goodputTps);
         const PerfModel::OperatingPoint cur_op =
+            // lint-allow(R1): cold path — hysteresis check of the
+            // one incumbent config after the batched walk decided.
             perf.operatingPointAt(current, cur_feas_demand);
         if (feasibleAt(server, profiles, limits, current, cur_op)) {
             const bool current_meets =
@@ -332,6 +340,8 @@ InstanceConfigurator::choose(ServerId server,
             const double current_power =
                 cur_rank_demand == cur_feas_demand
                 ? cur_op.serverPower.value()
+                // lint-allow(R1): cold path — sub-1-token/s goodput
+                // re-rank of the incumbent only.
                 : perf.operatingPointAt(current, cur_rank_demand)
                       .serverPower.value();
             // Reload-requiring switches (TP/model/quant) carry a

@@ -20,7 +20,11 @@ RiskAssessor::refresh(const ClusterView &view,
                  static_cast<std::size_t>(gpus),
                  "per-GPU power vector has wrong size");
 
+    // tapas-hot begin(risk-refresh): the fleet-wide risk sweep runs
+    // on every refresh cadence tick; member scratch only (R3).
     const std::size_t servers = layout.serverCount();
+    // lint-allow(R3): steady-state no-op — fleet size is fixed, so
+    // this resize allocates once and is a capacity check afterwards.
     risks.resize(servers);
 
     // One fleet-wide batched pass per fitted model; the aisle/row
@@ -81,6 +85,8 @@ RiskAssessor::refresh(const ClusterView &view,
     // The per-server thermal limit is fixed by the layout; hoist it
     // out of the refresh into a cached array.
     if (thermalLimitC.size() != servers) {
+        // lint-allow(R3): one-time cache fill, guarded by the size
+        // check above.
         thermalLimitC.resize(servers);
         for (const Server &server : layout.servers()) {
             thermalLimitC[server.id.index] =
@@ -112,6 +118,7 @@ RiskAssessor::refresh(const ClusterView &view,
     }
 
     lastRefreshAt = view.now;
+    // tapas-hot end(risk-refresh)
 }
 
 const std::vector<double> &
@@ -146,6 +153,9 @@ RiskAssessor::applySensorQuarantine(
         }
     }
 
+    // tapas-hot begin(sensor-quarantine): steady-state per-server
+    // divergence scan (the init block above runs once per fleet
+    // size and is outside the region on purpose).
     bool any_substituted = false;
     for (std::size_t s = 0; s < servers; ++s) {
         double observed = 0.0;
@@ -217,6 +227,7 @@ RiskAssessor::applySensorQuarantine(
         }
     }
     return any_substituted ? gpuPowerScratch : gpu_power_w;
+    // tapas-hot end(sensor-quarantine)
 }
 
 bool

@@ -52,6 +52,9 @@ TapasController::configurePass(
     if (!configurator || instances.empty())
         return;
     view.assertFresh();
+    // tapas-hot begin(configure-pass): near-every-step reconfig
+    // sweep; member scratch only (R3) — capacity persists across
+    // passes, so the steady state allocates nothing.
 
     // --- Per-row unreconfigurable draw and SaaS instance counts.
     // Member scratch: capacity persists across passes, so the
@@ -216,6 +219,7 @@ TapasController::configurePass(
                                      cfg.reloadDelayS);
         ++reconfigCount;
     }
+    // tapas-hot end(configure-pass)
 }
 
 } // namespace tapas

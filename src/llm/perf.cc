@@ -89,14 +89,14 @@ PerfModel::PerfModel(const PerfModel &other)
       sloSpec(other.sloSpec)
 {
     {
-        std::lock_guard<std::mutex> lock(other.cacheMutex);
+        MutexLock lock(other.cacheMutex);
         profileCache = other.profileCache;
         cacheHits = other.cacheHits;
         cacheMisses = other.cacheMisses;
     }
     // Table grids rebuild lazily (pure functions of spec + params),
     // so copying the enable parameters is enough.
-    std::lock_guard<std::mutex> lock(other.opTableMutex);
+    MutexLock lock(other.opTableMutex);
     opTableStepTps = other.opTableStepTps;
     opTableMaxTps = other.opTableMaxTps;
 }
@@ -107,7 +107,7 @@ PerfModel::operator=(const PerfModel &other)
     if (this == &other)
         return *this;
     {
-        std::scoped_lock lock(cacheMutex, other.cacheMutex);
+        MutexLock2 lock(cacheMutex, other.cacheMutex);
         hwSpec = other.hwSpec;
         perfParams = other.perfParams;
         sloSpec = other.sloSpec;
@@ -115,7 +115,7 @@ PerfModel::operator=(const PerfModel &other)
         cacheHits = other.cacheHits;
         cacheMisses = other.cacheMisses;
     }
-    std::scoped_lock lock(opTableMutex, other.opTableMutex);
+    MutexLock2 lock(opTableMutex, other.opTableMutex);
     opTableStepTps = other.opTableStepTps;
     opTableMaxTps = other.opTableMaxTps;
     opTables.clear();
@@ -157,7 +157,7 @@ ConfigProfile
 PerfModel::profile(const InstanceConfig &config) const
 {
     {
-        std::lock_guard<std::mutex> lock(cacheMutex);
+        MutexLock lock(cacheMutex);
         auto it = profileCache.find(config);
         if (it != profileCache.end()) {
             ++cacheHits;
@@ -179,7 +179,7 @@ PerfModel::profile(const InstanceConfig &config) const
         }
     }
     ConfigProfile out = computeProfile(config);
-    std::lock_guard<std::mutex> lock(cacheMutex);
+    MutexLock lock(cacheMutex);
     ++cacheMisses;
     profileCache.emplace(config, out);
     return out;
@@ -705,7 +705,7 @@ PerfModel::enableOperatingPointTable(double demand_step_tps,
     tapas_assert(demand_step_tps > 0.0 &&
                      max_demand_tps > demand_step_tps,
                  "operating-point table needs positive step < max");
-    std::lock_guard<std::mutex> lock(opTableMutex);
+    MutexLock lock(opTableMutex);
     opTableStepTps = demand_step_tps;
     opTableMaxTps = max_demand_tps;
     opTables.clear();
@@ -714,7 +714,7 @@ PerfModel::enableOperatingPointTable(double demand_step_tps,
 const PerfModel::OpTableGrid *
 PerfModel::opGridFor(const ConfigProfile &profile) const
 {
-    std::lock_guard<std::mutex> lock(opTableMutex);
+    MutexLock lock(opTableMutex);
     auto it = opTables.find(profile.config);
     if (it != opTables.end())
         return it->second.get();

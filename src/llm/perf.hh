@@ -27,10 +27,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/units.hh"
 #include "dcsim/specs.hh"
 #include "llm/config.hh"
@@ -182,9 +182,22 @@ class PerfModel
     ConfigProfile profile(const InstanceConfig &config) const;
 
     /** Profile cache hits so far (perf counters for tests/benches). */
-    std::uint64_t profileCacheHits() const { return cacheHits; }
+    std::uint64_t
+    profileCacheHits() const
+    {
+        // Counters mutate under cacheMutex (profile() hot path);
+        // reading them unlocked here was a latent data race the
+        // thread-safety annotations now reject.
+        MutexLock lock(cacheMutex);
+        return cacheHits;
+    }
     /** Profile cache misses so far. */
-    std::uint64_t profileCacheMisses() const { return cacheMisses; }
+    std::uint64_t
+    profileCacheMisses() const
+    {
+        MutexLock lock(cacheMutex);
+        return cacheMisses;
+    }
 
     /** Profiles for every feasible configuration. */
     std::vector<ConfigProfile> allProfiles() const;
@@ -379,21 +392,30 @@ class PerfModel
                       const double *demand_tps, std::size_t n,
                       OperatingPoint *out, bool server_power) const;
 
+    mutable Mutex cacheMutex;
     mutable std::unordered_map<InstanceConfig, ConfigProfile,
                                InstanceConfigHash>
-        profileCache;
-    mutable std::uint64_t cacheHits = 0;
-    mutable std::uint64_t cacheMisses = 0;
-    mutable std::mutex cacheMutex;
+        profileCache TAPAS_GUARDED_BY(cacheMutex);
+    mutable std::uint64_t cacheHits TAPAS_GUARDED_BY(cacheMutex) = 0;
+    mutable std::uint64_t cacheMisses TAPAS_GUARDED_BY(cacheMutex) =
+        0;
 
-    /** Interpolated-table state; stepTps <= 0 means disabled. */
+    /**
+     * Interpolated-table state; stepTps <= 0 means disabled. The
+     * step/max scalars are configure-time constants (set by
+     * enableOperatingPointTable before the model is shared across
+     * threads) read locklessly by the batch hot paths; only the
+     * lazily grown grid map needs the mutex. Grids are immutable
+     * once inserted and unique_ptr-stable, so the pointer opGridFor
+     * returns stays valid after the lock drops.
+     */
     double opTableStepTps = 0.0;
     double opTableMaxTps = 0.0;
+    mutable Mutex opTableMutex;
     mutable std::unordered_map<InstanceConfig,
                                std::unique_ptr<OpTableGrid>,
                                InstanceConfigHash>
-        opTables;
-    mutable std::mutex opTableMutex;
+        opTables TAPAS_GUARDED_BY(opTableMutex);
 };
 
 /** The reference configuration the paper's SLOs anchor on. */

@@ -751,6 +751,9 @@ ClusterSim::assignSaasLoadRequestMode(SimTime from, SimTime to)
 void
 ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
 {
+    // tapas-hot begin(flow-assign): per-step routing/assignment
+    // sweep; allocation-free by contract (member scratch only —
+    // tapas-lint rule R3 enforces this region).
     const SimTime mid = from + (to - from) / 2;
     const int gpus = gpusPerServer;
     const RiskAssessor *risk = tapas->riskAssessor();
@@ -790,12 +793,12 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
                 continue;
             if (use_risk && risk->risk(cand.server).any())
                 continue;
-            safe.push_back(&cand);
+            safeScratch.push_back(&cand);
         }
         if (safe.empty()) {
             for (const RouteCandidate &cand : candidates) {
                 if (cand.engine->accepting())
-                    safe.push_back(&cand);
+                    safeScratch.push_back(&cand);
             }
         }
         if (safe.empty())
@@ -884,25 +887,30 @@ ClusterSim::assignSaasLoadFlowMode(SimTime from, SimTime to)
         // re-passes) read it instead of re-solving the perf model.
         saasOpGpuPowerW[i] = op.gpuPower.value();
     }
+    // tapas-hot end(flow-assign)
 }
 
 void
 ClusterSim::replayIaasLoads(SimTime t)
 {
+    // tapas-hot begin(iaas-replay)
     for (std::uint32_t i : activeVms) {
         if (vmTable.isIaas(i)) {
             vmTable.load[i] =
                 vmGen.iaasLoadAt(vmTable.record(i), t);
         }
     }
+    // tapas-hot end(iaas-replay)
 }
 
 void
 ClusterSim::computeDraws()
 {
+    // tapas-hot begin(draws): the fleet power sweep, re-entered by
+    // the capping and thermal loops; member scratch only (R3).
     const int gpus = gpusPerServer;
+    drawsScratch.resize(static_cast<std::size_t>(gpus));
     std::vector<Watts> &draws = drawsScratch;
-    draws.resize(static_cast<std::size_t>(gpus));
 
     for (const Server &server : layout.servers()) {
         const ServerSpec &spec = layout.specOf(server.id);
@@ -993,11 +1001,13 @@ ClusterSim::computeDraws()
         serverDrawW[s] = draw_w;
         serverDrawWatts[s] = Watts(draw_w);
     }
+    // tapas-hot end(draws)
 }
 
 void
 ClusterSim::enforcePowerBudgets()
 {
+    // tapas-hot begin(power-cap)
     // computeDraws keeps serverDrawWatts current; assess writes into
     // the member scratch, so the capping loop allocates nothing.
     PowerAssessment &assessment = assessScratch;
@@ -1064,11 +1074,13 @@ ClusterSim::enforcePowerBudgets()
     // A violation the capping loop could not converge away is a
     // genuine budget excursion (robustness accounting).
     lastPowerViolation = assessment.anyViolation();
+    // tapas-hot end(power-cap)
 }
 
 void
 ClusterSim::evaluateThermal(bool enforce)
 {
+    // tapas-hot begin(thermal)
     const int gpus = gpusPerServer;
     const Celsius outside = weatherModel.outsideAt(currentTime);
 
@@ -1144,6 +1156,7 @@ ClusterSim::evaluateThermal(bool enforce)
         computeDraws();
         over = evaluate();
     }
+    // tapas-hot end(thermal)
 }
 
 void

@@ -37,6 +37,28 @@ TEST(LoggingDeathTest, AssertMacroFiresWithContext)
                  "assertion '1 == 2' failed");
 }
 
+TEST(LoggingDeathTest, AssertFailureFormatIsPinned)
+{
+    // The exact one-line shape every tapas_assert failure produces:
+    //   panic: assertion '<expr>' failed at <file>:<line>: <message>
+    // with the real expression text, this file's name, a line
+    // number, and the formatted message. assertFailure is the single
+    // sink behind the macro, so this death test pins the format for
+    // every call site at once.
+    EXPECT_DEATH(
+        tapas_assert(1 + 1 == 3, "checking %s v%d", "format", 2),
+        "panic: assertion '1 \\+ 1 == 3' failed at "
+        ".*test_logging\\.cc:[0-9]+: checking format v2");
+}
+
+TEST(LoggingDeathTest, AssertFailureDirectCallMatchesMacro)
+{
+    EXPECT_DEATH(
+        assertFailure("x > 0", "somefile.cc", 42, "got %d", -1),
+        "panic: assertion 'x > 0' failed at somefile\\.cc:42: "
+        "got -1");
+}
+
 TEST(Logging, AssertMacroPassesQuietly)
 {
     tapas_assert(2 + 2 == 4, "arithmetic is sound");

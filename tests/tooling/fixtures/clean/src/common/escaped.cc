@@ -1,0 +1,21 @@
+// Clean fixture: real violations silenced by lint-allow escapes, on
+// the match line and in the comment block above — both forms must
+// keep this fixture at exit 0.
+#include <chrono>
+#include <random>
+
+namespace tapas_fixture {
+
+unsigned
+seed_from_entropy()
+{
+    std::random_device rd; // lint-allow(R2): fixture exercises the on-line escape form
+    return rd();
+}
+
+// Comment-block escape form: the allow sits in the contiguous
+// comment block immediately above the violating line.
+// lint-allow(R2): fixture exercises the block-above escape form
+using wall_clock = std::chrono::system_clock;
+
+} // namespace tapas_fixture

@@ -1,0 +1,16 @@
+// Clean fixture: violates no rule. The guard below is exactly the
+// TAPAS_<PATH>_HH derivation R5 expects for src/common/good.hh.
+#ifndef TAPAS_COMMON_GOOD_HH
+#define TAPAS_COMMON_GOOD_HH
+
+#include <vector>
+
+namespace tapas_fixture {
+
+struct Good {
+    std::vector<double> values;
+};
+
+} // namespace tapas_fixture
+
+#endif // TAPAS_COMMON_GOOD_HH

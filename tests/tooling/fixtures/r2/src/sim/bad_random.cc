@@ -1,0 +1,38 @@
+// R2 fixture: every nondeterministic source the rule bans. Expected:
+// exactly four R2 violations.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace tapas_fixture {
+
+unsigned
+entropy_seed()
+{
+    std::random_device rd; // violation: R2
+    return rd();
+}
+
+int
+libc_random()
+{
+    return rand(); // violation: R2
+}
+
+long
+wall_seed()
+{
+    return static_cast<long>(time(nullptr)); // violation: R2
+}
+
+long long
+wall_now_ms()
+{
+    using clock = std::chrono::system_clock; // violation: R2
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace tapas_fixture

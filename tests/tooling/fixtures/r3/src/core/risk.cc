@@ -1,0 +1,18 @@
+// R3 fixture, marker hygiene: an unclosed region and a stray end are
+// violations in their own right (an unclosed begin silently un-gates
+// everything after it). Expected: exactly two R3 violations here.
+namespace tapas_fixture {
+
+void
+stray_end()
+{
+    // tapas-hot end(never-opened)   <- violation: R3
+}
+
+void
+unclosed()
+{
+    // tapas-hot begin(never-closed) <- violation: R3
+}
+
+} // namespace tapas_fixture

@@ -1,0 +1,36 @@
+// R3 fixture (file named to match the rule's include list): growth
+// calls inside a tapas-hot region. Expected: exactly three R3
+// violations in this file — `new`, push_back on a non-scratch
+// receiver, and resize on a non-scratch receiver. The scratch-named
+// receiver and the escaped resize stay silent, as does everything
+// outside the region.
+#include <vector>
+
+namespace tapas_fixture {
+
+struct Step {
+    std::vector<double> draws;
+    std::vector<double> drawsScratch;
+    std::vector<int> marks;
+
+    void cold_setup()
+    {
+        // Outside any region: allocation is fine here.
+        draws.resize(128);
+    }
+
+    void step(int gpus)
+    {
+        // tapas-hot begin(fixture-step)
+        double *leak = new double[8]; // violation: R3
+        draws.push_back(1.0);         // violation: R3
+        marks.resize(gpus);           // violation: R3
+        drawsScratch.push_back(2.0);  // scratch receiver: allowed
+        // lint-allow(R3): steady-state no-op, capacity persists
+        draws.resize(static_cast<std::size_t>(gpus));
+        delete[] leak;
+        // tapas-hot end(fixture-step)
+    }
+};
+
+} // namespace tapas_fixture

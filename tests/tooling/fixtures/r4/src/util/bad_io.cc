@@ -1,0 +1,24 @@
+// R4 fixture: console I/O in library code. Expected: exactly four R4
+// violations (the include, two stream objects, and bare printf).
+#include <iostream> // violation: R4
+
+#include <cstdio>
+
+namespace tapas_fixture {
+
+void
+chatty(double v)
+{
+    std::cout << "value=" << v << "\n"; // violation: R4
+    std::cerr << "warn\n";              // violation: R4
+    printf("value=%g\n", v);            // violation: R4
+}
+
+void
+fine(char *buf, int cap, double v)
+{
+    // snprintf formats into caller storage; not a console sink.
+    std::snprintf(buf, static_cast<std::size_t>(cap), "%g", v);
+}
+
+} // namespace tapas_fixture

@@ -1,0 +1,13 @@
+// R5 fixture: guard does not match the TAPAS_<PATH>_HH derivation
+// for src/common/bad_guard.hh. Expected: exactly one R5 violation.
+#ifndef BAD_GUARD_H
+#define BAD_GUARD_H
+
+namespace tapas_fixture {
+
+struct Bad {
+};
+
+} // namespace tapas_fixture
+
+#endif // BAD_GUARD_H

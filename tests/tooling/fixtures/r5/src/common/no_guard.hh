@@ -1,0 +1,9 @@
+// R5 fixture: no guard at all. Expected: exactly one R5 violation.
+#pragma once
+
+namespace tapas_fixture {
+
+struct AlsoBad {
+};
+
+} // namespace tapas_fixture

@@ -1,0 +1,13 @@
+// R6 fixture: disabled and skipped tests. Expected: exactly two R6
+// violations. (Not compiled — the tooling suite only lints this.)
+#include <gtest/gtest.h>
+
+TEST(Hygiene, DISABLED_NeverRuns) // violation: R6
+{
+    EXPECT_TRUE(false);
+}
+
+TEST(Hygiene, SkipsItself)
+{
+    GTEST_SKIP() << "flaky"; // violation: R6
+}

@@ -1,0 +1,34 @@
+// R7 fixture: raw standard locking primitives instead of the
+// annotated tapas wrappers. Expected: exactly five R7 violations —
+// std::mutex, std::condition_variable, std::lock_guard,
+// std::unique_lock, std::scoped_lock. condition_variable_any is
+// deliberately NOT flagged (the annotated UniqueLock waits on it).
+#include <condition_variable>
+#include <mutex>
+
+namespace tapas_fixture {
+
+struct BadLock {
+    std::mutex m;                      // violation: R7
+    std::condition_variable cv;        // violation: R7
+    std::condition_variable_any cvAny; // allowed: wrapper-compatible
+
+    void touch()
+    {
+        std::lock_guard<decltype(m)> lock(m); // violation: R7
+        cv.notify_all();
+    }
+
+    void wait()
+    {
+        std::unique_lock<decltype(m)> lock(m); // violation: R7
+        cvAny.wait(lock);
+    }
+
+    void both(BadLock &other)
+    {
+        std::scoped_lock lock(m, other.m); // violation: R7
+    }
+};
+
+} // namespace tapas_fixture

@@ -1,0 +1,175 @@
+// Tooling suite: pins the tapas-lint contract. Each rule R1..R7 has
+// a fixture mini-root under tests/tooling/fixtures/ holding known
+// violations; the tests shell the linter at those roots and assert
+// the exact rule IDs, violation counts, and exit codes. A regression
+// in the engine (a rule that stops firing, an escape that stops
+// working, an exit code drift) fails here before it can silently
+// un-gate scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+#ifndef TAPAS_REPO_ROOT
+#error "build must define TAPAS_REPO_ROOT (see CMakeLists.txt)"
+#endif
+#ifndef TAPAS_PYTHON3
+#error "build must define TAPAS_PYTHON3 (see CMakeLists.txt)"
+#endif
+
+struct LintRun {
+    int exitCode = -1;
+    std::string output; // stdout+stderr, interleaved
+};
+
+/// Run the linter with `args` appended; capture combined output.
+LintRun
+runLint(const std::string &args)
+{
+    const std::string cmd = std::string(TAPAS_PYTHON3) + " " +
+                            TAPAS_REPO_ROOT "/scripts/tapas_lint.py " +
+                            args + " 2>&1";
+    LintRun run;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return run;
+    }
+    std::array<char, 4096> buf;
+    while (std::fgets(buf.data(), buf.size(), pipe))
+        run.output += buf.data();
+    const int status = pclose(pipe);
+    run.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return run;
+}
+
+LintRun
+runLintOnFixture(const std::string &name)
+{
+    return runLint("--root " TAPAS_REPO_ROOT
+                   "/tests/tooling/fixtures/" + name);
+}
+
+int
+countOccurrences(const std::string &haystack, const std::string &rule)
+{
+    // Violations print as "path:line: R<n>: message".
+    const std::string needle = ": " + rule + ": ";
+    int n = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+/// Assert a fixture yields exit 1 with exactly `expected` violations,
+/// all of them `rule`.
+void
+expectFixture(const std::string &fixture, const std::string &rule,
+              int expected)
+{
+    const LintRun run = runLintOnFixture(fixture);
+    EXPECT_EQ(run.exitCode, 1) << fixture << ":\n" << run.output;
+    EXPECT_EQ(countOccurrences(run.output, rule), expected)
+        << fixture << ":\n" << run.output;
+    for (const char *other :
+         {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}) {
+        if (other == rule)
+            continue;
+        EXPECT_EQ(countOccurrences(run.output, other), 0)
+            << fixture << " leaked " << other << ":\n" << run.output;
+    }
+}
+
+TEST(TapasLint, RepoTreeIsClean)
+{
+    const LintRun run = runLint("");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+TEST(TapasLint, CleanFixturePasses)
+{
+    // Also covers the escapes: escaped.cc holds real R2 violations
+    // silenced by both lint-allow forms (same-line and block-above).
+    const LintRun run = runLintOnFixture("clean");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+TEST(TapasLint, R1DeprecatedScalarCalls)
+{
+    expectFixture("r1", "R1", 2);
+}
+
+TEST(TapasLint, R2Determinism)
+{
+    expectFixture("r2", "R2", 4);
+}
+
+TEST(TapasLint, R3HotRegionAllocations)
+{
+    // 3 allocations inside the region + 2 marker-hygiene violations
+    // (stray end, unclosed begin); scratch receivers and the escaped
+    // resize stay silent.
+    expectFixture("r3", "R3", 5);
+}
+
+TEST(TapasLint, R4IostreamInLibrary)
+{
+    expectFixture("r4", "R4", 4);
+}
+
+TEST(TapasLint, R5HeaderGuards)
+{
+    expectFixture("r5", "R5", 2);
+}
+
+TEST(TapasLint, R6DisabledOrSkippedTests)
+{
+    expectFixture("r6", "R6", 2);
+}
+
+TEST(TapasLint, R7LockDiscipline)
+{
+    const LintRun run = runLintOnFixture("r7");
+    expectFixture("r7", "R7", 5);
+    // condition_variable_any is wrapper-compatible and must never be
+    // flagged; the fixture uses it on its "allowed" line.
+    EXPECT_EQ(run.output.find("condition_variable_any"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(TapasLint, ViolationLinesNameFileAndLine)
+{
+    const LintRun run = runLintOnFixture("r5");
+    EXPECT_NE(run.output.find(
+                  "src/common/bad_guard.hh:3: R5:"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(TapasLint, UnknownTargetIsUsageError)
+{
+    const LintRun run = runLint("no/such/dir");
+    EXPECT_EQ(run.exitCode, 2) << run.output;
+}
+
+TEST(TapasLint, ListRulesShowsAllSeven)
+{
+    const LintRun run = runLint("--list-rules");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    for (const char *rule :
+         {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}) {
+        EXPECT_NE(run.output.find(rule), std::string::npos)
+            << "missing " << rule << ":\n" << run.output;
+    }
+}
+
+} // namespace

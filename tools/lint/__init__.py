@@ -1,0 +1,2 @@
+# tapas-lint rule package; see rules.py for the rule table and
+# scripts/tapas_lint.py for the engine.
