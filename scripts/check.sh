@@ -49,6 +49,13 @@ echo "== step-loop bench + perf gate (Release) =="
 # against the committed baseline.
 (cd build && ./bench_step_loop --check ../BENCH_step_loop.json)
 
+echo "== kill-9 crash-recovery drill (Release) =="
+# SIGKILL mid-run, resume from the surviving snapshot, byte-compare
+# the resumed report against a straight-through reference, and
+# assert a deliberately corrupted snapshot is rejected with a
+# structured error (scripts/crash_drill.sh).
+scripts/crash_drill.sh build
+
 echo "== configure (Debug) =="
 cmake -B build-dbg -S . -DCMAKE_BUILD_TYPE=Debug
 

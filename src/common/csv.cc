@@ -3,16 +3,22 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
 CsvWriter::CsvWriter(const std::string &path,
                      const std::vector<std::string> &header)
-    : filePath(path), out(path), columns(header.size())
+    : filePath(path), columns(header.size())
 {
-    if (!out.is_open())
-        fatal("cannot open CSV output file '%s'", path.c_str());
     writeRow(header);
+}
+
+CsvWriter::~CsvWriter()
+{
+    const Error err = flush();
+    if (!err.ok())
+        warn("CSV export lost: %s", err.message().c_str());
 }
 
 std::string
@@ -38,10 +44,11 @@ CsvWriter::writeRow(const std::vector<std::string> &cells)
                  cells.size(), columns);
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i)
-            out << ',';
-        out << escape(cells[i]);
+            pending += ',';
+        pending += escape(cells[i]);
     }
-    out << '\n';
+    pending += '\n';
+    dirty = true;
 }
 
 void
@@ -55,6 +62,17 @@ CsvWriter::writeRow(const std::vector<double> &cells)
         text.push_back(ss.str());
     }
     writeRow(text);
+}
+
+Error
+CsvWriter::flush()
+{
+    if (!dirty)
+        return Error::okValue();
+    const Error err = atomicWriteFile(filePath, pending);
+    if (err.ok())
+        dirty = false;
+    return err;
 }
 
 } // namespace tapas

@@ -2,29 +2,47 @@
  * @file
  * Minimal CSV writer for exporting benchmark series (figure data) to
  * files that plotting scripts can consume.
+ *
+ * Rows accumulate in memory and land on disk through the
+ * serialization layer's atomic write-rename (common/serialize.hh), so
+ * a crash mid-export leaves either the previous file or the complete
+ * new one — never a torn CSV.
  */
 
 #ifndef TAPAS_COMMON_CSV_HH
 #define TAPAS_COMMON_CSV_HH
 
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
+
 namespace tapas {
 
-/** Streams rows to a CSV file; quotes cells containing separators. */
+/** Buffers rows, atomically written on flush() or destruction. */
 class CsvWriter
 {
   public:
-    /** Opens path for writing; fatal() if the file cannot be opened. */
     CsvWriter(const std::string &path,
               const std::vector<std::string> &header);
+
+    /** Destructor flushes; failures are only warnings by then, so
+     *  callers that care about the result call flush() themselves. */
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
 
     void writeRow(const std::vector<std::string> &cells);
 
     /** Convenience for all-numeric rows. */
     void writeRow(const std::vector<double> &cells);
+
+    /**
+     * Atomically write the buffered rows to the path. Idempotent
+     * until the next writeRow; returns the write error, if any.
+     */
+    Error flush();
 
     const std::string &path() const { return filePath; }
 
@@ -32,8 +50,9 @@ class CsvWriter
     static std::string escape(const std::string &cell);
 
     std::string filePath;
-    std::ofstream out;
+    std::string pending;
     std::size_t columns;
+    bool dirty = false;
 };
 
 } // namespace tapas

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
@@ -289,6 +290,15 @@ Rng
 Rng::fork(std::uint64_t stream_id)
 {
     return Rng(mixSeed(next(), stream_id));
+}
+
+void
+Rng::checkpointState(Archive &ar)
+{
+    for (std::uint64_t &word : s)
+        ar.value(word);
+    ar.value(cachedGaussian);
+    ar.value(hasCachedGaussian);
 }
 
 } // namespace tapas

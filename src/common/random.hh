@@ -17,6 +17,8 @@
 
 namespace tapas {
 
+class Archive;
+
 /**
  * SplitMix64 stream; used for seeding and as a cheap stateless hash
  * of (seed, index) pairs for per-entity variation.
@@ -94,6 +96,9 @@ class Rng
 
     /** Derive an independent generator for a sub-component. */
     Rng fork(std::uint64_t stream_id);
+
+    /** Serialize/restore the full generator state (checkpointing). */
+    void checkpointState(Archive &ar);
 
   private:
     std::uint64_t s[4];

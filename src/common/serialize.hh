@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Versioned binary serialization: the durability layer under the
+ * simulator's checkpoint/restore subsystem.
+ *
+ * Three pieces:
+ *
+ *  - Archive: a bidirectional byte-stream codec. One
+ *    checkpointState(Archive&) method per class walks its fields in
+ *    a fixed order; the same code path runs for save and load, so
+ *    the two directions cannot drift apart. All primitives are
+ *    written as fixed-width little-endian values (doubles/floats as
+ *    their IEEE-754 bit patterns), so archives are bit-exact across
+ *    hosts and the serialized stream doubles as a canonical state
+ *    digest input.
+ *
+ *  - Checkpoint files: magic + format version + per-section framing
+ *    ([id][length][payload][crc32]). Truncation, bit flips, and
+ *    version skew are *detected* (length/CRC/magic checks) and
+ *    surfaced as tapas::Error — never undefined behavior, never a
+ *    silent wrong resume. Bump kCheckpointFormatVersion whenever any
+ *    serialized struct changes shape (docs/checkpoint-format.md).
+ *
+ *  - atomicWriteFile: write-to-temp + fsync + rename. Every durable
+ *    write in the repo goes through it (lint rule R8 bans raw
+ *    fopen/fwrite/ofstream elsewhere), so a crash mid-write leaves
+ *    the previous good file, not a torn one.
+ */
+
+#ifndef TAPAS_COMMON_SERIALIZE_HH
+#define TAPAS_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/types.hh"
+
+namespace tapas {
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected). */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** FNV-1a 64-bit hash; @p seed chains multi-buffer digests. */
+std::uint64_t fnv1a64(const void *data, std::size_t size,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/**
+ * Write-to-temp + fsync + rename. The destination either keeps its
+ * previous contents or atomically becomes the new ones; a crash (or
+ * SIGKILL) at any point never leaves a torn file behind.
+ */
+Error atomicWriteFile(const std::string &path, const void *data,
+                      std::size_t size);
+Error atomicWriteFile(const std::string &path,
+                      const std::string &text);
+
+/** Whole-file reads with structured errors (no raw I/O at callers). */
+Result<std::vector<std::uint8_t>>
+readFileBytes(const std::string &path);
+Result<std::string> readFileText(const std::string &path);
+
+/** True when @p path names a readable file (resume discovery). */
+bool fileExists(const std::string &path);
+
+/** Best-effort delete; missing files are not an error. */
+void removeFileIfExists(const std::string &path);
+
+/**
+ * Bidirectional field codec over a byte buffer. Write mode appends;
+ * read mode consumes with bounds checks. A read past the end (or a
+ * semantic mismatch flagged by fail()) latches ok() to false and
+ * turns every later read into a zero-fill no-op — callers run the
+ * full checkpointState walk and check ok() once at the end.
+ */
+class Archive
+{
+  public:
+    static Archive
+    writer()
+    {
+        return Archive();
+    }
+
+    static Archive
+    reader(const std::uint8_t *data, std::size_t size)
+    {
+        Archive ar;
+        ar.readMode = true;
+        ar.readData = data;
+        ar.readSize = size;
+        return ar;
+    }
+
+    static Archive
+    reader(const std::vector<std::uint8_t> &bytes)
+    {
+        return reader(bytes.data(), bytes.size());
+    }
+
+    bool writing() const { return !readMode; }
+    bool ok() const { return okFlag; }
+
+    /** Latch the failure flag (semantic mismatch during a read). */
+    void fail() { okFlag = false; }
+
+    /** Serialized bytes (write mode). */
+    const std::vector<std::uint8_t> &buffer() const { return buf; }
+    std::vector<std::uint8_t> takeBuffer() { return std::move(buf); }
+
+    /** Unconsumed bytes (read mode). */
+    std::size_t
+    remaining() const
+    {
+        return readSize - readPos;
+    }
+
+    /** A fully consumed, error-free read. */
+    bool done() const { return okFlag && remaining() == 0; }
+
+    // ------------------------------------------------ primitives --
+
+    /** Arithmetic, bool, and enum fields (fixed-width LE). */
+    template <typename T>
+    void
+    value(T &v)
+    {
+        static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                      "value() takes arithmetic or enum fields");
+        if constexpr (std::is_enum_v<T>) {
+            auto raw =
+                static_cast<std::underlying_type_t<T>>(v);
+            value(raw);
+            v = static_cast<T>(raw);
+        } else if constexpr (std::is_same_v<T, bool>) {
+            std::uint8_t raw = v ? 1 : 0;
+            fixed(raw);
+            v = raw != 0;
+        } else if constexpr (std::is_same_v<T, double>) {
+            std::uint64_t bits;
+            std::memcpy(&bits, &v, sizeof bits);
+            fixed(bits);
+            std::memcpy(&v, &bits, sizeof v);
+        } else if constexpr (std::is_same_v<T, float>) {
+            std::uint32_t bits;
+            std::memcpy(&bits, &v, sizeof bits);
+            fixed(bits);
+            std::memcpy(&v, &bits, sizeof v);
+        } else {
+            static_assert(std::is_integral_v<T>);
+            auto raw = static_cast<std::make_unsigned_t<T>>(v);
+            fixed(raw);
+            v = static_cast<T>(raw);
+        }
+    }
+
+    /** Strongly typed ids (their raw u32 index). */
+    template <typename Tag>
+    void
+    value(Id<Tag> &id)
+    {
+        value(id.index);
+    }
+
+    /** size_t fields travel as u64 (width-stable across hosts). */
+    void
+    count(std::size_t &n)
+    {
+        std::uint64_t wide = n;
+        value(wide);
+        n = static_cast<std::size_t>(wide);
+    }
+
+    void
+    str(std::string &s)
+    {
+        std::size_t n = s.size();
+        count(n);
+        if (!readMode) {
+            putBytes(s.data(), n);
+            return;
+        }
+        if (!checkCount(n, 1)) {
+            s.clear();
+            return;
+        }
+        s.assign(reinterpret_cast<const char *>(readData + readPos),
+                 n);
+        readPos += n;
+    }
+
+    // ------------------------------------------------ containers --
+
+    /** Vector of arithmetic/enum/Id elements. */
+    template <typename T>
+    void
+    podVector(std::vector<T> &v)
+    {
+        std::size_t n = v.size();
+        count(n);
+        if (readMode) {
+            if (!checkCount(n, 1)) {
+                v.clear();
+                return;
+            }
+            v.resize(n);
+        }
+        for (T &elem : v)
+            value(elem);
+    }
+
+    /** Vector of composite elements; @p fn(Archive&, T&) per slot. */
+    template <typename T, typename Fn>
+    void
+    each(std::vector<T> &v, Fn fn)
+    {
+        std::size_t n = v.size();
+        count(n);
+        if (readMode) {
+            if (!checkCount(n, 1)) {
+                v.clear();
+                return;
+            }
+            v.clear();
+            v.resize(n);
+        }
+        for (T &elem : v)
+            fn(*this, elem);
+    }
+
+    /** Deque variant of each() (engine queues). */
+    template <typename T, typename Fn>
+    void
+    eachDeque(std::deque<T> &v, Fn fn)
+    {
+        std::size_t n = v.size();
+        count(n);
+        if (readMode) {
+            if (!checkCount(n, 1)) {
+                v.clear();
+                return;
+            }
+            v.clear();
+            v.resize(n);
+        }
+        for (T &elem : v)
+            fn(*this, elem);
+    }
+
+  private:
+    Archive() = default;
+
+    template <typename U>
+    void
+    fixed(U &raw)
+    {
+        static_assert(std::is_unsigned_v<U>);
+        std::uint8_t bytes[sizeof(U)];
+        if (!readMode) {
+            for (std::size_t i = 0; i < sizeof(U); ++i)
+                bytes[i] =
+                    static_cast<std::uint8_t>(raw >> (8 * i));
+            putBytes(bytes, sizeof(U));
+            return;
+        }
+        if (!getBytes(bytes, sizeof(U))) {
+            raw = 0;
+            return;
+        }
+        raw = 0;
+        for (std::size_t i = 0; i < sizeof(U); ++i)
+            raw |= static_cast<U>(bytes[i]) << (8 * i);
+    }
+
+    void
+    putBytes(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        buf.insert(buf.end(), b, b + n);
+    }
+
+    bool
+    getBytes(void *p, std::size_t n)
+    {
+        if (!okFlag || n > remaining()) {
+            okFlag = false;
+            return false;
+        }
+        std::memcpy(p, readData + readPos, n);
+        readPos += n;
+        return true;
+    }
+
+    /**
+     * Guard container sizes read from untrusted bytes: a corrupt
+     * length must fail the archive, not drive a multi-gigabyte
+     * resize.
+     */
+    bool
+    checkCount(std::size_t n, std::size_t min_elem_bytes)
+    {
+        if (!okFlag ||
+            n > remaining() / (min_elem_bytes ? min_elem_bytes
+                                              : 1)) {
+            okFlag = false;
+            return false;
+        }
+        return true;
+    }
+
+    bool readMode = false;
+    bool okFlag = true;
+    std::vector<std::uint8_t> buf;
+    const std::uint8_t *readData = nullptr;
+    std::size_t readSize = 0;
+    std::size_t readPos = 0;
+};
+
+// ---------------------------------------------- checkpoint files --
+
+/**
+ * Bump on ANY serialized-struct change (field added, removed,
+ * reordered, or retyped anywhere under a checkpointState walk).
+ * Readers reject other versions with ErrorCode::Version; there is no
+ * cross-version migration — a checkpoint is a resume token, not an
+ * interchange format (docs/checkpoint-format.md).
+ */
+constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/** One framed section of a checkpoint file. */
+struct CheckpointSection
+{
+    std::uint32_t id = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Parsed, CRC-verified checkpoint file contents. */
+struct CheckpointData
+{
+    std::uint32_t version = 0;
+    /** Digest of the writing simulation's configuration. */
+    std::uint64_t configDigest = 0;
+    std::vector<CheckpointSection> sections;
+
+    const CheckpointSection *
+    find(std::uint32_t id) const
+    {
+        for (const CheckpointSection &s : sections) {
+            if (s.id == id)
+                return &s;
+        }
+        return nullptr;
+    }
+};
+
+/** Serialize + atomically write a checkpoint file. */
+Error writeCheckpointFile(
+    const std::string &path, std::uint64_t config_digest,
+    const std::vector<CheckpointSection> &sections);
+
+/**
+ * Read + fully validate a checkpoint file: magic, header CRC,
+ * version, per-section length bounds and frame CRCs (each section's
+ * CRC seals its id, length, and payload). Any
+ * truncation or bit flip yields ErrorCode::Corrupt (wrong version:
+ * ErrorCode::Version); payload bytes are returned only when every
+ * check passed.
+ */
+Result<CheckpointData> readCheckpointFile(const std::string &path);
+
+} // namespace tapas
+
+#endif // TAPAS_COMMON_SERIALIZE_HH

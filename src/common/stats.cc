@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
@@ -279,6 +280,23 @@ pearsonCorrelation(const std::vector<double> &xs,
     }
     const double den = std::sqrt(sxx * syy);
     return den > 0.0 ? sxy / den : 0.0;
+}
+
+void
+QuantileSample::checkpointState(Archive &ar)
+{
+    ar.podVector(values);
+    ar.value(sorted);
+}
+
+void
+TimeSeries::checkpointState(Archive &ar)
+{
+    ar.each(points, [](Archive &a,
+                       std::pair<SimTime, double> &p) {
+        a.value(p.first);
+        a.value(p.second);
+    });
 }
 
 } // namespace tapas

@@ -17,6 +17,8 @@
 
 namespace tapas {
 
+class Archive;
+
 /** Streaming count/mean/variance/min/max accumulator (Welford). */
 class StatAccumulator
 {
@@ -70,6 +72,13 @@ class QuantileSample
     std::vector<std::pair<double, double>> cdf(std::size_t points) const;
 
     const std::vector<double> &raw() const { return values; }
+
+    /**
+     * Serialize/restore samples in insertion-buffer order plus the
+     * lazy-sort flag, so a restored tracker sorts at exactly the
+     * same future points as the original (bit-exact resume).
+     */
+    void checkpointState(Archive &ar);
 
   private:
     void ensureSorted() const;
@@ -133,6 +142,9 @@ class TimeSeries
 
     const std::vector<std::pair<SimTime, double>> &raw() const
     { return points; }
+
+    /** Serialize/restore all points (checkpointing). */
+    void checkpointState(Archive &ar);
 
   private:
     std::vector<std::pair<SimTime, double>> points;

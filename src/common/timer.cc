@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
@@ -61,24 +61,30 @@ writeBenchJson(const std::string &path, const std::string &bench,
                const std::string &mode,
                const std::vector<BenchCase> &cases)
 {
-    std::ofstream out(path);
-    if (!out) {
-        warn("cannot write benchmark results to %s", path.c_str());
-        return false;
-    }
-    out << "{\n  \"bench\": \"" << escapeJson(bench) << "\",\n"
-        << "  \"mode\": \"" << escapeJson(mode)
-        << "\",\n  \"cases\": [\n";
+    // Build the document in memory and land it atomically: a
+    // crashed bench leaves either no file or a complete one.
+    std::string out;
+    out += "{\n  \"bench\": \"" + escapeJson(bench) + "\",\n";
+    out += "  \"mode\": \"" + escapeJson(mode) +
+        "\",\n  \"cases\": [\n";
     for (std::size_t i = 0; i < cases.size(); ++i) {
         const BenchCase &c = cases[i];
-        out << "    {\"name\": \"" << escapeJson(c.name) << "\"";
+        out += "    {\"name\": \"" + escapeJson(c.name) + "\"";
         for (const auto &[key, value] : c.metrics)
-            out << ", \"" << escapeJson(key)
-                << "\": " << formatNumber(value);
-        out << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+            out += ", \"" + escapeJson(key) +
+                "\": " + formatNumber(value);
+        out += "}";
+        out += i + 1 < cases.size() ? "," : "";
+        out += "\n";
     }
-    out << "  ]\n}\n";
-    return static_cast<bool>(out);
+    out += "  ]\n}\n";
+    const Error err = atomicWriteFile(path, out);
+    if (!err.ok()) {
+        warn("cannot write benchmark results: %s",
+             err.message().c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace tapas

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
@@ -132,6 +133,29 @@ FailureManager::active() const
     if (electric)
         return EmergencyKind::Power;
     return EmergencyKind::None;
+}
+
+void
+FailureManager::checkpointState(Archive &ar)
+{
+    const std::size_t aisles = aisleFrac.size();
+    const std::size_t upses = upsFrac.size();
+    ar.podVector(aisleFrac);
+    ar.podVector(upsFrac);
+    if (ar.writing())
+        return;
+    if (aisleFrac.size() != aisles || upsFrac.size() != upses) {
+        ar.fail();
+        aisleFrac.assign(aisles, 1.0);
+        upsFrac.assign(upses, 1.0);
+        return;
+    }
+    // Push the restored fractions through the plant objects so the
+    // cooling/power derate state matches the checkpoint exactly.
+    for (const Aisle &aisle : layout.aisles())
+        applyAisle(aisle.id);
+    for (const Ups &ups : layout.upses())
+        applyUps(ups.id);
 }
 
 } // namespace tapas

@@ -27,6 +27,8 @@
 
 namespace tapas {
 
+class Archive;
+
 /** Emergency kind currently in effect. */
 enum class EmergencyKind { None, Thermal, Power, Both };
 
@@ -69,6 +71,13 @@ class FailureManager
     double upsDerate(UpsId id) const;
 
     EmergencyKind active() const;
+
+    /**
+     * Serialize/restore the composed derate fractions. On restore
+     * every entry is re-applied through the plant objects, so the
+     * cooling/power state they carry is reconstructed exactly.
+     */
+    void checkpointState(Archive &ar);
 
   private:
     CoolingPlant &cooling;

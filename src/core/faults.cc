@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "telemetry/history.hh"
 
 namespace tapas {
@@ -466,6 +467,38 @@ FaultEngine::corruptSample(ServerId id, SimTime now,
     }
     }
     return true;
+}
+
+void
+FaultEngine::checkpointState(Archive &ar)
+{
+    std::size_t instance_count = instances.size();
+    ar.count(instance_count);
+    if (!ar.writing() && instance_count != instances.size()) {
+        // The timeline is rebuilt from (plan, layout, horizon,
+        // seed) at construction; a different instance count means
+        // the checkpoint came from a different configuration.
+        ar.fail();
+        return;
+    }
+    for (FaultInstance &inst : instances) {
+        ar.value(inst.active);
+        ar.value(inst.haveFrozenGpuW);
+        ar.podVector(inst.frozenGpuW);
+        ar.value(inst.haveFrozenSample);
+        ar.value(inst.frozenInletC);
+        ar.value(inst.frozenHottestGpuC);
+        ar.value(inst.frozenPowerW);
+        ar.value(inst.frozenGpuLoad);
+    }
+    ar.count(cursor);
+    ar.podVector(activeSensor);
+    ar.count(activeComponentFaults);
+    ar.count(activeSensorFaults);
+    ar.count(startCount);
+    ar.count(endCount);
+    if (!ar.writing() && cursor > events.size())
+        ar.fail();
 }
 
 } // namespace tapas

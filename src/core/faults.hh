@@ -39,6 +39,7 @@
 
 namespace tapas {
 
+class Archive;
 struct ServerSample;
 
 /** Component class a fault applies to. */
@@ -196,6 +197,15 @@ class FaultEngine
     /** Facility-wide cooling floor from active chiller derates
      *  (1.0 when the chiller plant is healthy). */
     double chillerFloor() const;
+
+    /**
+     * Serialize/restore the replay state: timeline cursor, per-
+     * instance active flags and stuck-at snapshots, and the active
+     * counters. The materialized timeline itself is rebuilt
+     * deterministically by the constructor from (plan, layout,
+     * horizon, seed); a count mismatch fails the archive.
+     */
+    void checkpointState(Archive &ar);
 
   private:
     /** One concrete fault with a fixed [at, until) window. */

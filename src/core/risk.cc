@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
@@ -130,14 +131,12 @@ RiskAssessor::applySensorQuarantine(
     const std::size_t servers = layout.serverCount();
     const std::size_t width = static_cast<std::size_t>(gpus);
 
-    if (divergeStreak.size() != servers) {
-        divergeStreak.assign(servers, 0);
-        healthyStreak.assign(servers, 0);
-        quarantinedFlag.assign(servers, 0);
-        // Seed the known-good snapshot at idle: a server that is
-        // quarantined before its first healthy refresh predicts
-        // from the most conservative trusted state there is.
-        lastGoodGpuW.resize(servers * width);
+    // The spec-derived bounds are guarded on their OWN size, not
+    // the streak state's: a checkpoint restore brings the streaks
+    // and snapshots back already sized, and these caches must then
+    // refill independently.
+    if (idleTotalW.size() != servers) {
+        // lint-allow(R3): one-time cache fill, size-guarded.
         idleTotalW.resize(servers);
         maxTotalW.resize(servers);
         for (const Server &server : layout.servers()) {
@@ -146,6 +145,18 @@ RiskAssessor::applySensorQuarantine(
                 spec.gpuIdlePower.value() * spec.gpusPerServer;
             maxTotalW[server.id.index] =
                 spec.gpuMaxPower.value() * spec.gpusPerServer;
+        }
+    }
+    if (divergeStreak.size() != servers) {
+        divergeStreak.assign(servers, 0);
+        healthyStreak.assign(servers, 0);
+        quarantinedFlag.assign(servers, 0);
+        // Seed the known-good snapshot at idle: a server that is
+        // quarantined before its first healthy refresh predicts
+        // from the most conservative trusted state there is.
+        lastGoodGpuW.resize(servers * width);
+        for (const Server &server : layout.servers()) {
+            const ServerSpec &spec = layout.specOf(server.id);
             for (std::size_t g = 0; g < width; ++g) {
                 lastGoodGpuW[server.id.index * width + g] =
                     spec.gpuIdlePower.value();
@@ -259,6 +270,27 @@ RiskAssessor::flaggedCount() const
             ++count;
     }
     return count;
+}
+
+void
+RiskAssessor::checkpointState(Archive &ar)
+{
+    ar.each(risks, [](Archive &a, ServerRisk &r) {
+        a.value(r.thermalRisk);
+        a.value(r.powerRisk);
+        a.value(r.airflowRisk);
+        a.value(r.quarantined);
+        a.value(r.predictedHottestGpuC);
+        a.value(r.rowHeadroomW);
+        a.value(r.aisleHeadroomCfm);
+    });
+    ar.value(lastRefreshAt);
+    ar.podVector(divergeStreak);
+    ar.podVector(healthyStreak);
+    ar.podVector(quarantinedFlag);
+    ar.podVector(lastGoodGpuW);
+    ar.count(quarantinedCount);
+    ar.value(quarantineEventCount);
 }
 
 } // namespace tapas

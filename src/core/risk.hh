@@ -17,6 +17,8 @@
 
 namespace tapas {
 
+class Archive;
+
 /** Per-server risk flags with supporting numbers. */
 struct ServerRisk
 {
@@ -90,6 +92,14 @@ class RiskAssessor
     /** Cumulative quarantine entries (recoveries not counted). */
     std::uint64_t quarantineEvents() const
     { return quarantineEventCount; }
+
+    /**
+     * Serialize/restore the risk cache, refresh clock, and sensor
+     * quarantine state (streaks, flags, last-good power snapshots).
+     * Scratch buffers and the hoisted spec caches resize lazily on
+     * the next refresh and do not travel.
+     */
+    void checkpointState(Archive &ar);
 
   private:
     TapasPolicyConfig cfg;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
@@ -101,6 +102,31 @@ TapasRouter::route(const Request &request,
     }
     tapas_assert(spread, "non-empty safe set must yield a pick");
     return commit(spread->vm);
+}
+
+void
+TapasRouter::checkpointState(Archive &ar)
+{
+    // Unordered-map iteration order is a determinism hazard: the
+    // table travels sorted by key so the serialized bytes (and the
+    // state digest built from them) are canonical.
+    std::vector<std::pair<std::uint32_t, VmId>> entries(
+        affinity.begin(), affinity.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    ar.each(entries,
+            [](Archive &a, std::pair<std::uint32_t, VmId> &e) {
+                a.value(e.first);
+                a.value(e.second);
+            });
+    if (!ar.writing()) {
+        affinity.clear();
+        affinity.reserve(entries.size());
+        for (const auto &[customer, vm] : entries)
+            affinity.emplace(customer, vm);
+    }
 }
 
 } // namespace tapas

@@ -22,6 +22,8 @@
 
 namespace tapas {
 
+class Archive;
+
 /** One routable VM of an endpoint. */
 struct RouteCandidate
 {
@@ -47,6 +49,12 @@ class RequestRouter
                        const RiskAssessor *risk) = 0;
 
     virtual const char *name() const = 0;
+
+    /**
+     * Serialize/restore router-internal state (checkpointing).
+     * Stateless policies keep the default no-op.
+     */
+    virtual void checkpointState(Archive &) {}
 
   protected:
     /** Load-balancing horizon for engine load estimates, seconds. */
@@ -80,6 +88,9 @@ class TapasRouter : public RequestRouter
 
     /** Affinity table size (for tests). */
     std::size_t affinityEntries() const { return affinity.size(); }
+
+    /** Serialize/restore the KV-cache affinity table. */
+    void checkpointState(Archive &ar) override;
 
   private:
     TapasPolicyConfig cfg;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
@@ -220,6 +221,41 @@ TapasController::configurePass(
         ++reconfigCount;
     }
     // tapas-hot end(configure-pass)
+}
+
+void
+TapasController::checkpointState(Archive &ar)
+{
+    // Sorted for a canonical byte stream (see TapasRouter note).
+    std::vector<std::pair<std::uint32_t, SimTime>> reloads(
+        lastReloadAt.begin(), lastReloadAt.end());
+    std::sort(reloads.begin(), reloads.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    ar.each(reloads,
+            [](Archive &a, std::pair<std::uint32_t, SimTime> &e) {
+                a.value(e.first);
+                a.value(e.second);
+            });
+    if (!ar.writing()) {
+        lastReloadAt.clear();
+        lastReloadAt.reserve(reloads.size());
+        for (const auto &[vm, at] : reloads)
+            lastReloadAt.emplace(vm, at);
+    }
+    ar.value(reconfigCount);
+    route->checkpointState(ar);
+    bool has_risk = risk != nullptr;
+    ar.value(has_risk);
+    if (has_risk != (risk != nullptr)) {
+        // Policy flags decide whether a risk cache exists; the
+        // checkpoint must agree with this sim's configuration.
+        ar.fail();
+        return;
+    }
+    if (risk)
+        risk->checkpointState(ar);
 }
 
 } // namespace tapas

@@ -23,6 +23,8 @@
 
 namespace tapas {
 
+class Archive;
+
 /** Handle to one SaaS instance for the configuration pass. */
 struct SaasInstanceRef
 {
@@ -84,6 +86,14 @@ class TapasController
 
     /** Count of reconfigs issued so far (metrics). */
     std::uint64_t reconfigsIssued() const { return reconfigCount; }
+
+    /**
+     * Serialize/restore controller decision state: reload dwell
+     * gates, the reconfig counter, router affinity, and the risk
+     * cache. The allocator and configurator are stateless between
+     * passes (scratch only) and do not travel.
+     */
+    void checkpointState(Archive &ar);
 
   private:
     TapasPolicyConfig cfg;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
@@ -306,6 +307,119 @@ InferenceEngine::loadFraction(double horizon_s) const
         ? decode_tokens / activeProfile.decode.throughputTps
         : 0.0;
     return (prefill_s + decode_s) / horizon_s;
+}
+
+namespace {
+
+void
+requestFields(Archive &ar, Request &r)
+{
+    ar.value(r.id);
+    ar.value(r.endpoint);
+    ar.value(r.customer);
+    ar.value(r.arrivalS);
+    ar.value(r.promptTokens);
+    ar.value(r.outputTokens);
+}
+
+void
+completedFields(Archive &ar, CompletedRequest &c)
+{
+    requestFields(ar, c.request);
+    ar.value(c.ttftS);
+    ar.value(c.tbtS);
+    ar.value(c.finishS);
+    ar.value(c.quality);
+    ar.value(c.metSlo);
+}
+
+void
+instanceConfigFields(Archive &ar, InstanceConfig &c)
+{
+    ar.value(c.model);
+    ar.value(c.quant);
+    ar.value(c.tensorParallel);
+    ar.value(c.maxBatchSize);
+    ar.value(c.freqFrac);
+}
+
+void
+phaseProfileFields(Archive &ar, PhaseProfile &p)
+{
+    ar.value(p.throughputTps);
+    ar.value(p.gpuPower.watts);
+    ar.value(p.memBoundFrac);
+}
+
+void
+configProfileFields(Archive &ar, ConfigProfile &p)
+{
+    instanceConfigFields(ar, p.config);
+    phaseProfileFields(ar, p.prefill);
+    phaseProfileFields(ar, p.decode);
+    ar.value(p.decodeWeightS);
+    ar.value(p.decodeKvS);
+    ar.value(p.activeGpus);
+    ar.value(p.quality);
+    ar.value(p.unloadedTtftS);
+    ar.value(p.unloadedTbtS);
+    ar.value(p.capacityTps);
+    ar.value(p.goodputTps);
+    ar.value(p.decodePowerBatch1W);
+    ar.value(p.decodePowerBatchMaxW);
+}
+
+void
+sloFields(Archive &ar, SloSpec &s)
+{
+    ar.value(s.ttftS);
+    ar.value(s.tbtS);
+    ar.value(s.ttftPerPromptTokenS);
+}
+
+void
+engineStatsFields(Archive &ar, EngineStats &s)
+{
+    ar.value(s.enqueued);
+    ar.value(s.completed);
+    ar.value(s.sloViolations);
+    ar.value(s.totalTokens);
+    ar.value(s.goodputTokens);
+    ar.value(s.qualitySum);
+    s.ttftS.checkpointState(ar);
+    s.tbtS.checkpointState(ar);
+}
+
+} // namespace
+
+void
+InferenceEngine::checkpointState(Archive &ar)
+{
+    const auto active = [](Archive &a, Active &item) {
+        requestFields(a, item.request);
+        a.value(item.prefillRemaining);
+        a.value(item.decodeRemaining);
+        a.value(item.ttftS);
+        a.value(item.firstTokenAt);
+    };
+    configProfileFields(ar, activeProfile);
+    configProfileFields(ar, pendingProfile);
+    sloFields(ar, sloSpec);
+    ar.eachDeque(queue, active);
+    ar.each(running, active);
+    ar.value(prefillActive);
+    active(ar, prefillSlot);
+    ar.value(draining);
+    ar.value(inBlackout);
+    ar.value(hasPending);
+    ar.value(blackoutUntil);
+    ar.value(reloadDelayS);
+    ar.each(completions, completedFields);
+    engineStatsFields(ar, engineStats);
+    ar.value(lastUtil);
+    ar.value(lastPrefill);
+    ar.value(lastBatch);
+    ar.value(hwThrottle);
 }
 
 } // namespace tapas

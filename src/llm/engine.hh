@@ -24,6 +24,8 @@
 
 namespace tapas {
 
+class Archive;
+
 /** Aggregate engine counters. */
 struct EngineStats
 {
@@ -124,6 +126,12 @@ class InferenceEngine
      * decode work shares the GPU. The router's load signal.
      */
     double estimatedTtftS() const;
+
+    /**
+     * Serialize/restore the complete engine state — profiles, queue,
+     * running batch, reconfig latches, stats (checkpointing).
+     */
+    void checkpointState(Archive &ar);
 
   private:
     struct Active

@@ -24,8 +24,10 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "core/failure.hh"
 #include "core/faults.hh"
 #include "core/migration.hh"
@@ -41,6 +43,8 @@
 #include "workload/weather.hh"
 
 namespace tapas {
+
+class Archive;
 
 /**
  * Cumulative wall-clock seconds spent in each step-loop phase since
@@ -148,6 +152,46 @@ class ClusterSim
      * maintained view to the current epoch first.
      */
     bool verifyClusterView();
+
+    // ------------------------------- checkpoint/restore (durability)
+
+    /**
+     * Persist the complete stepping state to @p path (atomic
+     * write-rename; see docs/checkpoint-format.md). A sim restored
+     * from the file steps bit-identically to this one: every metric
+     * and stateDigest() match a straight-through run at every later
+     * step boundary, fault timelines and sensor corruption included.
+     */
+    Error saveCheckpoint(const std::string &path);
+
+    /**
+     * Replace this sim's state with a checkpoint written by a sim of
+     * the SAME configuration. The target must be freshly constructed
+     * or otherwise share the checkpoint writer's SimConfig: a config
+     * digest mismatch is rejected with ErrorCode::Mismatch, and
+     * corrupted or truncated files with ErrorCode::Corrupt /
+     * ErrorCode::Version. The sim is untouched by errors detected
+     * before state application (bad magic/CRC/length/version/config
+     * — every realistic crash artifact); a payload that passes those
+     * checks but decodes inconsistently still returns Corrupt, but
+     * the sim must then be discarded.
+     */
+    Error restoreCheckpoint(const std::string &path);
+
+    /**
+     * 64-bit FNV-1a digest over the full serialized fleet state:
+     * cheap divergence detection between a restored and a
+     * straight-through run. Not const: building the byte stream
+     * walks the same checkpointState() code path as saveCheckpoint.
+     */
+    std::uint64_t stateDigest();
+
+    /**
+     * Digest of the configuration knobs that shape serialized state
+     * (layout sizes, horizon, seed, policies, fault plan...); stored
+     * in every checkpoint header and checked on restore.
+     */
+    std::uint64_t configDigest() const;
 
   private:
     SimConfig cfg;
@@ -337,6 +381,11 @@ class ClusterSim
     void routeIndexRemove(std::size_t vm_index);
     void routeIndexUpdateServer(std::size_t vm_index);
     double effectiveGoodput(std::size_t vm_index) const;
+
+    // Checkpoint plumbing (sim/checkpoint.cc).
+    void checkpointCore(Archive &ar);
+    void checkpointFailures(Archive &ar);
+    void rebuildDerivedState();
 };
 
 } // namespace tapas

@@ -16,6 +16,8 @@
 
 namespace tapas {
 
+class Archive;
+
 /** Per-run metric aggregation. */
 struct SimMetrics
 {
@@ -147,6 +149,13 @@ struct SimMetrics
                 static_cast<double>(requestsCompleted)
             : 1.0;
     }
+
+    /**
+     * Serialize/restore every field (checkpointing). Tests also use
+     * the serialized byte stream as a canonical full-equality
+     * comparison between two metric sets.
+     */
+    void checkpointState(Archive &ar);
 };
 
 } // namespace tapas

@@ -1,0 +1,279 @@
+#include "sim/scenario_io.hh"
+
+#include <cstdlib>
+
+#include "common/serialize.hh"
+#include "sim/scenario.hh"
+
+namespace tapas {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end &&
+           (s[begin] == ' ' || s[begin] == '\t' || s[begin] == '\r'))
+        ++begin;
+    while (end > begin &&
+           (s[end - 1] == ' ' || s[end - 1] == '\t' ||
+            s[end - 1] == '\r'))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+Error
+badValue(const std::string &origin, int line,
+         const std::string &key, const std::string &value,
+         const char *expected)
+{
+    return Error::invalid(origin + ":" + std::to_string(line) +
+                          ": key '" + key + "': cannot parse '" +
+                          value + "' as " + expected);
+}
+
+Result<double>
+parseDouble(const std::string &origin, int line,
+            const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        return badValue(origin, line, key, value, "a number");
+    return parsed;
+}
+
+Result<std::int64_t>
+parseInt(const std::string &origin, int line,
+         const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        return badValue(origin, line, key, value, "an integer");
+    return static_cast<std::int64_t>(parsed);
+}
+
+Result<bool>
+parseBool(const std::string &origin, int line,
+          const std::string &key, const std::string &value)
+{
+    if (value == "true" || value == "1" || value == "yes" ||
+        value == "on")
+        return true;
+    if (value == "false" || value == "0" || value == "no" ||
+        value == "off")
+        return false;
+    return badValue(origin, line, key, value, "a boolean");
+}
+
+/** The stochastic fault process a "faults.<name>.*" key targets. */
+FaultProcess *
+faultProcessFor(SimConfig &cfg, const std::string &name)
+{
+    if (name == "ahu")
+        return &cfg.faults.ahu;
+    if (name == "ups")
+        return &cfg.faults.ups;
+    if (name == "chiller")
+        return &cfg.faults.chiller;
+    if (name == "sensor")
+        return &cfg.faults.sensor;
+    return nullptr;
+}
+
+} // namespace
+
+Result<SimConfig>
+scenarioByName(const std::string &name, std::uint64_t seed)
+{
+    if (name == "small")
+        return smallTestScenario(seed);
+    if (name == "fault-drill")
+        return faultDrillScenario(seed);
+    if (name == "real-cluster")
+        return realClusterScenario(seed);
+    if (name == "large-scale")
+        return largeScaleScenario(seed);
+    return Error::invalid(
+        "unknown scenario '" + name +
+        "' (expected small, fault-drill, real-cluster, or "
+        "large-scale)");
+}
+
+Result<SimConfig>
+parseScenarioSpec(const std::string &text,
+                  const std::string &origin)
+{
+    // Two passes over the key/value lines: the scenario key seeds
+    // the config, every other key then overrides one knob on it.
+    struct Entry
+    {
+        int line;
+        std::string key;
+        std::string value;
+    };
+    std::vector<Entry> entries;
+    std::string scenario;
+    std::uint64_t seed = 1;
+    int scenario_line = 0;
+
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::string raw = text.substr(
+            pos, eol == std::string::npos ? std::string::npos
+                                          : eol - pos);
+        pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+        ++line_no;
+
+        std::string line = raw;
+        const std::size_t comment = line.find('#');
+        if (comment != std::string::npos)
+            line.resize(comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return Error::invalid(
+                origin + ":" + std::to_string(line_no) +
+                ": expected 'key = value', got '" + trim(raw) +
+                "'");
+        Entry entry;
+        entry.line = line_no;
+        entry.key = trim(line.substr(0, eq));
+        entry.value = trim(line.substr(eq + 1));
+        if (entry.key.empty() || entry.value.empty())
+            return Error::invalid(
+                origin + ":" + std::to_string(line_no) +
+                ": empty key or value");
+        if (entry.key == "scenario") {
+            scenario = entry.value;
+            scenario_line = line_no;
+        } else if (entry.key == "seed") {
+            Result<std::int64_t> parsed =
+                parseInt(origin, line_no, entry.key, entry.value);
+            if (!parsed.ok())
+                return parsed.error();
+            seed = static_cast<std::uint64_t>(parsed.value());
+        } else {
+            entries.push_back(std::move(entry));
+        }
+    }
+
+    if (scenario.empty())
+        return Error::invalid(origin +
+                              ": missing required key 'scenario'");
+    Result<SimConfig> base = scenarioByName(scenario, seed);
+    if (!base.ok())
+        return Error::invalid(origin + ":" +
+                              std::to_string(scenario_line) + ": " +
+                              base.error().message());
+    SimConfig cfg = base.value();
+
+    for (const Entry &entry : entries) {
+        const int line = entry.line;
+        const std::string &key = entry.key;
+        const std::string &value = entry.value;
+        if (key == "policy") {
+            if (value == "tapas") {
+                cfg = cfg.asTapas();
+            } else if (value == "baseline") {
+                cfg = cfg.asBaseline();
+            } else {
+                return badValue(origin, line, key, value,
+                                "'tapas' or 'baseline'");
+            }
+        } else if (key == "horizon_s") {
+            Result<std::int64_t> parsed =
+                parseInt(origin, line, key, value);
+            if (!parsed.ok())
+                return parsed.error();
+            if (parsed.value() <= 0)
+                return badValue(origin, line, key, value,
+                                "a positive duration");
+            cfg.horizon = parsed.value();
+            cfg.vmTrace.horizon = parsed.value();
+        } else if (key == "step_length_s") {
+            Result<std::int64_t> parsed =
+                parseInt(origin, line, key, value);
+            if (!parsed.ok())
+                return parsed.error();
+            if (parsed.value() <= 0)
+                return badValue(origin, line, key, value,
+                                "a positive duration");
+            cfg.stepLength = parsed.value();
+        } else if (key == "oversubscription_pct") {
+            Result<std::int64_t> parsed =
+                parseInt(origin, line, key, value);
+            if (!parsed.ok())
+                return parsed.error();
+            cfg.oversubscriptionPct =
+                static_cast<int>(parsed.value());
+        } else if (key == "sensor_quarantine") {
+            Result<bool> parsed =
+                parseBool(origin, line, key, value);
+            if (!parsed.ok())
+                return parsed.error();
+            cfg.policy.sensorQuarantineEnabled = parsed.value();
+        } else if (key == "inlet_limit_c") {
+            Result<double> parsed =
+                parseDouble(origin, line, key, value);
+            if (!parsed.ok())
+                return parsed.error();
+            cfg.inletLimitC = parsed.value();
+        } else if (key.rfind("faults.", 0) == 0) {
+            const std::size_t dot = key.find('.', 7);
+            if (dot == std::string::npos)
+                return Error::invalid(
+                    origin + ":" + std::to_string(line) +
+                    ": expected faults.<process>.<field>, got '" +
+                    key + "'");
+            FaultProcess *proc =
+                faultProcessFor(cfg, key.substr(7, dot - 7));
+            if (!proc)
+                return Error::invalid(
+                    origin + ":" + std::to_string(line) +
+                    ": unknown fault process in '" + key +
+                    "' (expected ahu, ups, chiller, or sensor)");
+            const std::string field = key.substr(dot + 1);
+            Result<double> parsed =
+                parseDouble(origin, line, key, value);
+            if (!parsed.ok())
+                return parsed.error();
+            if (field == "mtbf_s") {
+                proc->mtbfS = parsed.value();
+            } else if (field == "mttr_s") {
+                proc->mttrS = parsed.value();
+            } else if (field == "remaining_frac") {
+                proc->remainingFrac = parsed.value();
+            } else {
+                return Error::invalid(
+                    origin + ":" + std::to_string(line) +
+                    ": unknown fault field '" + field +
+                    "' (expected mtbf_s, mttr_s, or "
+                    "remaining_frac)");
+            }
+        } else {
+            return Error::invalid(origin + ":" +
+                                  std::to_string(line) +
+                                  ": unknown key '" + key + "'");
+        }
+    }
+    return cfg;
+}
+
+Result<SimConfig>
+loadScenarioSpec(const std::string &path)
+{
+    Result<std::string> text = readFileText(path);
+    if (!text.ok())
+        return text.error();
+    return parseScenarioSpec(text.value(), path);
+}
+
+} // namespace tapas

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Structured-error loading of scenario specifications from files.
+ *
+ * A spec is a line-based `key = value` description that starts from
+ * one of the canned scenarios (sim/scenario.hh) and overrides the
+ * experiment knobs that sweeps and drills actually vary. All input
+ * problems — unreadable file, unknown scenario or key, malformed
+ * value — surface as tapas::Error (ErrorCode::Io / Invalid), never
+ * as an assertion: specs are user input, not internal invariants.
+ *
+ * Example spec:
+ *
+ *     # compound-emergency drill, deterministic seed
+ *     scenario = fault-drill
+ *     seed = 41
+ *     policy = tapas
+ *     horizon_s = 86400
+ *     sensor_quarantine = true
+ *     faults.sensor.mtbf_s = 43200
+ */
+
+#ifndef TAPAS_SIM_SCENARIO_IO_HH
+#define TAPAS_SIM_SCENARIO_IO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hh"
+#include "sim/config.hh"
+
+namespace tapas {
+
+/**
+ * Canned scenario by CLI-friendly name: "small", "fault-drill",
+ * "real-cluster", or "large-scale". Unknown names are Invalid.
+ */
+Result<SimConfig> scenarioByName(const std::string &name,
+                                 std::uint64_t seed);
+
+/**
+ * Parse a spec from text (see file comment for the format);
+ * @p origin names the source in error messages.
+ */
+Result<SimConfig> parseScenarioSpec(const std::string &text,
+                                    const std::string &origin);
+
+/** Load and parse a spec file (readFileText + parseScenarioSpec). */
+Result<SimConfig> loadScenarioSpec(const std::string &path);
+
+} // namespace tapas
+
+#endif // TAPAS_SIM_SCENARIO_IO_HH

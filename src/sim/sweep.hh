@@ -49,6 +49,42 @@ struct SweepOutcome
     double wallS = 0.0;
     /** Full metric set of the finished run. */
     SimMetrics metrics;
+    /** True when this run resumed from a recovery snapshot. */
+    bool resumed = false;
+    /** Process attempts this job has consumed (1 = first try). */
+    int attempts = 1;
+};
+
+/**
+ * Crash-recovery policy for long sweeps. With a checkpoint
+ * directory set, every job periodically snapshots its state
+ * (atomic write-rename), a restarted sweep resumes each incomplete
+ * job from its last good snapshot, and a job whose process keeps
+ * dying is quarantined after @ref maxAttempts rather than wedging
+ * the sweep forever (see docs/checkpoint-format.md).
+ */
+struct SweepRecovery
+{
+    /**
+     * Directory (must exist) for per-job snapshots and attempt
+     * sidecars; empty disables recovery entirely.
+     */
+    std::string checkpointDir;
+    /** Simulated time between snapshots. */
+    SimTime checkpointPeriod = kHour;
+    /**
+     * Attempts (first try included) a job may consume before it is
+     * quarantined as deterministically crashing. Attempts are
+     * counted in a sidecar written BEFORE the job runs, so a
+     * kill -9 mid-job still consumes one.
+     */
+    int maxAttempts = 3;
+
+    bool enabled() const { return !checkpointDir.empty(); }
+
+    /** Snapshot path for @p job_name / @p seed (name sanitized). */
+    std::string pathFor(const std::string &job_name,
+                        std::uint64_t seed) const;
 };
 
 /** Parallel scenario-sweep driver. */
@@ -68,9 +104,22 @@ class ScenarioSweep
     /**
      * Run every job to its horizon; outcomes are returned in job
      * order regardless of completion order.
+     *
+     * A failing job does NOT abandon the rest of the grid: every
+     * remaining job still runs, and the failures are then reported
+     * together in one std::runtime_error whose message carries each
+     * dead job's identity (name, index, seed) and cause.
+     *
+     * With @p recovery enabled, each job snapshots periodically,
+     * resumes from its last good snapshot when one exists (corrupt
+     * snapshots are discarded with a warning and the job starts
+     * fresh), and is quarantined — reported as failed without
+     * running — once it has consumed recovery.maxAttempts attempts.
      */
-    std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs,
-                                  const Inspect &inspect = {}) const;
+    std::vector<SweepOutcome>
+    run(const std::vector<SweepJob> &jobs,
+        const Inspect &inspect = {},
+        const SweepRecovery &recovery = {}) const;
 
     /** Cartesian helper: one job per (base variant, seed). */
     static std::vector<SweepJob>

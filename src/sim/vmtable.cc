@@ -1,6 +1,7 @@
 #include "sim/vmtable.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "llm/engine.hh"
 
 namespace tapas {
@@ -96,6 +97,73 @@ VmTable::consistent() const
         }
     }
     return true;
+}
+
+namespace {
+
+void
+recordFields(Archive &ar, VmRecord &r)
+{
+    ar.value(r.id);
+    ar.value(r.kind);
+    ar.value(r.arrival);
+    ar.value(r.departure);
+    ar.value(r.endpoint);
+    ar.value(r.customer);
+    ar.value(r.pattern.base);
+    ar.value(r.pattern.amplitude);
+    ar.value(r.pattern.peakHour);
+    ar.value(r.pattern.noiseSigma);
+}
+
+} // namespace
+
+void
+VmTable::checkpointState(Archive &ar)
+{
+    std::size_t n = size();
+    ar.count(n);
+    if (!ar.writing()) {
+        if (n > 1u << 26) { // corrupt-size guard (~64M VM slots)
+            ar.fail();
+            return;
+        }
+        reset(n);
+    }
+    ar.podVector(slot);
+    ar.podVector(serverOf);
+    ar.podVector(load);
+    ar.podVector(freqCap);
+    ar.podVector(demandTps);
+    ar.podVector(demandEmaTps);
+    ar.podVector(departureAt);
+    ar.podVector(endpointOf);
+    ar.podVector(customerOf);
+    ar.podVector(predictedPeak);
+    if (slot.size() != n || serverOf.size() != n ||
+        load.size() != n || freqCap.size() != n ||
+        demandTps.size() != n || demandEmaTps.size() != n ||
+        departureAt.size() != n || endpointOf.size() != n ||
+        customerOf.size() != n || predictedPeak.size() != n) {
+        ar.fail();
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        Cold &c = cold[i];
+        recordFields(ar, c.record);
+        ar.value(c.lastConfigDemand);
+        ar.value(c.lastConfigAt);
+        bool has_engine = c.engineOwner != nullptr;
+        ar.value(has_engine);
+        if (!ar.writing() && has_engine) {
+            c.engineOwner = std::make_unique<InferenceEngine>(
+                ConfigProfile{}, SloSpec{});
+        }
+        if (has_engine && c.engineOwner)
+            c.engineOwner->checkpointState(ar);
+        if (!ar.writing())
+            engine[i] = c.engineOwner.get();
+    }
 }
 
 } // namespace tapas

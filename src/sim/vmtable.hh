@@ -25,6 +25,7 @@
 
 namespace tapas {
 
+class Archive;
 class InferenceEngine;
 
 /** Hot placement/service state of a VM slot (Empty = not placed). */
@@ -135,6 +136,13 @@ class VmTable
      * side table (tests; debug builds assert it per step).
      */
     bool consistent() const;
+
+    /**
+     * Serialize/restore every hot array and the cold side table,
+     * including owned engine state; the raw engine mirror is
+     * re-derived from the restored owners.
+     */
+    void checkpointState(Archive &ar);
 };
 
 } // namespace tapas

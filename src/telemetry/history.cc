@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
@@ -273,6 +274,56 @@ TelemetryStore::trimBefore(SimTime cutoff)
         series.trimBefore(cutoff);
     for (KeyedSeriesRing &series : endpointVmPower)
         series.trimBefore(cutoff);
+}
+
+namespace {
+
+void
+serverSampleFields(Archive &ar, ServerSample &s)
+{
+    ar.value(s.time);
+    ar.value(s.inletC);
+    ar.value(s.hottestGpuC);
+    ar.value(s.serverPowerW);
+    ar.value(s.gpuLoad);
+    ar.value(s.outsideC);
+    ar.value(s.dcLoadFrac);
+}
+
+void
+keyedSampleFields(Archive &ar, KeyedSample &s)
+{
+    ar.value(s.time);
+    ar.value(s.value);
+}
+
+void
+keyedTable(Archive &ar, std::vector<KeyedSeriesRing> &table)
+{
+    ar.each(table, [](Archive &a, KeyedSeriesRing &ring) {
+        ring.checkpointState(a, keyedSampleFields);
+    });
+}
+
+} // namespace
+
+void
+TelemetryStore::checkpointState(Archive &ar)
+{
+    ar.count(seriesCapacity);
+    ar.each(serverData, [](Archive &a, ServerSeriesRing &ring) {
+        ring.checkpointState(a, serverSampleFields);
+    });
+    keyedTable(ar, rowPower);
+    keyedTable(ar, customerVmPower);
+    keyedTable(ar, endpointVmPower);
+    const auto digest = [](Archive &a, LoadDigest &d) {
+        a.value(d.first);
+        a.value(d.last);
+        a.value(d.peak);
+    };
+    ar.each(customerLoads, digest);
+    ar.each(endpointLoads, digest);
 }
 
 } // namespace tapas

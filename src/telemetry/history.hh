@@ -22,6 +22,8 @@
 
 namespace tapas {
 
+class Archive;
+
 /** One aggregated server sample (the paper's 10-min sensor rows). */
 struct ServerSample
 {
@@ -153,6 +155,9 @@ class TelemetryStore
 
     /** Drop samples older than the cutoff (weekly refit window). */
     void trimBefore(SimTime cutoff);
+
+    /** Serialize/restore every ring and digest (checkpointing). */
+    void checkpointState(Archive &ar);
 
   private:
     struct LoadDigest

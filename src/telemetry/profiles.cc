@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/serialize.hh"
 #include "common/threadpool.hh"
 #include "telemetry/history.hh"
 
@@ -770,6 +771,24 @@ ProfileBank::refitPowerFromTelemetry(const TelemetryStore &store)
         for (int i = 0; i < 4; ++i)
             dst[i] = w[i];
     }
+}
+
+void
+ProfileBank::checkpointState(Archive &ar)
+{
+    ar.podVector(inletCoeffs);
+    ar.podVector(gpuTempCoeffs);
+    ar.podVector(powerCoeffs);
+    ar.podVector(airflowCoeffs);
+    ar.podVector(inletBias);
+    ar.podVector(classes);
+    ar.count(profiledServers);
+    ar.value(gpusPerServer);
+    ar.podVector(offlinePowerCoeffs);
+    ar.podVector(fitQuarantinedFlag);
+    ar.count(fitQuarantinedServers);
+    ar.value(refitsAcceptedCount);
+    ar.value(refitsRejectedCount);
 }
 
 } // namespace tapas

@@ -36,6 +36,7 @@
 
 namespace tapas {
 
+class Archive;
 class TelemetryStore;
 
 /** Placement temperature class of a server (Section 4.5, rule 2). */
@@ -228,6 +229,14 @@ class ProfileBank
 
     /** Fitted inlet bias of a server versus the fleet median. */
     double inletBiasC(ServerId id) const;
+
+    /**
+     * Serialize/restore all fitted coefficients and refit-gate state
+     * (checkpointing). The shared bench-sweep designs are rebuilt by
+     * the constructor and are identical for a given layout, so they
+     * do not travel.
+     */
+    void checkpointState(Archive &ar);
 
   private:
     /** Coefficient widths of the flat model arrays. */

@@ -301,6 +301,44 @@ class SampleRing
      */
     SimTime maxGap() const { return maxGapS; }
 
+    /**
+     * Serialize/restore via a caller-supplied per-sample codec
+     * (@p fn(ar, sample) — field-wise, never memcpy: padded sample
+     * structs would leak uninitialized bytes into digests). Samples
+     * travel in logical (oldest-first) order; a restored ring is
+     * rebuilt in canonical form — head 0, physically contiguous —
+     * which push/trim handle identically to the original layout, and
+     * the peak digest is recomputed on the next query.
+     */
+    template <typename Ar, typename Fn>
+    void
+    checkpointState(Ar &ar, Fn fn)
+    {
+        std::size_t n = count;
+        ar.count(cap);
+        ar.count(n);
+        ar.value(lastGapS);
+        ar.value(maxGapS);
+        if (ar.writing()) {
+            for (std::size_t i = 0; i < count; ++i)
+                fn(ar, const_cast<T &>(at(i)));
+            return;
+        }
+        if (cap == 0 || n > cap) {
+            ar.fail();
+            cap = std::max<std::size_t>(1, cap);
+            n = 0;
+        }
+        data.clear();
+        data.resize(n);
+        head = 0;
+        count = n;
+        peak = 0.0;
+        peakValid = false;
+        for (std::size_t i = 0; i < n; ++i)
+            fn(ar, data[i]);
+    }
+
   private:
     std::vector<T> data;
     std::size_t cap = 1;

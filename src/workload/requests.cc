@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace tapas {
 
@@ -154,6 +155,13 @@ RequestGenerator::generate(EndpointId id, SimTime from, SimTime to,
         req.outputTokens = sampleOutputTokens();
         out.push_back(req);
     }
+}
+
+void
+RequestGenerator::checkpointState(Archive &ar)
+{
+    rng.checkpointState(ar);
+    ar.value(nextRequestId);
 }
 
 } // namespace tapas

@@ -20,6 +20,8 @@
 
 namespace tapas {
 
+class Archive;
+
 /** Demand shape of one SaaS inference endpoint. */
 struct EndpointDemand
 {
@@ -93,6 +95,13 @@ class RequestGenerator
      */
     void generate(EndpointId id, SimTime from, SimTime to,
                   std::vector<Request> &out);
+
+    /**
+     * Serialize/restore the mutable stream state (arrival Rng and
+     * the next request id); the demand shapes are constructor
+     * inputs and do not travel.
+     */
+    void checkpointState(Archive &ar);
 
   private:
     std::vector<EndpointDemand> endpointList;

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -16,6 +17,7 @@
 #include <string>
 #include <tuple>
 
+#include "common/serialize.hh"
 #include "common/threadpool.hh"
 #include "core/allocator.hh"
 #include "core/router.hh"
@@ -502,6 +504,9 @@ TEST(ScenarioSweepErrors, FailurePropagatesJobIdentity)
         FAIL() << "expected the poisoned job to propagate";
     } catch (const std::runtime_error &err) {
         const std::string what = err.what();
+        EXPECT_NE(what.find("1 of 2 sweep jobs failed"),
+                  std::string::npos)
+            << what;
         EXPECT_NE(what.find("grid/s11"), std::string::npos) << what;
         EXPECT_NE(what.find("index 1"), std::string::npos) << what;
         EXPECT_NE(what.find("seed 11"), std::string::npos) << what;
@@ -509,6 +514,186 @@ TEST(ScenarioSweepErrors, FailurePropagatesJobIdentity)
                   std::string::npos)
             << what;
     }
+}
+
+TEST(ScenarioSweepErrors, AllFailuresAreCollectedNotJustTheFirst)
+{
+    // One bad job must not abandon the rest of the grid: the healthy
+    // jobs still complete, and EVERY failure is reported together.
+    std::vector<SweepJob> variants;
+    SimConfig cfg = sweepScenario(1);
+    cfg.horizon = kHour;
+    variants.push_back({"grid", cfg});
+    const auto jobs =
+        ScenarioSweep::crossSeeds(variants, {3, 11, 17, 23});
+
+    ThreadPool pool(2);
+    ScenarioSweep sweep(pool);
+    std::atomic<int> survivors{0};
+    const auto poison = [&](const SweepJob &job, ClusterSim &) {
+        if (job.name == "grid/s3")
+            throw std::runtime_error("first poison");
+        if (job.name == "grid/s17")
+            throw std::runtime_error("second poison");
+        ++survivors;
+    };
+
+    try {
+        sweep.run(jobs, poison);
+        FAIL() << "expected the poisoned jobs to propagate";
+    } catch (const std::runtime_error &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("2 of 4 sweep jobs failed"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("grid/s3"), std::string::npos) << what;
+        EXPECT_NE(what.find("first poison"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("grid/s17"), std::string::npos) << what;
+        EXPECT_NE(what.find("second poison"), std::string::npos)
+            << what;
+    }
+    // The healthy jobs ran to completion despite the failures.
+    EXPECT_EQ(survivors.load(), 2);
+}
+
+// --- Crash recovery: resume, quarantine, corrupt snapshots ----------
+
+SweepRecovery
+testRecovery()
+{
+    SweepRecovery recovery;
+    recovery.checkpointDir = ::testing::TempDir();
+    recovery.checkpointPeriod = kHour;
+    return recovery;
+}
+
+TEST(ScenarioSweepRecovery, ResumedJobMatchesStraightThroughRun)
+{
+    // Simulate a crashed sweep: a half-finished snapshot is already
+    // on disk for one job. Rerunning the sweep must pick it up
+    // (outcome.resumed) and land on bit-identical metrics.
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"recover", sweepScenario(9).asTapas()});
+    const SweepRecovery recovery = testRecovery();
+    const std::string ckpt =
+        recovery.pathFor(jobs[0].name, jobs[0].config.seed);
+
+    ClusterSim half(jobs[0].config);
+    half.runSteps(
+        static_cast<int>(jobs[0].config.horizon /
+                         jobs[0].config.stepLength / 2));
+    ASSERT_TRUE(half.saveCheckpoint(ckpt).ok());
+
+    ThreadPool pool(2);
+    ScenarioSweep sweep(pool);
+    const auto outcomes = sweep.run(jobs, {}, recovery);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].resumed);
+    EXPECT_EQ(outcomes[0].attempts, 1);
+
+    ClusterSim reference(jobs[0].config);
+    reference.run();
+    EXPECT_EQ(outcomes[0].metrics.totalSteps,
+              reference.metrics().totalSteps);
+    EXPECT_DOUBLE_EQ(outcomes[0].metrics.totalTokens,
+                     reference.metrics().totalTokens);
+    EXPECT_DOUBLE_EQ(outcomes[0].metrics.datacenterPowerW.mean(),
+                     reference.metrics().datacenterPowerW.mean());
+    EXPECT_EQ(outcomes[0].metrics.vmsPlaced,
+              reference.metrics().vmsPlaced);
+
+    // Success cleaned up the snapshot and the attempt sidecar.
+    EXPECT_FALSE(fileExists(ckpt));
+    EXPECT_FALSE(fileExists(ckpt + ".attempts"));
+}
+
+TEST(ScenarioSweepRecovery, CorruptSnapshotFallsBackToFreshStart)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"corrupt", sweepScenario(13).asTapas()});
+    const SweepRecovery recovery = testRecovery();
+    const std::string ckpt =
+        recovery.pathFor(jobs[0].name, jobs[0].config.seed);
+
+    // A torn write: half a snapshot.
+    ClusterSim half(jobs[0].config);
+    half.runSteps(10);
+    ASSERT_TRUE(half.saveCheckpoint(ckpt).ok());
+    Result<std::vector<std::uint8_t>> bytes = readFileBytes(ckpt);
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_TRUE(atomicWriteFile(ckpt, bytes.value().data(),
+                                bytes.value().size() / 2)
+                    .ok());
+
+    ThreadPool pool(2);
+    ScenarioSweep sweep(pool);
+    const auto outcomes = sweep.run(jobs, {}, recovery);
+    ASSERT_EQ(outcomes.size(), 1u);
+    // The job did not resume — it started over and still finished
+    // with the right answer.
+    EXPECT_FALSE(outcomes[0].resumed);
+    ClusterSim reference(jobs[0].config);
+    reference.run();
+    EXPECT_DOUBLE_EQ(outcomes[0].metrics.totalTokens,
+                     reference.metrics().totalTokens);
+    EXPECT_FALSE(fileExists(ckpt));
+}
+
+TEST(ScenarioSweepRecovery, CrashingJobIsQuarantinedAfterMaxAttempts)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"crasher", sweepScenario(17).asTapas()});
+    jobs.push_back({"healthy", sweepScenario(19).asTapas()});
+    SweepRecovery recovery = testRecovery();
+    recovery.maxAttempts = 3;
+    const std::string crasher_ckpt =
+        recovery.pathFor(jobs[0].name, jobs[0].config.seed);
+
+    ThreadPool pool(2);
+    ScenarioSweep sweep(pool);
+    const auto poison = [](const SweepJob &job, ClusterSim &) {
+        if (job.name == "crasher")
+            throw std::runtime_error("dies every time");
+    };
+
+    // Attempts 1..maxAttempts: the job runs (and dies); its attempt
+    // sidecar survives each failure.
+    for (int attempt = 1; attempt <= recovery.maxAttempts;
+         ++attempt) {
+        try {
+            sweep.run(jobs, poison, recovery);
+            FAIL() << "expected failure on attempt " << attempt;
+        } catch (const std::runtime_error &err) {
+            const std::string what = err.what();
+            EXPECT_NE(what.find("crasher"), std::string::npos)
+                << what;
+            if (attempt < recovery.maxAttempts) {
+                EXPECT_NE(what.find("dies every time"),
+                          std::string::npos)
+                    << what;
+            }
+        }
+    }
+
+    // Attempt maxAttempts+1: the job is quarantined without running
+    // — the report says so and names the sidecar to remove.
+    try {
+        sweep.run(jobs, poison, recovery);
+        FAIL() << "expected quarantine failure";
+    } catch (const std::runtime_error &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("quarantined after 3 crashing attempts"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find(".attempts"), std::string::npos) << what;
+        // The quarantined job did NOT run this time.
+        EXPECT_EQ(what.find("dies every time"), std::string::npos)
+            << what;
+    }
+
+    removeFileIfExists(crasher_ckpt);
+    removeFileIfExists(crasher_ckpt + ".attempts");
 }
 
 } // namespace

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Checkpoint/restore integration tests: the bit-exactness contract
+ * (run-to-T equals save-at-T/2 + restore + run-to-T on every metric
+ * and on stateDigest, fault timelines and sensor corruption
+ * included), config-mismatch rejection, and structured-error
+ * rejection of corrupted snapshots at the sim level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "sim/cluster.hh"
+#include "sim/scenario.hh"
+
+namespace tapas {
+namespace {
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+/** Canonical full-equality byte stream of a metric set. */
+std::vector<std::uint8_t>
+metricsBytes(const SimMetrics &metrics)
+{
+    SimMetrics copy = metrics;
+    Archive ar = Archive::writer();
+    copy.checkpointState(ar);
+    EXPECT_TRUE(ar.ok());
+    return ar.takeBuffer();
+}
+
+int
+totalStepCount(const SimConfig &cfg)
+{
+    return static_cast<int>(cfg.horizon / cfg.stepLength);
+}
+
+/**
+ * The contract, as one reusable drill: run a reference sim straight
+ * through; run a second sim to the checkpoint step, save, restore
+ * into a third sim, and run it to the horizon. The restored run must
+ * match the reference bit-for-bit on stateDigest and on the full
+ * serialized metric state.
+ */
+void
+expectBitExactResume(const SimConfig &cfg, int checkpoint_step,
+                     const char *ckpt_name)
+{
+    const std::string path = tmpPath(ckpt_name);
+    const int total = totalStepCount(cfg);
+    ASSERT_GT(checkpoint_step, 0);
+    ASSERT_LT(checkpoint_step, total);
+
+    ClusterSim reference(cfg);
+    reference.run();
+
+    ClusterSim writer(cfg);
+    writer.runSteps(checkpoint_step);
+    ASSERT_TRUE(writer.saveCheckpoint(path).ok());
+    const std::uint64_t mid_digest = writer.stateDigest();
+
+    ClusterSim restored(cfg);
+    ASSERT_TRUE(restored.restoreCheckpoint(path).ok());
+    EXPECT_EQ(restored.now(), writer.now());
+    // The restored sim IS the writer, bit for bit.
+    EXPECT_EQ(restored.stateDigest(), mid_digest);
+    // Derived structures came back consistent.
+    EXPECT_TRUE(restored.verifyVmTable());
+    EXPECT_TRUE(restored.verifyRoutingIndex());
+    EXPECT_TRUE(restored.verifyClusterView());
+
+    restored.runSteps(total - checkpoint_step);
+    ASSERT_TRUE(restored.finished());
+    EXPECT_EQ(restored.stateDigest(), reference.stateDigest());
+    EXPECT_EQ(metricsBytes(restored.metrics()),
+              metricsBytes(reference.metrics()));
+    // Spot checks so a failure names a human-readable quantity too.
+    EXPECT_EQ(restored.metrics().totalSteps,
+              reference.metrics().totalSteps);
+    EXPECT_EQ(restored.metrics().inletExcursionSteps,
+              reference.metrics().inletExcursionSteps);
+    EXPECT_EQ(restored.metrics().faultSteps,
+              reference.metrics().faultSteps);
+    EXPECT_DOUBLE_EQ(restored.metrics().totalTokens,
+                     reference.metrics().totalTokens);
+    EXPECT_DOUBLE_EQ(restored.metrics().datacenterPowerW.mean(),
+                     reference.metrics().datacenterPowerW.mean());
+    removeFileIfExists(path);
+}
+
+TEST(Checkpoint, FaultDrillResumeIsBitExactTapas)
+{
+    const SimConfig cfg = faultDrillScenario(301).asTapas();
+    expectBitExactResume(cfg, totalStepCount(cfg) / 2,
+                         "ckpt_drill_tapas.tapasckp");
+}
+
+TEST(Checkpoint, FaultDrillResumeIsBitExactBaseline)
+{
+    const SimConfig cfg = faultDrillScenario(303).asBaseline();
+    expectBitExactResume(cfg, totalStepCount(cfg) / 2,
+                         "ckpt_drill_base.tapasckp");
+}
+
+TEST(Checkpoint, WeekLongRunWithStochasticFaultsResumesBitExact)
+{
+    // A week on the small cluster with every stochastic fault
+    // process live (components AND sensors): the checkpoint carries
+    // the fault replay cursor, stuck-at snapshots, quarantine
+    // streaks, and telemetry digests across days of simulated time.
+    SimConfig cfg = smallTestScenario(305).asTapas();
+    cfg.horizon = kWeek;
+    cfg.vmTrace.horizon = kWeek;
+    cfg.policy.sensorQuarantineEnabled = true;
+    cfg.faults.ahu.mtbfS = 2.0 * static_cast<double>(kDay);
+    cfg.faults.ups.mtbfS = 3.0 * static_cast<double>(kDay);
+    cfg.faults.sensor.mtbfS = 1.0 * static_cast<double>(kDay);
+    expectBitExactResume(cfg, totalStepCount(cfg) / 2,
+                         "ckpt_week.tapasckp");
+}
+
+TEST(Checkpoint, ResumeIsExactAtUnevenBoundary)
+{
+    // Not just the midpoint: an "ugly" early boundary, while
+    // placements are still churning.
+    const SimConfig cfg = faultDrillScenario(307).asTapas();
+    expectBitExactResume(cfg, 7, "ckpt_uneven.tapasckp");
+}
+
+TEST(Checkpoint, RestoreOverwritesADivergedSim)
+{
+    // Restoring into a sim that already stepped elsewhere must fully
+    // overwrite it — no state may leak through from before.
+    const SimConfig cfg = faultDrillScenario(309).asTapas();
+    const std::string path = tmpPath("ckpt_overwrite.tapasckp");
+    const int total = totalStepCount(cfg);
+
+    ClusterSim writer(cfg);
+    writer.runSteps(total / 2);
+    ASSERT_TRUE(writer.saveCheckpoint(path).ok());
+
+    ClusterSim diverged(cfg);
+    diverged.runSteps(total / 4);
+    ASSERT_TRUE(diverged.restoreCheckpoint(path).ok());
+    EXPECT_EQ(diverged.stateDigest(), writer.stateDigest());
+
+    writer.runSteps(total - total / 2);
+    diverged.runSteps(total - total / 2);
+    EXPECT_EQ(diverged.stateDigest(), writer.stateDigest());
+    EXPECT_EQ(metricsBytes(diverged.metrics()),
+              metricsBytes(writer.metrics()));
+    removeFileIfExists(path);
+}
+
+TEST(Checkpoint, StateDigestTracksProgress)
+{
+    const SimConfig cfg = smallTestScenario(311).asTapas();
+    ClusterSim sim(cfg);
+    const std::uint64_t d0 = sim.stateDigest();
+    // Reading the digest does not perturb the sim.
+    EXPECT_EQ(sim.stateDigest(), d0);
+    sim.runSteps(3);
+    const std::uint64_t d3 = sim.stateDigest();
+    EXPECT_NE(d3, d0);
+    // Same config, same steps => same digest.
+    ClusterSim again(cfg);
+    again.runSteps(3);
+    EXPECT_EQ(again.stateDigest(), d3);
+}
+
+TEST(Checkpoint, WrongConfigurationIsRejectedAsMismatch)
+{
+    const std::string path = tmpPath("ckpt_mismatch.tapasckp");
+    ClusterSim writer(faultDrillScenario(313).asTapas());
+    writer.runSteps(5);
+    ASSERT_TRUE(writer.saveCheckpoint(path).ok());
+
+    // Different scenario entirely.
+    ClusterSim other(smallTestScenario(313).asTapas());
+    Error err = other.restoreCheckpoint(path);
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.code(), ErrorCode::Mismatch);
+
+    // Same scenario, different seed: also a different stream.
+    ClusterSim reseeded(faultDrillScenario(314).asTapas());
+    err = reseeded.restoreCheckpoint(path);
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.code(), ErrorCode::Mismatch);
+
+    // Same scenario, different policy: also rejected.
+    ClusterSim repoliced(faultDrillScenario(313).asBaseline());
+    err = repoliced.restoreCheckpoint(path);
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.code(), ErrorCode::Mismatch);
+    removeFileIfExists(path);
+}
+
+TEST(Checkpoint, MissingFileIsIoError)
+{
+    ClusterSim sim(smallTestScenario(315).asTapas());
+    Error err =
+        sim.restoreCheckpoint(tmpPath("no_such_ckpt.tapasckp"));
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.code(), ErrorCode::Io);
+}
+
+TEST(Checkpoint, CorruptedSnapshotsAreRejectedPerSection)
+{
+    const SimConfig cfg = faultDrillScenario(317).asTapas();
+    const std::string path = tmpPath("ckpt_corrupt.tapasckp");
+    ClusterSim writer(cfg);
+    writer.runSteps(10);
+    ASSERT_TRUE(writer.saveCheckpoint(path).ok());
+
+    Result<std::vector<std::uint8_t>> good = readFileBytes(path);
+    ASSERT_TRUE(good.ok());
+    Result<CheckpointData> parsed = readCheckpointFile(path);
+    ASSERT_TRUE(parsed.ok());
+
+    // One bit flip inside every section's payload: the frame CRC
+    // catches each before any state is touched.
+    std::size_t payload_pos = 28; // kHeaderSize
+    for (const CheckpointSection &section :
+         parsed.value().sections) {
+        const std::size_t flip_at =
+            payload_pos + 12 + section.payload.size() / 2;
+        std::vector<std::uint8_t> bad = good.value();
+        ASSERT_LT(flip_at, bad.size());
+        bad[flip_at] ^= 0x01;
+        ASSERT_TRUE(
+            atomicWriteFile(path, bad.data(), bad.size()).ok());
+        ClusterSim victim(cfg);
+        Error err = victim.restoreCheckpoint(path);
+        ASSERT_FALSE(err.ok())
+            << "accepted flip in section " << section.id;
+        EXPECT_EQ(err.code(), ErrorCode::Corrupt);
+        // The victim was never touched: it still steps like a fresh
+        // sim of this config.
+        ClusterSim fresh(cfg);
+        EXPECT_EQ(victim.stateDigest(), fresh.stateDigest());
+        payload_pos += 16 + section.payload.size();
+    }
+
+    // Truncation mid-file.
+    std::vector<std::uint8_t> trunc = good.value();
+    trunc.resize(trunc.size() / 2);
+    ASSERT_TRUE(
+        atomicWriteFile(path, trunc.data(), trunc.size()).ok());
+    ClusterSim victim(cfg);
+    Error err = victim.restoreCheckpoint(path);
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.code(), ErrorCode::Corrupt);
+    removeFileIfExists(path);
+}
+
+TEST(Checkpoint, MissingSectionIsRejected)
+{
+    const SimConfig cfg = smallTestScenario(319).asTapas();
+    const std::string path = tmpPath("ckpt_missing_sec.tapasckp");
+    ClusterSim writer(cfg);
+    writer.runSteps(4);
+    ASSERT_TRUE(writer.saveCheckpoint(path).ok());
+
+    Result<CheckpointData> parsed = readCheckpointFile(path);
+    ASSERT_TRUE(parsed.ok());
+    CheckpointData data = parsed.value();
+    ASSERT_GT(data.sections.size(), 1u);
+    data.sections.pop_back(); // drop the metrics section
+    ASSERT_TRUE(writeCheckpointFile(path, data.configDigest,
+                                    data.sections)
+                    .ok());
+
+    ClusterSim victim(cfg);
+    Error err = victim.restoreCheckpoint(path);
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.code(), ErrorCode::Corrupt);
+    EXPECT_NE(err.message().find("missing section"),
+              std::string::npos);
+    removeFileIfExists(path);
+}
+
+TEST(Checkpoint, UndecodablePayloadIsRejectedAfterValidation)
+{
+    // A CRC-valid file whose section payload does not decode (here:
+    // a truncated-then-resealed core section) must still come back
+    // as a structured Corrupt error, not UB.
+    const SimConfig cfg = smallTestScenario(321).asTapas();
+    const std::string path = tmpPath("ckpt_undecodable.tapasckp");
+    ClusterSim writer(cfg);
+    writer.runSteps(4);
+    ASSERT_TRUE(writer.saveCheckpoint(path).ok());
+
+    Result<CheckpointData> parsed = readCheckpointFile(path);
+    ASSERT_TRUE(parsed.ok());
+    CheckpointData data = parsed.value();
+    ASSERT_FALSE(data.sections.empty());
+    ASSERT_GT(data.sections[0].payload.size(), 8u);
+    data.sections[0].payload.resize(
+        data.sections[0].payload.size() - 8);
+    ASSERT_TRUE(writeCheckpointFile(path, data.configDigest,
+                                    data.sections)
+                    .ok());
+
+    ClusterSim victim(cfg);
+    Error err = victim.restoreCheckpoint(path);
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.code(), ErrorCode::Corrupt);
+    EXPECT_NE(err.message().find("does not decode"),
+              std::string::npos);
+    removeFileIfExists(path);
+}
+
+TEST(Checkpoint, SaveIsByteStableAcrossRewrites)
+{
+    // Saving twice without stepping produces identical files
+    // (canonical serialization: no map-order or uninitialized-pad
+    // leakage).
+    const SimConfig cfg = faultDrillScenario(323).asTapas();
+    const std::string a = tmpPath("ckpt_stable_a.tapasckp");
+    const std::string b = tmpPath("ckpt_stable_b.tapasckp");
+    ClusterSim sim(cfg);
+    sim.runSteps(12);
+    ASSERT_TRUE(sim.saveCheckpoint(a).ok());
+    ASSERT_TRUE(sim.saveCheckpoint(b).ok());
+    Result<std::vector<std::uint8_t>> ba = readFileBytes(a);
+    Result<std::vector<std::uint8_t>> bb = readFileBytes(b);
+    ASSERT_TRUE(ba.ok());
+    ASSERT_TRUE(bb.ok());
+    EXPECT_EQ(ba.value(), bb.value());
+    removeFileIfExists(a);
+    removeFileIfExists(b);
+}
+
+} // namespace
+} // namespace tapas

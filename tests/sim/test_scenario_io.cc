@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Scenario-spec loader tests: valid specs produce the configured
+ * SimConfig; every malformed input (missing file, unknown scenario,
+ * unknown key, bad value) is a structured tapas::Error naming the
+ * offending line — user input must never trip an assertion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/serialize.hh"
+#include "sim/scenario.hh"
+#include "sim/scenario_io.hh"
+
+namespace tapas {
+namespace {
+
+TEST(ScenarioIo, ScenarioByNameCoversCannedSetups)
+{
+    ASSERT_TRUE(scenarioByName("small", 3).ok());
+    EXPECT_EQ(scenarioByName("small", 3).value().seed, 3u);
+    ASSERT_TRUE(scenarioByName("fault-drill", 4).ok());
+    ASSERT_TRUE(scenarioByName("real-cluster", 5).ok());
+    ASSERT_TRUE(scenarioByName("large-scale", 6).ok());
+
+    Result<SimConfig> unknown = scenarioByName("warehouse", 1);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.error().code(), ErrorCode::Invalid);
+    EXPECT_NE(unknown.error().message().find("warehouse"),
+              std::string::npos);
+}
+
+TEST(ScenarioIo, FullSpecParsesAndAppliesOverrides)
+{
+    const std::string spec =
+        "# drill spec\n"
+        "scenario = fault-drill\n"
+        "seed = 41\n"
+        "policy = tapas   # inline comment\n"
+        "horizon_s = 7200\n"
+        "step_length_s = 60\n"
+        "sensor_quarantine = true\n"
+        "inlet_limit_c = 31.5\n"
+        "faults.sensor.mtbf_s = 43200\n"
+        "faults.sensor.mttr_s = 3600\n"
+        "faults.ahu.remaining_frac = 0.85\n";
+    Result<SimConfig> parsed = parseScenarioSpec(spec, "spec");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+    const SimConfig &cfg = parsed.value();
+    EXPECT_EQ(cfg.seed, 41u);
+    EXPECT_TRUE(cfg.policy.placeEnabled);
+    EXPECT_EQ(cfg.horizon, 7200);
+    EXPECT_EQ(cfg.stepLength, 60);
+    EXPECT_TRUE(cfg.policy.sensorQuarantineEnabled);
+    EXPECT_DOUBLE_EQ(cfg.inletLimitC, 31.5);
+    EXPECT_DOUBLE_EQ(cfg.faults.sensor.mtbfS, 43200.0);
+    EXPECT_DOUBLE_EQ(cfg.faults.sensor.mttrS, 3600.0);
+    EXPECT_DOUBLE_EQ(cfg.faults.ahu.remainingFrac, 0.85);
+}
+
+TEST(ScenarioIo, BaselinePolicyDisablesTapas)
+{
+    const std::string spec =
+        "scenario = small\npolicy = baseline\n";
+    Result<SimConfig> parsed = parseScenarioSpec(spec, "spec");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_FALSE(parsed.value().policy.placeEnabled);
+    EXPECT_FALSE(parsed.value().policy.routeEnabled);
+    EXPECT_FALSE(parsed.value().policy.configEnabled);
+}
+
+TEST(ScenarioIo, ErrorsNameTheOffendingLine)
+{
+    struct Case
+    {
+        const char *spec;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {"seed = 1\n", "missing required key 'scenario'"},
+        {"scenario = warehouse\n", "spec:1"},
+        {"scenario = small\nbananas = 7\n",
+         "spec:2: unknown key 'bananas'"},
+        {"scenario = small\nhorizon_s = soon\n",
+         "spec:2: key 'horizon_s'"},
+        {"scenario = small\nhorizon_s = -5\n", "positive"},
+        {"scenario = small\npolicy = chaos\n",
+         "'tapas' or 'baseline'"},
+        {"scenario = small\nsensor_quarantine = maybe\n",
+         "a boolean"},
+        {"scenario = small\nfaults.pump.mtbf_s = 1\n",
+         "unknown fault process"},
+        {"scenario = small\nfaults.ahu.color = 1\n",
+         "unknown fault field"},
+        {"scenario = small\nthis line has no equals\n",
+         "expected 'key = value'"},
+        {"scenario = small\nhorizon_s =\n", "empty key or value"},
+    };
+    for (const Case &c : cases) {
+        Result<SimConfig> parsed = parseScenarioSpec(c.spec, "spec");
+        ASSERT_FALSE(parsed.ok()) << c.spec;
+        EXPECT_EQ(parsed.error().code(), ErrorCode::Invalid)
+            << c.spec;
+        EXPECT_NE(parsed.error().message().find(c.needle),
+                  std::string::npos)
+            << "message: " << parsed.error().message();
+    }
+}
+
+TEST(ScenarioIo, LoadFromFileRoundTrips)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "scenario_spec.conf";
+    ASSERT_TRUE(atomicWriteFile(path,
+                                "scenario = small\n"
+                                "seed = 77\n"
+                                "policy = tapas\n")
+                    .ok());
+    Result<SimConfig> loaded = loadScenarioSpec(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message();
+    EXPECT_EQ(loaded.value().seed, 77u);
+    removeFileIfExists(path);
+
+    Result<SimConfig> missing =
+        loadScenarioSpec(path + ".does-not-exist");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code(), ErrorCode::Io);
+}
+
+} // namespace
+} // namespace tapas

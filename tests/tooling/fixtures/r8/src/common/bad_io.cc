@@ -1,0 +1,35 @@
+// R8 fixture: raw durable-write primitives instead of the
+// serialization layer's atomic write-rename. Expected: exactly four
+// R8 violations — fopen, fwrite, std::ofstream, std::fstream.
+// std::ifstream is deliberately NOT flagged (torn reads are caught
+// by the checkpoint CRC/length checks, so read-side streams are
+// legal), and neither is a comment mentioning fopen().
+#include <cstdio>
+#include <fstream>
+
+namespace tapas_fixture {
+
+void
+badWrites(const char *path)
+{
+    FILE *fp = fopen(path, "wb"); // violation: R8
+    const char byte = 0;
+    fwrite(&byte, 1, 1, fp); // violation: R8
+    fclose(fp);
+
+    std::ofstream out(path); // violation: R8
+    out << "torn on crash";
+
+    std::fstream rw(path); // violation: R8
+    rw << "also torn";
+}
+
+void
+goodRead(const char *path)
+{
+    std::ifstream in(path); // allowed: read-side stream
+    char ch;
+    in.get(ch);
+}
+
+} // namespace tapas_fixture

@@ -1,4 +1,4 @@
-// Tooling suite: pins the tapas-lint contract. Each rule R1..R7 has
+// Tooling suite: pins the tapas-lint contract. Each rule R1..R8 has
 // a fixture mini-root under tests/tooling/fixtures/ holding known
 // violations; the tests shell the linter at those roots and assert
 // the exact rule IDs, violation counts, and exit codes. A regression
@@ -80,7 +80,7 @@ expectFixture(const std::string &fixture, const std::string &rule,
     EXPECT_EQ(countOccurrences(run.output, rule), expected)
         << fixture << ":\n" << run.output;
     for (const char *other :
-         {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}) {
+         {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}) {
         if (other == rule)
             continue;
         EXPECT_EQ(countOccurrences(run.output, other), 0)
@@ -146,6 +146,17 @@ TEST(TapasLint, R7LockDiscipline)
         << run.output;
 }
 
+TEST(TapasLint, R8RawFileIo)
+{
+    const LintRun run = runLintOnFixture("r8");
+    expectFixture("r8", "R8", 4);
+    // Read-side streams are legal (torn reads are caught by the
+    // checkpoint CRC/length checks); the fixture's std::ifstream
+    // line must never be flagged.
+    EXPECT_EQ(run.output.find("ifstream"), std::string::npos)
+        << run.output;
+}
+
 TEST(TapasLint, ViolationLinesNameFileAndLine)
 {
     const LintRun run = runLintOnFixture("r5");
@@ -161,12 +172,12 @@ TEST(TapasLint, UnknownTargetIsUsageError)
     EXPECT_EQ(run.exitCode, 2) << run.output;
 }
 
-TEST(TapasLint, ListRulesShowsAllSeven)
+TEST(TapasLint, ListRulesShowsEveryRule)
 {
     const LintRun run = runLint("--list-rules");
     EXPECT_EQ(run.exitCode, 0) << run.output;
     for (const char *rule :
-         {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}) {
+         {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}) {
         EXPECT_NE(run.output.find(rule), std::string::npos)
             << "missing " << rule << ":\n" << run.output;
     }

@@ -148,4 +148,30 @@ RULES = [
         "exclude": ["src/common/thread_annotations.hh"],
         "strip_comments": True,
     },
+    {
+        "id": "R8",
+        "name": "no-raw-file-writes",
+        "summary": "raw fopen/fwrite/ofstream outside the"
+                   " serialization layer (use atomicWriteFile /"
+                   " readFile* from common/serialize.hh)",
+        "kind": "pattern",
+        # Write-side primitives only: a torn *read* is handled by the
+        # checkpoint CRC/length checks, so std::ifstream stays legal
+        # (bench loaders read baselines with it). Every durable write
+        # must go through atomic write-rename or a crash can leave a
+        # torn file that later reads as silent corruption.
+        "pattern": (
+            r"\bfopen\s*\("
+            r"|\bfwrite\s*\("
+            r"|std::ofstream"
+            r"|std::fstream(?![A-Za-z0-9_])"
+        ),
+        "include": ["src/**", "bench/**", "examples/**"],
+        # The one sanctioned user: the atomic write-rename itself.
+        "exclude": [
+            "src/common/serialize.cc",
+            "src/common/serialize.hh",
+        ],
+        "strip_comments": True,
+    },
 ]
