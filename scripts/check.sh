@@ -31,11 +31,25 @@ echo "== tapas-lint =="
 # lives on as rule R6. Rules and escapes: scripts/README.md.
 python3 scripts/tapas_lint.py
 
+echo "== tapas-analyze (A1 checkpoint coverage, A2 layering) =="
+# The semantic passes (scripts/tapas_analyze.py): every member of a
+# checkpointState class archived or ckpt-skip-exempted, and the
+# src/ include graph inside the layer DAG. Each pass prints its
+# runtime in the summary line. A3 runs after the Release build below.
+python3 scripts/tapas_analyze.py
+
 echo "== configure (Release) =="
 cmake -B build -S .
 
 echo "== build (Release) =="
 cmake --build build -j
+
+echo "== tapas-analyze A3 (binary hot-path verification) =="
+# Post-build pass over the Release objects: no operator new/delete,
+# __cxa_throw, malloc, or pthread_mutex_lock reachable from
+# tapas-hot region code — the inlining blind spot lint R3 cannot
+# see. Needs the full-`-g` Release objects built above.
+python3 scripts/tapas_analyze.py --pass a3 --objdir build
 
 echo "== tier-1 tests (Release) =="
 release_log=$(mktemp)

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""tapas-analyze: semantic static-analysis passes.
+
+Where tapas-lint checks lines, tapas-analyze checks meaning — the
+three invariants the repo cannot afford to leave to reviewer memory:
+
+  A1  checkpoint field-coverage   every non-static data member of a
+      class declaring checkpointState(Archive&) is archived by its
+      walk or exempted with // ckpt-skip(derived|scratch|constant):
+      reason (a forgotten field = silent restore divergence).
+  A2  module layering             the #include graph over src/ stays
+      inside the layer DAG (common at the bottom, sim at the top);
+      upward edges, cross edges, cycles, unknown modules fail.
+  A3  binary hot-path verify      the Release objects of files with
+      // tapas-hot regions emit no reachable calls to operator
+      new/delete, __cxa_throw, malloc, or pthread_mutex_lock from
+      region code — closing lint R3's inlining blind spot. Needs
+      --objdir pointing at a build tree compiled with -g.
+
+Dependency-free (python3 stdlib + GCC binutils for A3). Pass logic
+lives in tools/analyze/; comment-stripping, escapes, globbing, and
+git-changed-file machinery are shared with tapas-lint via
+tools/lint/textutil.py.
+
+Usage:
+    scripts/tapas_analyze.py                    # A1+A2 on the repo
+    scripts/tapas_analyze.py --pass a1          # one pass
+    scripts/tapas_analyze.py --pass a3 --objdir build
+    scripts/tapas_analyze.py --root DIR         # fixture mini-roots
+    scripts/tapas_analyze.py --list-classes     # A1 class inventory
+    scripts/tapas_analyze.py --dump-graph       # A2 graph as JSON
+    scripts/tapas_analyze.py --changed-only     # diff vs origin/main
+    scripts/tapas_analyze.py --jsonl            # machine output
+
+Output: one `path:line: A<n>: message` per violation, sorted; a
+per-pass summary with runtime on stderr.
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+
+Escapes: `// lint-allow(A<n>): <reason>` (same grammar as the lint
+rules); A1 additionally honors the ckpt-skip member annotations.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+_SCRIPT_DIR = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(_SCRIPT_DIR)
+sys.path.insert(0, os.path.join(_REPO_ROOT, "tools"))
+
+from analyze import ckpt, hotbin, layering  # noqa: E402
+from lint.rules import DEFAULT_EXCLUDES  # noqa: E402
+from lint.textutil import (  # noqa: E402
+    changed_files,
+    collect_files,
+    emit_violations,
+    read_lines,
+    strip_comments_file,
+)
+
+PASSES = ("a1", "a2", "a3")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        prog="tapas-analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=_REPO_ROOT,
+                    help="analysis root (default: the repo root;"
+                         " tests point this at fixture mini-roots)")
+    ap.add_argument("--pass", dest="passes", default="a1,a2",
+                    help="comma-separated subset of a1,a2,a3"
+                         " (default: a1,a2; a3 needs --objdir)")
+    ap.add_argument("--objdir", default=None,
+                    help="build tree holding the Release objects"
+                         " (required for a3; compile with -g)")
+    ap.add_argument("--list-classes", action="store_true",
+                    help="print the A1 class inventory and exit")
+    ap.add_argument("--dump-graph", action="store_true",
+                    help="print the A2 include graph as JSON and"
+                         " exit")
+    ap.add_argument("--changed-only", action="store_true",
+                    help="analyze only files changed vs --base plus"
+                         " the dirty/untracked worktree")
+    ap.add_argument("--base", default=None,
+                    help="base ref for --changed-only (default:"
+                         " origin/main, falling back to main)")
+    ap.add_argument("--jsonl", action="store_true",
+                    help="emit one JSON object per violation")
+    ap.add_argument("-v", "--verbose", action="store_true",
+                    help="print per-site exemption notes (A3)")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress the per-pass summary lines")
+    args = ap.parse_args()
+
+    passes = [p.strip().lower() for p in args.passes.split(",")
+              if p.strip()]
+    # Inventory modes are single-pass by construction.
+    if args.list_classes:
+        passes = ["a1"]
+    if args.dump_graph:
+        passes = ["a2"]
+    for p in passes:
+        if p not in PASSES:
+            print("tapas-analyze: unknown pass %r (known: %s)"
+                  % (p, ", ".join(PASSES)), file=sys.stderr)
+            return 2
+    if "a3" in passes and not args.objdir:
+        print("tapas-analyze: pass a3 requires --objdir (a built"
+              " Release tree with -g objects)", file=sys.stderr)
+        return 2
+    if args.objdir and not os.path.isdir(args.objdir):
+        print("tapas-analyze: --objdir %s is not a directory"
+              % args.objdir, file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("tapas-analyze: no src/ under %s" % root,
+              file=sys.stderr)
+        return 2
+
+    files = collect_files(root, ["src"], DEFAULT_EXCLUDES,
+                          tool="tapas-analyze")
+    changed = None
+    if args.changed_only:
+        changed = changed_files(root, args.base,
+                                tool="tapas-analyze")
+
+    raw_cache = {}
+    stripped_cache = {}
+
+    def read_raw(rel):
+        if rel not in raw_cache:
+            raw_cache[rel] = read_lines(root, rel,
+                                        tool="tapas-analyze")
+        return raw_cache[rel]
+
+    def read_stripped(rel):
+        if rel not in stripped_cache:
+            stripped_cache[rel] = strip_comments_file(read_raw(rel))
+        return stripped_cache[rel]
+
+    violations = []
+    hard_error = False
+
+    def summary(line):
+        if not args.quiet:
+            print(line, file=sys.stderr)
+
+    if "a1" in passes:
+        t0 = time.monotonic()
+        v1, s1, table = ckpt.run(root, files, read_raw,
+                                 read_stripped, changed=changed)
+        dt = time.monotonic() - t0
+        if args.list_classes:
+            for (name, rel, line, members, archived, skipped,
+                 walk_rel) in sorted(table, key=lambda r: (r[1],
+                                                           r[2])):
+                print("%s %s:%d members=%d archived=%d skipped=%d"
+                      " walk=%s"
+                      % (name, rel, line, members, archived,
+                         skipped, walk_rel or "-"))
+            return 0
+        violations.extend(v1)
+        summary("tapas-analyze: A1 %d classes, %d members,"
+                " %d ckpt-skips, %d violations [%.2fs]"
+                % (s1["classes"], s1["members"], s1["skips"],
+                   len(v1), dt))
+
+    if "a2" in passes:
+        cyc = layering.matrix_cycle()
+        if cyc:
+            print("tapas-analyze: ALLOWED_DEPS matrix is cyclic"
+                  " (%s) — fix tools/analyze/layering.py"
+                  % " -> ".join(cyc), file=sys.stderr)
+            return 2
+        t0 = time.monotonic()
+        v2, s2, graph = layering.run(root, files, read_raw,
+                                     changed=changed)
+        dt = time.monotonic() - t0
+        if args.dump_graph:
+            print(layering.dump_graph(graph))
+            return 0
+        violations.extend(v2)
+        summary("tapas-analyze: A2 %d modules, %d module-qualified"
+                " includes, %d edges, %d violations [%.2fs]"
+                % (s2["modules"], s2["includes"], s2["edges"],
+                   len(v2), dt))
+
+    if "a3" in passes:
+        t0 = time.monotonic()
+        v3, s3, notes, errors = hotbin.run(
+            root, files, read_raw, os.path.abspath(args.objdir),
+            changed=changed)
+        dt = time.monotonic() - t0
+        if args.verbose:
+            for note in notes:
+                print("tapas-analyze: A3 note: %s" % note,
+                      file=sys.stderr)
+        for err in errors:
+            print("tapas-analyze: A3 error: %s" % err,
+                  file=sys.stderr)
+            hard_error = True
+        if not errors:
+            violations.extend(v3)
+            summary("tapas-analyze: A3 %d objects, %d banned call"
+                    " sites, %d exempt, %d violations [%.2fs]"
+                    % (s3["objects"], s3["sites"], s3["exempt"],
+                       len(v3), dt))
+
+    emit_violations(violations, args.jsonl, "tapas-analyze")
+    if hard_error:
+        return 2
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # `tapas_analyze.py --dump-graph | head` is legitimate.
+        sys.exit(0)

@@ -5,7 +5,9 @@ Dependency-free (python3 stdlib only). Codifies the conventions that
 used to live as grep-able prose — hot-path bans, determinism, lock
 discipline, header guards, test hygiene — as machine-checked rules.
 The rule table is data in tools/lint/rules.py; this file is the
-engine. Wired into scripts/check.sh (first leg) and CI.
+engine (shared text machinery lives in tools/lint/textutil.py, also
+used by scripts/tapas_analyze.py). Wired into scripts/check.sh
+(first leg) and CI.
 
 Usage:
     scripts/tapas_lint.py                 # lint the whole repo
@@ -14,6 +16,9 @@ Usage:
                                           # fixture mini-roots in
                                           # tests/tooling/fixtures)
     scripts/tapas_lint.py --list-rules    # print the rule table
+    scripts/tapas_lint.py --changed-only  # only files touched vs
+                                          # origin/main + worktree
+    scripts/tapas_lint.py --jsonl         # one JSON object/violation
 
 Output: one `path:line: RULE: message` per violation, sorted.
 Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
@@ -23,7 +28,6 @@ in the contiguous `//` comment block immediately above it.
 """
 
 import argparse
-import fnmatch
 import os
 import re
 import sys
@@ -32,96 +36,18 @@ _SCRIPT_DIR = os.path.dirname(os.path.abspath(__file__))
 _REPO_ROOT = os.path.dirname(_SCRIPT_DIR)
 sys.path.insert(0, os.path.join(_REPO_ROOT, "tools"))
 
-from lint.rules import RULES  # noqa: E402
-
-# Paths never linted in a default walk: fixture mini-roots contain
-# intentional violations of every rule (they are linted explicitly
-# with --root by the tooling test suite).
-DEFAULT_EXCLUDES = [
-    "tests/tooling/fixtures/**",
-    "build*/**",
-    ".git/**",
-]
-
-SOURCE_EXTS = (".hh", ".cc", ".cpp", ".h", ".hpp")
-
-HOT_BEGIN = re.compile(r"//\s*tapas-hot\s+begin\b")
-HOT_END = re.compile(r"//\s*tapas-hot\s+end\b")
-ALLOW = re.compile(r"lint-allow\(([A-Za-z0-9_,\s]+)\)")
-
-
-def matches_glob(rel, patterns):
-    """fnmatch with `**` meaning any path segment prefix."""
-    for pat in patterns:
-        if fnmatch.fnmatch(rel, pat):
-            return True
-        # "src/**" should also match "src/foo.cc" (fnmatch's "*"
-        # crosses "/" so this mostly works; keep prefix form too).
-        if pat.endswith("/**") and rel.startswith(pat[:-2]):
-            return True
-    return False
-
-
-BLOCK_OPEN = re.compile(r"/\*")
-BLOCK_CLOSE = re.compile(r"\*/")
-
-
-def strip_comments_file(lines):
-    """Return lines with // and /* */ comments blanked (naive about
-    string literals — acceptable for this codebase). Raw lines keep
-    carrying the lint-allow / tapas-hot markers."""
-    out = []
-    in_block = False
-    for line in lines:
-        buf = []
-        i = 0
-        while i < len(line):
-            if in_block:
-                m = BLOCK_CLOSE.search(line, i)
-                if not m:
-                    i = len(line)
-                    break
-                i = m.end()
-                in_block = False
-            else:
-                slash = line.find("//", i)
-                block = line.find("/*", i)
-                if slash != -1 and (block == -1 or slash < block):
-                    buf.append(line[i:slash])
-                    i = len(line)
-                elif block != -1:
-                    buf.append(line[i:block])
-                    i = block + 2
-                    in_block = True
-                else:
-                    buf.append(line[i:])
-                    i = len(line)
-        out.append("".join(buf))
-    return out
-
-
-def allowed(rule_id, lines, idx):
-    """True when the violation at lines[idx] carries an escape: a
-    lint-allow naming this rule on the line itself or in the
-    contiguous // comment block directly above it."""
-    def names_rule(text):
-        m = ALLOW.search(text)
-        if not m:
-            return False
-        ids = [t.strip() for t in m.group(1).split(",")]
-        return rule_id in ids
-
-    if names_rule(lines[idx]):
-        return True
-    j = idx - 1
-    while j >= 0:
-        stripped = lines[j].strip()
-        if not stripped.startswith("//"):
-            break
-        if names_rule(stripped):
-            return True
-        j -= 1
-    return False
+from lint.rules import DEFAULT_EXCLUDES, RULES  # noqa: E402
+from lint.textutil import (  # noqa: E402
+    HOT_BEGIN,
+    HOT_END,
+    allowed,
+    changed_files,
+    collect_files,
+    emit_violations,
+    matches_glob,
+    read_lines,
+    strip_comments_file,
+)
 
 
 def hot_region_lines(lines, rel, violations):
@@ -207,15 +133,7 @@ def check_header_guard(rule, rel, lines, violations):
 
 
 def lint_file(root, rel, violations):
-    path = os.path.join(root, rel)
-    try:
-        with open(path, encoding="utf-8", errors="replace") as f:
-            lines = f.read().splitlines()
-    except OSError as e:
-        print("tapas-lint: cannot read %s: %s" % (rel, e),
-              file=sys.stderr)
-        sys.exit(2)
-
+    lines = read_lines(root, rel, tool="tapas-lint")
     stripped = strip_comments_file(lines)
     for rule in RULES:
         if not matches_glob(rel, rule["include"]):
@@ -236,34 +154,6 @@ def lint_file(root, rel, violations):
             sys.exit(2)
 
 
-def collect_files(root, targets):
-    rels = []
-    for target in targets:
-        full = os.path.join(root, target)
-        if os.path.isfile(full):
-            rels.append(os.path.normpath(target))
-            continue
-        if not os.path.isdir(full):
-            print("tapas-lint: no such file or directory: %s"
-                  % target, file=sys.stderr)
-            sys.exit(2)
-        for dirpath, dirnames, filenames in os.walk(full):
-            dirnames.sort()
-            for name in sorted(filenames):
-                if not name.endswith(SOURCE_EXTS):
-                    continue
-                rel = os.path.relpath(os.path.join(dirpath, name),
-                                      root)
-                rels.append(rel)
-    out = []
-    for rel in rels:
-        rel = rel.replace(os.sep, "/")
-        if matches_glob(rel, DEFAULT_EXCLUDES):
-            continue
-        out.append(rel)
-    return sorted(set(out))
-
-
 def main():
     ap = argparse.ArgumentParser(
         prog="tapas-lint", description=__doc__,
@@ -276,6 +166,16 @@ def main():
                          " point this at fixture mini-roots)")
     ap.add_argument("--list-rules", action="store_true",
                     help="print the rule table and exit")
+    ap.add_argument("--changed-only", action="store_true",
+                    help="lint only files changed vs --base plus the"
+                         " dirty/untracked worktree (sub-second"
+                         " pre-commit loop)")
+    ap.add_argument("--base", default=None,
+                    help="base ref for --changed-only (default:"
+                         " origin/main, falling back to main)")
+    ap.add_argument("--jsonl", action="store_true",
+                    help="emit one JSON object per violation instead"
+                         " of the path:line format")
     ap.add_argument("-q", "--quiet", action="store_true",
                     help="suppress the summary line")
     args = ap.parse_args()
@@ -296,17 +196,22 @@ def main():
                   file=sys.stderr)
             return 2
 
+    files = collect_files(root, targets, DEFAULT_EXCLUDES,
+                          tool="tapas-lint")
+    if args.changed_only:
+        changed = changed_files(root, args.base, tool="tapas-lint")
+        files = [rel for rel in files if rel in changed]
+
     violations = []
-    for rel in collect_files(root, targets):
+    for rel in files:
         lint_file(root, rel, violations)
 
-    violations.sort()
-    for rel, line, rule_id, msg in violations:
-        print("%s:%d: %s: %s" % (rel, line, rule_id, msg))
+    emit_violations(violations, args.jsonl, "tapas-lint")
     if not args.quiet:
-        print("tapas-lint: %d violation%s"
+        print("tapas-lint: %d violation%s (%d file%s)"
               % (len(violations),
-                 "" if len(violations) == 1 else "s"),
+                 "" if len(violations) == 1 else "s",
+                 len(files), "" if len(files) == 1 else "s"),
               file=sys.stderr)
     return 1 if violations else 0
 

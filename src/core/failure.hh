@@ -80,9 +80,9 @@ class FailureManager
     void checkpointState(Archive &ar);
 
   private:
-    CoolingPlant &cooling;
-    PowerHierarchy &power;
-    const DatacenterLayout &layout;
+    CoolingPlant &cooling;           // ckpt-skip(constant): plant wiring
+    PowerHierarchy &power;           // ckpt-skip(constant): plant wiring
+    const DatacenterLayout &layout;  // ckpt-skip(constant): plant wiring
     /** Composed requested derates; 1.0 = healthy. */
     std::vector<double> aisleFrac;
     std::vector<double> upsFrac;

@@ -243,17 +243,25 @@ class FaultEngine
         bool start = false;
     };
 
+    // ckpt-skip(constant): layout wiring bound at construction
     const DatacenterLayout &layout;
+    // ckpt-skip(constant): fixed seed input; the timeline it drove
+    // is rebuilt by the constructor
     std::uint64_t noiseSeed = 0;
 
     std::vector<FaultInstance> instances;
     std::vector<Event> events;
     std::size_t cursor = 0;
 
-    /** Per-component instance index lists (composition scans). */
+    /** Per-component instance index lists (composition scans),
+     *  rebuilt with the timeline by the constructor. */
+    // ckpt-skip(derived): index over instances
     std::vector<std::vector<std::uint32_t>> aisleInstances;
+    // ckpt-skip(derived): index over instances
     std::vector<std::vector<std::uint32_t>> upsInstances;
+    // ckpt-skip(derived): index over instances
     std::vector<std::uint32_t> chillerInstances;
+    // ckpt-skip(derived): index over instances
     std::vector<std::vector<std::uint32_t>> serverInstances;
 
     /** Active sensor instance per server, -1 = healthy. */
@@ -263,13 +271,14 @@ class FaultEngine
     std::size_t activeSensorFaults = 0;
     std::size_t startCount = 0;
     std::size_t endCount = 0;
+    // ckpt-skip(derived): set while materializing the timeline
     bool hasSensorFaults = false;
 
     // Dirty-component scratch for advanceTo.
-    std::vector<std::uint32_t> dirtyAisles;
-    std::vector<std::uint32_t> dirtyUpses;
-    std::vector<char> aisleDirty;
-    std::vector<char> upsDirty;
+    std::vector<std::uint32_t> dirtyAisles; // ckpt-skip(scratch): per-advance
+    std::vector<std::uint32_t> dirtyUpses;  // ckpt-skip(scratch): per-advance
+    std::vector<char> aisleDirty;           // ckpt-skip(scratch): per-advance
+    std::vector<char> upsDirty;             // ckpt-skip(scratch): per-advance
 
     void addInstance(const FaultInstance &inst);
     void materializeProcess(const FaultProcess &proc, FaultKind kind,

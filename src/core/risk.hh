@@ -102,25 +102,28 @@ class RiskAssessor
     void checkpointState(Archive &ar);
 
   private:
+    // ckpt-skip(constant): policy flags fixed at construction
     TapasPolicyConfig cfg;
     std::vector<ServerRisk> risks;
     SimTime lastRefreshAt = -1;
 
     /** Reusable fleet-wide prediction buffers (refresh runs every
      *  risk period; batched passes write into these). */
-    std::vector<double> airflowScratch;
-    std::vector<double> powerScratch;
-    std::vector<double> inletScratch;
-    std::vector<double> hottestScratch;
+    std::vector<double> airflowScratch;  // ckpt-skip(scratch): per-refresh
+    std::vector<double> powerScratch;    // ckpt-skip(scratch): per-refresh
+    std::vector<double> inletScratch;    // ckpt-skip(scratch): per-refresh
+    std::vector<double> hottestScratch;  // ckpt-skip(scratch): per-refresh
     /** Per-server thermal-risk limit (throttle - margin), hoisted
      *  out of the per-refresh spec walk (the layout is fixed). */
+    // ckpt-skip(derived): refilled from the fixed layout specs on
+    // the next refresh
     std::vector<double> thermalLimitC;
     /** Per-aisle/row headroom staging for the single assembly
      *  pass. */
-    std::vector<double> aisleHeadroomScratch;
-    std::vector<char> aisleRiskScratch;
-    std::vector<double> rowHeadroomScratch;
-    std::vector<char> rowRiskScratch;
+    std::vector<double> aisleHeadroomScratch; // ckpt-skip(scratch): staging
+    std::vector<char> aisleRiskScratch;       // ckpt-skip(scratch): staging
+    std::vector<double> rowHeadroomScratch;   // ckpt-skip(scratch): staging
+    std::vector<char> rowRiskScratch;         // ckpt-skip(scratch): staging
 
     // --- Sensor-quarantine state ---
     /** Consecutive diverging / healthy refreshes per server. */
@@ -132,11 +135,11 @@ class RiskAssessor
      *  read this instead of the untrusted sensors. */
     std::vector<double> lastGoodGpuW;
     /** Substitution copy of the refresh's gpu_power_w input. */
-    std::vector<double> gpuPowerScratch;
+    std::vector<double> gpuPowerScratch; // ckpt-skip(scratch): per-refresh
     /** Per-server idle and max GPU-power totals (spec constants for
      *  the load -> power reconstruction), cached like the limits. */
-    std::vector<double> idleTotalW;
-    std::vector<double> maxTotalW;
+    std::vector<double> idleTotalW; // ckpt-skip(derived): spec cache
+    std::vector<double> maxTotalW;  // ckpt-skip(derived): spec cache
     std::size_t quarantinedCount = 0;
     std::uint64_t quarantineEventCount = 0;
 

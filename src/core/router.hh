@@ -93,6 +93,7 @@ class TapasRouter : public RequestRouter
     void checkpointState(Archive &ar) override;
 
   private:
+    // ckpt-skip(constant): policy flags fixed at construction
     TapasPolicyConfig cfg;
     /** customer -> VM that served them last (KV-cache residency). */
     std::unordered_map<std::uint32_t, VmId> affinity;

@@ -53,6 +53,14 @@ TapasController::configurePass(
     if (!configurator || instances.empty())
         return;
     view.assertFresh();
+    // Size the dwell table before entering the hot region: the one
+    // growth this pass may need happens here, so the per-instance
+    // dwell reads/writes below are plain indexed accesses.
+    std::uint32_t max_vm = 0;
+    for (const SaasInstanceRef &inst : instances)
+        max_vm = std::max(max_vm, inst.id.index);
+    if (lastReloadAt.size() <= max_vm)
+        lastReloadAt.resize(max_vm + 1, kNeverReloaded);
     // tapas-hot begin(configure-pass): near-every-step reconfig
     // sweep; member scratch only (R3) — capacity persists across
     // passes, so the steady state allocates nothing.
@@ -142,16 +150,20 @@ TapasController::configurePass(
     // equal-demand instances (VMs of one endpoint under symmetric
     // routing) reuse the memo below instead of re-solving the perf
     // model. Decisions are per-instance independent, so the order
-    // change is unobservable; the stable sort keeps it
-    // deterministic.
+    // change is unobservable; the VM-id tie-break makes the
+    // comparator a total order, so plain sort is deterministic —
+    // stable_sort is not an option here, it allocates a merge
+    // buffer (stl_tempbuf) on every pass.
     sortedInstancesScratch.assign(instances.begin(),
                                   instances.end());
-    std::stable_sort(sortedInstancesScratch.begin(),
-                     sortedInstancesScratch.end(),
-                     [](const SaasInstanceRef &a,
-                        const SaasInstanceRef &b) {
-                         return a.demandTps < b.demandTps;
-                     });
+    std::sort(sortedInstancesScratch.begin(),
+              sortedInstancesScratch.end(),
+              [](const SaasInstanceRef &a,
+                 const SaasInstanceRef &b) {
+                  if (a.demandTps != b.demandTps)
+                      return a.demandTps < b.demandTps;
+                  return a.id.index < b.id.index;
+              });
 
     for (const SaasInstanceRef &inst : sortedInstancesScratch) {
         if (inst.engine->reconfiguring())
@@ -205,9 +217,9 @@ TapasController::configurePass(
                 current.config)) {
             const bool upgrade =
                 decision.profile.quality >= current.quality;
-            const auto it = lastReloadAt.find(inst.id.index);
-            const bool dwelling = it != lastReloadAt.end() &&
-                view.now - it->second < cfg.reloadDwell;
+            const SimTime last = lastReloadAt[inst.id.index];
+            const bool dwelling = last != kNeverReloaded &&
+                view.now - last < cfg.reloadDwell;
             if (upgrade && current.quality < 1.0 &&
                 (emergency || dwelling)) {
                 continue;
@@ -226,23 +238,28 @@ TapasController::configurePass(
 void
 TapasController::checkpointState(Archive &ar)
 {
-    // Sorted for a canonical byte stream (see TapasRouter note).
-    std::vector<std::pair<std::uint32_t, SimTime>> reloads(
-        lastReloadAt.begin(), lastReloadAt.end());
-    std::sort(reloads.begin(), reloads.end(),
-              [](const auto &a, const auto &b) {
-                  return a.first < b.first;
-              });
+    // Serialized as index-sorted (vm, time) pairs — the same bytes
+    // the former unordered_map representation produced after its
+    // canonicalizing sort, so checkpoints cross the dense-vector
+    // rewrite unchanged. Never-reloaded slots do not travel.
+    std::vector<std::pair<std::uint32_t, SimTime>> reloads;
+    for (std::uint32_t vm = 0; vm < lastReloadAt.size(); ++vm) {
+        if (lastReloadAt[vm] != kNeverReloaded)
+            reloads.emplace_back(vm, lastReloadAt[vm]);
+    }
     ar.each(reloads,
             [](Archive &a, std::pair<std::uint32_t, SimTime> &e) {
                 a.value(e.first);
                 a.value(e.second);
             });
     if (!ar.writing()) {
-        lastReloadAt.clear();
-        lastReloadAt.reserve(reloads.size());
-        for (const auto &[vm, at] : reloads)
-            lastReloadAt.emplace(vm, at);
+        std::fill(lastReloadAt.begin(), lastReloadAt.end(),
+                  kNeverReloaded);
+        for (const auto &[vm, at] : reloads) {
+            if (vm >= lastReloadAt.size())
+                lastReloadAt.resize(vm + 1, kNeverReloaded);
+            lastReloadAt[vm] = at;
+        }
     }
     ar.value(reconfigCount);
     route->checkpointState(ar);

@@ -11,7 +11,6 @@
 #define TAPAS_CORE_TAPAS_HH
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/allocator.hh"
@@ -96,44 +95,59 @@ class TapasController
     void checkpointState(Archive &ar);
 
   private:
+    // ckpt-skip(constant): policy flags fixed at construction
     TapasPolicyConfig cfg;
+    // ckpt-skip(constant): plant wiring bound at construction
     const DatacenterLayout &layout;
-    CoolingPlant &cooling;
-    PowerHierarchy &power;
+    CoolingPlant &cooling;      // ckpt-skip(constant): plant wiring
+    PowerHierarchy &power;      // ckpt-skip(constant): plant wiring
+    // ckpt-skip(constant): model pointers bound at construction
     const ProfileBank *profiles;
-    const PerfModel *perf;
+    const PerfModel *perf;      // ckpt-skip(constant): model pointer
 
-    /** Last reload-requiring reconfig per VM (dwell gating). */
-    std::unordered_map<std::uint32_t, SimTime> lastReloadAt;
+    /** Sentinel for lastReloadAt: this VM has never reloaded. */
+    static constexpr SimTime kNeverReloaded = -1;
+    /** Last reload-requiring reconfig per VM (dwell gating), dense
+     *  by VM id index; kNeverReloaded = no reload yet. Sized before
+     *  the configure-pass hot region so the dwell bookkeeping in
+     *  the pass itself never allocates (a map node insert there was
+     *  a per-step heap hit the A3 binary pass flagged). */
+    std::vector<SimTime> lastReloadAt;
 
     /** Reusable configurePass scratch (per-row/aisle accumulators
      *  and fleet-wide batched-prediction buffers; the pass runs
-     *  nearly every step). */
-    std::vector<double> rowFixedScratch;
-    std::vector<int> rowSaasScratch;
-    std::vector<double> aisleFixedScratch;
-    std::vector<int> aisleSaasScratch;
-    std::vector<char> saasServerScratch;
-    std::vector<double> fixedLoadScratch;
-    std::vector<double> fixedPowerScratch;
-    std::vector<double> fixedAirflowScratch;
-    std::vector<double> inletScratch;
-    std::vector<double> zeroPowerScratch;
-    std::vector<double> zeroAirflowScratch;
+     *  nearly every step). Contents are dead between passes, only
+     *  the capacity persists. */
+    std::vector<double> rowFixedScratch;    // ckpt-skip(scratch): per-pass
+    std::vector<int> rowSaasScratch;        // ckpt-skip(scratch): per-pass
+    std::vector<double> aisleFixedScratch;  // ckpt-skip(scratch): per-pass
+    std::vector<int> aisleSaasScratch;      // ckpt-skip(scratch): per-pass
+    std::vector<char> saasServerScratch;    // ckpt-skip(scratch): per-pass
+    std::vector<double> fixedLoadScratch;   // ckpt-skip(scratch): per-pass
+    std::vector<double> fixedPowerScratch;  // ckpt-skip(scratch): per-pass
+    std::vector<double> fixedAirflowScratch; // ckpt-skip(scratch): per-pass
+    std::vector<double> inletScratch;       // ckpt-skip(scratch): per-pass
+    std::vector<double> zeroPowerScratch;   // ckpt-skip(scratch): per-pass
+    std::vector<double> zeroAirflowScratch; // ckpt-skip(scratch): per-pass
     /** Per-row/per-aisle effective provisions, hoisted out of the
      *  per-instance limit computation (one call per row/aisle per
      *  pass instead of one per instance). */
-    std::vector<double> rowProvisionScratch;
-    std::vector<double> aisleProvisionScratch;
+    std::vector<double> rowProvisionScratch;   // ckpt-skip(scratch): per-pass
+    std::vector<double> aisleProvisionScratch; // ckpt-skip(scratch): per-pass
     /** Instances sorted by demand so equal-demand runs share the
      *  configurator's operating-point memo (instance order does not
      *  affect decisions: each is independent). */
+    // ckpt-skip(scratch): rebuilt from the caller's list each pass
     std::vector<SaasInstanceRef> sortedInstancesScratch;
+    // ckpt-skip(scratch): per-pass operating-point memo
     InstanceConfigurator::OpCache opCacheScratch;
 
+    // ckpt-skip(constant): rebuilt from policy flags at construction
     std::unique_ptr<VmAllocator> alloc;
     std::unique_ptr<RequestRouter> route;
     std::unique_ptr<RiskAssessor> risk;
+    // ckpt-skip(constant): stateless between passes, rebuilt at
+    // construction from policy flags
     std::unique_ptr<InstanceConfigurator> configurator;
     std::uint64_t reconfigCount = 0;
 };

@@ -245,13 +245,15 @@ class ProfileBank
     static constexpr std::size_t kPowerWidth = 4;
     static constexpr std::size_t kAirflowWidth = 2;
 
+    // ckpt-skip(constant): layout wiring bound at construction
     const DatacenterLayout &layout;
 
-    /** Shared bench-sweep designs (identical grid for every server). */
-    SharedDesign inletDesign;
-    SharedDesign gpuTempDesign;
-    SharedDesign powerDesign;
-    SharedDesign airflowDesign;
+    /** Shared bench-sweep designs (identical grid for every server),
+     *  regenerated from the fixed grid spec whenever a fit runs. */
+    SharedDesign inletDesign;    // ckpt-skip(derived): fit-time grid
+    SharedDesign gpuTempDesign;  // ckpt-skip(derived): fit-time grid
+    SharedDesign powerDesign;    // ckpt-skip(derived): fit-time grid
+    SharedDesign airflowDesign;  // ckpt-skip(derived): fit-time grid
 
     /** Flat fitted coefficients, indexed by server (x gpu). */
     std::vector<double> inletCoeffs;

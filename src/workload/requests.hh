@@ -104,12 +104,15 @@ class RequestGenerator
     void checkpointState(Archive &ar);
 
   private:
+    // ckpt-skip(constant): demand shapes are constructor inputs
     std::vector<EndpointDemand> endpointList;
-    LengthDistribution lengthDist;
-    DemandNoise noise;
-    std::uint64_t noiseSeed;
+    LengthDistribution lengthDist;  // ckpt-skip(constant): ctor input
+    DemandNoise noise;              // ckpt-skip(constant): ctor input
+    std::uint64_t noiseSeed;        // ckpt-skip(constant): ctor input
     Rng rng;
     std::uint32_t nextRequestId = 0;
+    // ckpt-skip(derived): closed-form mean of the fixed length
+    // distribution, recomputed by the constructor
     double cachedMeanTokens = 0.0;
 
     const EndpointDemand &demand(EndpointId id) const;

@@ -1,0 +1,13 @@
+// Out-of-line walk for Widget; archives `value` only.
+
+#include "core/widget.hh"
+
+namespace fixture {
+
+void
+Widget::checkpointState(Archive &ar)
+{
+    ar.value(value);
+}
+
+} // namespace fixture

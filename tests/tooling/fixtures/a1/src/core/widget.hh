@@ -1,0 +1,42 @@
+// A1 fixture: checkpoint field-coverage violations. Expected, in
+// order of appearance:
+//   - dangling malformed ckpt-skip below (attached to no member)
+//   - Widget::missing  (not archived, not exempted)
+//   - Widget::badcat   (ckpt-skip with an unknown category)
+//   - Widget::noreason (ckpt-skip with no reason text)
+//   - Orphan           (declares checkpointState, no body anywhere)
+
+#ifndef A1_FIXTURE_WIDGET_HH
+#define A1_FIXTURE_WIDGET_HH
+
+// ckpt-skip(todo): categorize me later
+
+namespace fixture {
+
+class Archive;
+
+class Widget
+{
+  public:
+    void checkpointState(Archive &ar);
+
+  private:
+    int value = 0;
+    double missing = 0.0;
+    // ckpt-skip(cache): rebuilt lazily
+    double badcat = 0.0;
+    int noreason = 0;  // ckpt-skip(scratch)
+};
+
+class Orphan
+{
+  public:
+    void checkpointState(Archive &ar);
+
+  private:
+    int lost = 0;
+};
+
+} // namespace fixture
+
+#endif // A1_FIXTURE_WIDGET_HH

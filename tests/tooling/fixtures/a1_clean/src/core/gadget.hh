@@ -1,0 +1,38 @@
+// A1 clean fixture: every member is archived or exempted. Covers an
+// inline walk, all three ckpt-skip categories (same-line and
+// block-above attachment), and the lint-allow(A1) escape.
+
+#ifndef A1_FIXTURE_GADGET_HH
+#define A1_FIXTURE_GADGET_HH
+
+#include <vector>
+
+namespace fixture {
+
+class Archive;
+
+class Gadget
+{
+  public:
+    template <typename Ar>
+    void
+    checkpointState(Ar &ar)
+    {
+        ar.value(count);
+        ar.value(total);
+    }
+
+  private:
+    int count = 0;
+    double total = 0.0;
+    // ckpt-skip(derived): recomputed from count on restore
+    double mean = 0.0;
+    std::vector<int> laneScratch;  // ckpt-skip(scratch): per-step
+    int width = 4;  // ckpt-skip(constant): ctor input
+    // lint-allow(A1): archived by the v2 walk shim
+    int legacy = 0;
+};
+
+} // namespace fixture
+
+#endif // A1_FIXTURE_GADGET_HH

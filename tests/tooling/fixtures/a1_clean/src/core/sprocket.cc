@@ -1,0 +1,12 @@
+#include "core/sprocket.hh"
+
+namespace fixture {
+
+void
+Sprocket::checkpointState(Archive &ar)
+{
+    ar.value(teeth);
+    ar.value(wear);
+}
+
+} // namespace fixture

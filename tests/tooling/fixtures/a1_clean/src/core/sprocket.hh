@@ -1,0 +1,22 @@
+// A1 clean fixture: out-of-line walk (body in the sibling .cc).
+
+#ifndef A1_FIXTURE_SPROCKET_HH
+#define A1_FIXTURE_SPROCKET_HH
+
+namespace fixture {
+
+class Archive;
+
+class Sprocket
+{
+  public:
+    void checkpointState(Archive &ar);
+
+  private:
+    int teeth = 12;
+    double wear = 0.0;
+};
+
+} // namespace fixture
+
+#endif // A1_FIXTURE_SPROCKET_HH

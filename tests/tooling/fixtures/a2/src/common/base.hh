@@ -1,0 +1,13 @@
+// A2 fixture: upward edge — common sits at the bottom of the layer
+// DAG and may include nothing above itself.
+
+#ifndef A2_FIXTURE_BASE_HH
+#define A2_FIXTURE_BASE_HH
+
+#include "sim/top.hh"
+
+namespace fixture {
+struct Base {};
+} // namespace fixture
+
+#endif // A2_FIXTURE_BASE_HH

@@ -1,0 +1,13 @@
+// A2 fixture: cross edge — llm may include common and dcsim only;
+// telemetry is a sibling layer.
+
+#ifndef A2_FIXTURE_ENGINE_HH
+#define A2_FIXTURE_ENGINE_HH
+
+#include "telemetry/probe.hh"
+
+namespace fixture {
+struct Engine {};
+} // namespace fixture
+
+#endif // A2_FIXTURE_ENGINE_HH

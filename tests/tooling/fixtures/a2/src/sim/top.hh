@@ -1,0 +1,8 @@
+#ifndef A2_FIXTURE_TOP_HH
+#define A2_FIXTURE_TOP_HH
+
+namespace fixture {
+struct Top {};
+} // namespace fixture
+
+#endif // A2_FIXTURE_TOP_HH

@@ -1,0 +1,8 @@
+#ifndef A2_FIXTURE_PROBE_HH
+#define A2_FIXTURE_PROBE_HH
+
+namespace fixture {
+struct Probe {};
+} // namespace fixture
+
+#endif // A2_FIXTURE_PROBE_HH

@@ -1,0 +1,7 @@
+// A2 fixture: unknown module — src/util/ is not in the layer map.
+
+#include "common/base.hh"
+
+namespace fixture {
+int helper() { return 0; }
+} // namespace fixture

@@ -1,0 +1,8 @@
+#ifndef A2_FIXTURE_UTIL_HH
+#define A2_FIXTURE_UTIL_HH
+
+namespace fixture {
+struct Util {};
+} // namespace fixture
+
+#endif // A2_FIXTURE_UTIL_HH

@@ -1,0 +1,10 @@
+#ifndef A2_FIXTURE_CTL_HH
+#define A2_FIXTURE_CTL_HH
+
+#include "dcsim/plant.hh"
+
+namespace fixture {
+struct Ctl {};
+} // namespace fixture
+
+#endif // A2_FIXTURE_CTL_HH

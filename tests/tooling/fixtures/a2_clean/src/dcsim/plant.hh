@@ -1,0 +1,15 @@
+// A2 clean fixture: a cross edge (dcsim -> llm) silenced by the
+// lint-allow(A2) escape; everything else is inside the layer DAG.
+
+#ifndef A2_FIXTURE_PLANT_HH
+#define A2_FIXTURE_PLANT_HH
+
+#include "common/util.hh"
+// lint-allow(A2): bootstrap shim, removed once the probe API lands
+#include "llm/engine.hh"
+
+namespace fixture {
+struct Plant {};
+} // namespace fixture
+
+#endif // A2_FIXTURE_PLANT_HH

@@ -1,0 +1,10 @@
+#ifndef A2_FIXTURE_CLEAN_ENGINE_HH
+#define A2_FIXTURE_CLEAN_ENGINE_HH
+
+#include "common/util.hh"
+
+namespace fixture {
+struct Engine {};
+} // namespace fixture
+
+#endif // A2_FIXTURE_CLEAN_ENGINE_HH

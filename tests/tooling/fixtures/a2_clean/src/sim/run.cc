@@ -1,0 +1,8 @@
+// A2 clean fixture: sim sits at the top and may include every layer.
+
+#include "common/util.hh"
+#include "core/ctl.hh"
+
+namespace fixture {
+int run() { return 0; }
+} // namespace fixture

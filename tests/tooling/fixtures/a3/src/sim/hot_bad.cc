@@ -1,0 +1,44 @@
+// A3 fixture: allocations reachable from tapas-hot region code. Two
+// expected violations, both operator new:
+//   - hotDirect: a textually visible `new` inside the region;
+//   - hotInlined: the allocation hides in makeHidden(), which the
+//     compiler inlines into the region — lint R3 never sees a banned
+//     token on the region lines, only the emitted code shows it.
+// The test harness compiles this file at -O2 -g and points A3 at the
+// object.
+
+#include <cstddef>
+
+namespace fixture {
+
+inline double *
+makeHidden(std::size_t n)
+{
+    return new double[n];
+}
+
+double *
+hotDirect(const double *in, std::size_t n)
+{
+    double *out = nullptr;
+    // tapas-hot begin(direct)
+    out = new double[n];
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = in[i] * 2.0;
+    // tapas-hot end(direct)
+    return out;
+}
+
+double *
+hotInlined(const double *in, std::size_t n)
+{
+    double *out = nullptr;
+    // tapas-hot begin(inlined)
+    out = makeHidden(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = in[i] + 1.0;
+    // tapas-hot end(inlined)
+    return out;
+}
+
+} // namespace fixture

@@ -1,0 +1,65 @@
+// A3 clean fixture: every allocation reachable from the object is
+// exempt — cold-path code outside the regions, scratch-receiver
+// container growth inside them, and an explicit lint-allow(A3).
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+class Stage
+{
+  public:
+    void prime(std::size_t n);
+    double step(const double *in, std::size_t n);
+    double fill(const std::vector<double> &in);
+
+  private:
+    std::vector<double> laneScratch;
+    double *arena = nullptr;
+    std::size_t arenaSize = 0;
+};
+
+void
+Stage::prime(std::size_t n)
+{
+    laneScratch.reserve(n);
+    delete[] arena;
+    arena = new double[n];
+    arenaSize = n;
+}
+
+double
+Stage::step(const double *in, std::size_t n)
+{
+    double acc = 0.0;
+    // tapas-hot begin(step)
+    laneScratch.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        laneScratch[i] = in[i] * 0.5;
+        acc += laneScratch[i];
+    }
+    if (arenaSize < n) {
+        delete[] arena;  // lint-allow(A3): amortized arena rebuild
+        // lint-allow(A3): amortized arena rebuild
+        arena = new double[n];
+        arenaSize = n;
+    }
+    acc += arena[0];
+    // tapas-hot end(step)
+    return acc;
+}
+
+double
+Stage::fill(const std::vector<double> &in)
+{
+    double acc = 0.0;
+    // tapas-hot begin(fill)
+    laneScratch = in;
+    for (std::size_t i = 0; i < laneScratch.size(); ++i)
+        acc += laneScratch[i];
+    // tapas-hot end(fill)
+    return acc;
+}
+
+} // namespace fixture

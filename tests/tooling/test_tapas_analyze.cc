@@ -1,0 +1,453 @@
+// Tooling suite: pins the tapas-analyze contract. Each pass A1..A3
+// has fixture mini-roots under tests/tooling/fixtures/ with known
+// violations and a known-clean sibling; the tests shell the analyzer
+// at those roots and assert exact pass IDs, violation counts, and
+// exit codes. The A3 fixtures are compiled here (with the same
+// compiler as the build) so the pass runs against real emitted code,
+// including the inlined-helper allocation lint R3 cannot see. Two
+// acceptance pins ride along: deleting an archived field from a
+// checkpointState walk must fail A1, and every class in src/ with a
+// walk must show up in the --list-classes inventory (the parser must
+// never silently skip a header).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef TAPAS_REPO_ROOT
+#error "build must define TAPAS_REPO_ROOT (see CMakeLists.txt)"
+#endif
+#ifndef TAPAS_PYTHON3
+#error "build must define TAPAS_PYTHON3 (see CMakeLists.txt)"
+#endif
+#ifndef TAPAS_CXX_COMPILER
+#error "build must define TAPAS_CXX_COMPILER (see CMakeLists.txt)"
+#endif
+
+struct CmdRun {
+    int exitCode = -1;
+    std::string output; // stdout+stderr, interleaved
+};
+
+CmdRun
+runCmd(const std::string &cmd)
+{
+    CmdRun run;
+    FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return run;
+    }
+    std::array<char, 4096> buf;
+    while (std::fgets(buf.data(), buf.size(), pipe))
+        run.output += buf.data();
+    const int status = pclose(pipe);
+    run.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return run;
+}
+
+CmdRun
+runAnalyze(const std::string &args)
+{
+    return runCmd(std::string(TAPAS_PYTHON3) + " " TAPAS_REPO_ROOT
+                  "/scripts/tapas_analyze.py " + args);
+}
+
+CmdRun
+runAnalyzeOnFixture(const std::string &name, const std::string &args)
+{
+    return runAnalyze("--root " TAPAS_REPO_ROOT
+                      "/tests/tooling/fixtures/" + name + " " + args);
+}
+
+int
+countOccurrences(const std::string &haystack, const std::string &pass)
+{
+    // Violations print as "path:line: A<n>: message".
+    const std::string needle = ": " + pass + ": ";
+    int n = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+/// Assert a fixture yields exit 1 with exactly `expected` violations,
+/// all from `pass`, leaking nothing from the other passes.
+void
+expectFixture(const CmdRun &run, const std::string &fixture,
+              const std::string &pass, int expected)
+{
+    EXPECT_EQ(run.exitCode, 1) << fixture << ":\n" << run.output;
+    EXPECT_EQ(countOccurrences(run.output, pass), expected)
+        << fixture << ":\n" << run.output;
+    for (const char *other : {"A1", "A2", "A3"}) {
+        if (other == pass)
+            continue;
+        EXPECT_EQ(countOccurrences(run.output, other), 0)
+            << fixture << " leaked " << other << ":\n" << run.output;
+    }
+}
+
+void
+writeFile(const fs::path &path, const std::string &text)
+{
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << text;
+    ASSERT_TRUE(out.good()) << "write failed: " << path;
+}
+
+/// A process-unique scratch directory, removed on destruction.
+struct TempDir {
+    fs::path path;
+
+    explicit TempDir(const std::string &tag)
+        : path(fs::temp_directory_path() /
+               ("tapas_analyze_" + tag + "_" +
+                std::to_string(static_cast<long>(getpid()))))
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+/// Compile one fixture source into <objdir>/<rel>.o (mirroring the
+/// CMake object layout tail A3 resolves objects by).
+void
+compileFixture(const std::string &fixture, const std::string &rel,
+               const fs::path &objdir, const std::string &flags)
+{
+    const fs::path src = fs::path(TAPAS_REPO_ROOT) / "tests" /
+                         "tooling" / "fixtures" / fixture / rel;
+    const fs::path obj = objdir / (rel + ".o");
+    fs::create_directories(obj.parent_path());
+    const CmdRun run = runCmd(std::string(TAPAS_CXX_COMPILER) +
+                              " -std=c++17 " + flags + " -c " +
+                              src.string() + " -o " + obj.string());
+    ASSERT_EQ(run.exitCode, 0) << run.output;
+}
+
+// ------------------------------------------------------------ repo gates --
+
+TEST(TapasAnalyze, RepoTreeIsCleanA1A2)
+{
+    const CmdRun run = runAnalyze("");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+TEST(TapasAnalyze, ChangedOnlyAgainstHeadIsClean)
+{
+    // --base HEAD is hermetic (no remote ref needed): the changed set
+    // is just the dirty/untracked worktree, which must be clean too.
+    const CmdRun run = runAnalyze("--changed-only --base HEAD");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+TEST(TapasAnalyze, UnknownPassIsUsageError)
+{
+    EXPECT_EQ(runAnalyze("--pass a9").exitCode, 2);
+}
+
+TEST(TapasAnalyze, PassA3RequiresObjdir)
+{
+    const CmdRun run = runAnalyze("--pass a3");
+    EXPECT_EQ(run.exitCode, 2) << run.output;
+    EXPECT_NE(run.output.find("--objdir"), std::string::npos)
+        << run.output;
+}
+
+// ------------------------------------------------- A1: field coverage --
+
+TEST(TapasAnalyze, A1FixtureViolations)
+{
+    const CmdRun run = runAnalyzeOnFixture("a1", "--pass a1");
+    expectFixture(run, "a1", "A1", 5);
+    // One of each failure mode, at the right lines.
+    EXPECT_NE(run.output.find("member 'missing' of 'Widget'"),
+              std::string::npos) << run.output;
+    EXPECT_NE(run.output.find(
+                  "malformed ckpt-skip annotation 'ckpt-skip(cache)"),
+              std::string::npos) << run.output;
+    EXPECT_NE(run.output.find(
+                  "malformed ckpt-skip annotation 'ckpt-skip(scratch)'"),
+              std::string::npos) << run.output;
+    EXPECT_NE(run.output.find("'Orphan' declares checkpointState but"
+                              " no walk body was found"),
+              std::string::npos) << run.output;
+}
+
+TEST(TapasAnalyze, A1CleanFixturePasses)
+{
+    // Covers inline + out-of-line walks, all three ckpt-skip
+    // categories (same-line and block-above), and lint-allow(A1).
+    const CmdRun run = runAnalyzeOnFixture("a1_clean", "--pass a1");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+TEST(TapasAnalyze, A1DeletingArchivedFieldFails)
+{
+    // The acceptance pin: drop one ar.value() from a walk that
+    // covered every member and A1 must go from clean to failing on
+    // exactly that member.
+    TempDir root("a1_delete");
+    const std::string header =
+        "#ifndef A1_TMP_PAIR_HH\n"
+        "#define A1_TMP_PAIR_HH\n"
+        "namespace tmpfix {\n"
+        "class Archive;\n"
+        "class Pair\n"
+        "{\n"
+        "  public:\n"
+        "    void checkpointState(Archive &ar);\n"
+        "  private:\n"
+        "    int left = 0;\n"
+        "    int right = 0;\n"
+        "};\n"
+        "} // namespace tmpfix\n"
+        "#endif\n";
+    writeFile(root.path / "src/core/pair.hh", header);
+    writeFile(root.path / "src/core/pair.cc",
+              "#include \"core/pair.hh\"\n"
+              "namespace tmpfix {\n"
+              "void Pair::checkpointState(Archive &ar)\n"
+              "{\n"
+              "    ar.value(left);\n"
+              "    ar.value(right);\n"
+              "}\n"
+              "} // namespace tmpfix\n");
+    const CmdRun before =
+        runAnalyze("--root " + root.path.string() + " --pass a1");
+    EXPECT_EQ(before.exitCode, 0) << before.output;
+
+    writeFile(root.path / "src/core/pair.cc",
+              "#include \"core/pair.hh\"\n"
+              "namespace tmpfix {\n"
+              "void Pair::checkpointState(Archive &ar)\n"
+              "{\n"
+              "    ar.value(left);\n"
+              "}\n"
+              "} // namespace tmpfix\n");
+    const CmdRun after =
+        runAnalyze("--root " + root.path.string() + " --pass a1");
+    EXPECT_EQ(after.exitCode, 1) << after.output;
+    EXPECT_NE(after.output.find("member 'right' of 'Pair'"),
+              std::string::npos) << after.output;
+}
+
+// ---------------------------------------------------- A2: layering DAG --
+
+TEST(TapasAnalyze, A2FixtureViolations)
+{
+    const CmdRun run = runAnalyzeOnFixture("a2", "--pass a2");
+    expectFixture(run, "a2", "A2", 3);
+    EXPECT_NE(run.output.find("upward edge 'common' -> 'sim'"),
+              std::string::npos) << run.output;
+    EXPECT_NE(run.output.find("cross edge 'llm' -> 'telemetry'"),
+              std::string::npos) << run.output;
+    EXPECT_NE(run.output.find("module 'util' is not in the layer"
+                              " map"),
+              std::string::npos) << run.output;
+}
+
+TEST(TapasAnalyze, A2CleanFixturePasses)
+{
+    // Includes a cross edge silenced by lint-allow(A2).
+    const CmdRun run = runAnalyzeOnFixture("a2_clean", "--pass a2");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+TEST(TapasAnalyze, A2DumpGraphEmitsJson)
+{
+    const CmdRun run = runAnalyzeOnFixture("a2_clean",
+                                           "--dump-graph -q");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_NE(run.output.find("\"modules\""), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("\"allowed\""), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("\"from\": \"dcsim\""),
+              std::string::npos) << run.output;
+}
+
+// ------------------------------------------- A3: binary hot-path pass --
+
+TEST(TapasAnalyze, A3FixtureViolations)
+{
+    TempDir objdir("a3_bad");
+    compileFixture("a3", "src/sim/hot_bad.cc", objdir.path,
+                   "-O2 -g");
+    const CmdRun run = runAnalyzeOnFixture(
+        "a3", "--pass a3 --objdir " + objdir.path.string());
+    expectFixture(run, "a3", "A3", 2);
+    // Both are operator new; the second hides behind an inlined
+    // helper and is attributed to the region's call line — the
+    // textual rule R3 has no banned token to see there.
+    EXPECT_EQ(countOccurrences(run.output, "A3"), 2) << run.output;
+    EXPECT_NE(run.output.find("src/sim/hot_bad.cc:25: A3: hot-path"
+                              " call to operator new"),
+              std::string::npos) << run.output;
+    EXPECT_NE(run.output.find("src/sim/hot_bad.cc:37: A3: hot-path"
+                              " call to operator new"),
+              std::string::npos) << run.output;
+}
+
+TEST(TapasAnalyze, A3CleanFixturePasses)
+{
+    // Cold-path allocations, scratch-receiver growth in-region, and
+    // a lint-allow(A3) escape: all exempt, exit 0.
+    TempDir objdir("a3_good");
+    compileFixture("a3_clean", "src/sim/hot_good.cc", objdir.path,
+                   "-O2 -g");
+    const CmdRun run = runAnalyzeOnFixture(
+        "a3_clean", "--pass a3 --objdir " + objdir.path.string());
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+TEST(TapasAnalyze, A3MissingDebugInfoIsHardError)
+{
+    // An object the pass cannot attribute must exit 2, never pass.
+    TempDir objdir("a3_nodbg");
+    compileFixture("a3", "src/sim/hot_bad.cc", objdir.path,
+                   "-O2 -g0");
+    const CmdRun run = runAnalyzeOnFixture(
+        "a3", "--pass a3 --objdir " + objdir.path.string());
+    EXPECT_EQ(run.exitCode, 2) << run.output;
+    EXPECT_NE(run.output.find("no inline debug info"),
+              std::string::npos) << run.output;
+}
+
+// ------------------------------------------------------ output formats --
+
+TEST(TapasAnalyze, JsonlEmitsOneObjectPerViolation)
+{
+    const CmdRun run = runAnalyzeOnFixture("a1", "--pass a1 --jsonl");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    int objects = 0;
+    const std::string needle = "\"rule\": \"A1\"";
+    for (std::size_t pos = run.output.find(needle);
+         pos != std::string::npos;
+         pos = run.output.find(needle, pos + needle.size())) {
+        ++objects;
+    }
+    EXPECT_EQ(objects, 5) << run.output;
+    EXPECT_NE(run.output.find("\"tool\": \"tapas-analyze\""),
+              std::string::npos) << run.output;
+}
+
+// ------------------------------------ meta: A1 sees every walk header --
+
+/// Strip // and /* */ comments; good enough for the repo's headers
+/// (no "checkpointState" ever appears inside a string literal).
+std::string
+stripComments(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    bool inLine = false, inBlock = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (inLine) {
+            if (text[i] == '\n') {
+                inLine = false;
+                out += '\n';
+            }
+        } else if (inBlock) {
+            if (text[i] == '*' && i + 1 < text.size() &&
+                text[i + 1] == '/') {
+                inBlock = false;
+                ++i;
+            } else if (text[i] == '\n') {
+                out += '\n';
+            }
+        } else if (text[i] == '/' && i + 1 < text.size() &&
+                   text[i + 1] == '/') {
+            inLine = true;
+            ++i;
+        } else if (text[i] == '/' && i + 1 < text.size() &&
+                   text[i + 1] == '*') {
+            inBlock = true;
+            ++i;
+        } else {
+            out += text[i];
+        }
+    }
+    return out;
+}
+
+bool
+declaresWalk(const std::string &stripped)
+{
+    const std::string token = "checkpointState";
+    for (std::size_t pos = stripped.find(token);
+         pos != std::string::npos;
+         pos = stripped.find(token, pos + token.size())) {
+        if (pos > 0 &&
+            (std::isalnum(static_cast<unsigned char>(
+                 stripped[pos - 1])) ||
+             stripped[pos - 1] == '_'))
+            continue;
+        std::size_t after = pos + token.size();
+        while (after < stripped.size() &&
+               std::isspace(static_cast<unsigned char>(
+                   stripped[after])))
+            ++after;
+        if (after < stripped.size() && stripped[after] == '(')
+            return true;
+    }
+    return false;
+}
+
+TEST(TapasAnalyze, ListClassesCoversEveryWalkHeader)
+{
+    // Independent sweep: every header under src/ whose stripped text
+    // declares a checkpointState(...) must appear in the A1 class
+    // inventory. Guards the parser against silently skipping a
+    // header it fails to understand — a skipped class would exempt
+    // all of its members from coverage without anyone noticing.
+    const CmdRun run = runAnalyze("--list-classes");
+    ASSERT_EQ(run.exitCode, 0) << run.output;
+
+    std::vector<std::string> walkHeaders;
+    const fs::path srcRoot = fs::path(TAPAS_REPO_ROOT) / "src";
+    for (const auto &entry :
+         fs::recursive_directory_iterator(srcRoot)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".hh" && ext != ".h" && ext != ".hpp")
+            continue;
+        std::ifstream in(entry.path());
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        if (declaresWalk(stripComments(text)))
+            walkHeaders.push_back(
+                fs::relative(entry.path(),
+                             fs::path(TAPAS_REPO_ROOT)).string());
+    }
+    // The repo has a checkpoint layer; an empty sweep means this
+    // test's own scan broke, not that there is nothing to check.
+    ASSERT_GT(walkHeaders.size(), 5u);
+
+    for (const std::string &rel : walkHeaders) {
+        EXPECT_NE(run.output.find(" " + rel + ":"),
+                  std::string::npos)
+            << rel << " declares checkpointState but is missing"
+            << " from --list-classes:\n" << run.output;
+    }
+}
+
+} // namespace

@@ -166,6 +166,32 @@ TEST(TapasLint, ViolationLinesNameFileAndLine)
         << run.output;
 }
 
+TEST(TapasLint, JsonlEmitsOneObjectPerViolation)
+{
+    const LintRun run = runLint(
+        "--jsonl --root " TAPAS_REPO_ROOT
+        "/tests/tooling/fixtures/r5");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    int objects = 0;
+    const std::string needle = "\"rule\": \"R5\"";
+    for (std::size_t pos = run.output.find(needle);
+         pos != std::string::npos;
+         pos = run.output.find(needle, pos + needle.size())) {
+        ++objects;
+    }
+    EXPECT_EQ(objects, 2) << run.output;
+    EXPECT_NE(run.output.find("\"tool\": \"tapas-lint\""),
+              std::string::npos) << run.output;
+}
+
+TEST(TapasLint, ChangedOnlyAgainstHeadIsClean)
+{
+    // --base HEAD is hermetic (no remote ref needed): the changed
+    // set is just the dirty/untracked worktree, which must be clean.
+    const LintRun run = runLint("--changed-only --base HEAD");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
 TEST(TapasLint, UnknownTargetIsUsageError)
 {
     const LintRun run = runLint("no/such/dir");

@@ -1,0 +1,428 @@
+"""Pass A1: checkpoint field-coverage.
+
+The checkpoint layer is bit-exact iff every stateful member appears
+in its class's checkpointState(Archive&) walk. This pass parses the
+non-static data members of every class that declares checkpointState
+(headers under the analysis root), locates the walk body (inline in
+the header or an out-of-line Class::checkpointState in any source
+file), and fails on any member that is neither referenced by the
+walk nor exempted with a `// ckpt-skip(category): reason`
+annotation.
+
+Exemption grammar (on the member's declaration line or in the
+contiguous `//` comment block directly above it):
+
+    // ckpt-skip(derived): rebuilt by recompute() on restore
+    // ckpt-skip(scratch): per-step buffer, contents dead across steps
+    // ckpt-skip(constant): set once at construction from SimConfig
+
+Categories are closed (derived|scratch|constant); a ckpt-skip with
+any other category, or with no reason text, is itself a violation —
+an exemption that does not say *why* is reviewer memory again.
+
+Coverage is token-presence: a member is archived when its name
+appears as an identifier in the comment-stripped walk body. That is
+deliberately permissive (a mention in a helper expression counts)
+— A1 is a forgotten-field detector, not a proof of serialization.
+"""
+
+import re
+
+from lint.textutil import allowed, strip_comments_file
+
+PASS_ID = "A1"
+
+CKPT_SKIP = re.compile(r"ckpt-skip\(([^)]*)\)(\s*:\s*(.*))?")
+SKIP_CATEGORIES = ("derived", "scratch", "constant")
+
+_CLASS_HEAD = re.compile(r"\b(class|struct)\s+([A-Za-z_][A-Za-z0-9_]*)")
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+# Statements that are never data members, keyed on their first token.
+_NON_MEMBER_KEYWORDS = {
+    "using", "typedef", "friend", "static", "template", "virtual",
+    "explicit", "operator", "return", "if", "for", "while", "switch",
+    "case", "default", "break", "continue", "goto", "namespace",
+    "extern", "static_assert",
+}
+
+_TYPE_KEYWORDS = {
+    "class", "struct", "enum", "union", "const", "volatile",
+    "mutable", "constexpr", "inline", "signed", "unsigned", "long",
+    "short", "int", "char", "bool", "float", "double", "void",
+    "auto",
+}
+
+
+class ClassInfo:
+    def __init__(self, rel, name, line):
+        self.rel = rel          # header holding the definition
+        self.name = name
+        self.line = line        # 1-based line of the class head
+        self.members = []       # [(name, 1-based decl line)]
+        self.declares_walk = False
+        self.inline_walk = None  # body text when defined in-class
+        self.walk_rel = None     # file the walk body came from
+
+
+def _text_with_linemap(stripped):
+    """Join stripped lines; return (text, offsets) where offsets[i]
+    is the char position where line i starts."""
+    offsets = []
+    pos = 0
+    for line in stripped:
+        offsets.append(pos)
+        pos += len(line) + 1
+    return "\n".join(stripped), offsets
+
+
+def _line_of(offsets, pos):
+    lo, hi = 0, len(offsets) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if offsets[mid] <= pos:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo  # 0-based
+
+
+def _match_brace(text, open_pos):
+    """Position just past the `}` matching the `{` at open_pos, or
+    len(text) when unbalanced (truncated parse beats a crash)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def _first_paren_outside_angles(text):
+    """Index of the first '(' at angle-bracket depth 0, or -1. Lets
+    `std::function<void(int)> cb;` read as a member, not a
+    function."""
+    depth = 0
+    for i, c in enumerate(text):
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth = max(0, depth - 1)
+        elif c == "(" and depth == 0:
+            return i
+    return -1
+
+
+def _split_top_commas(text):
+    """Split on commas at angle/paren/bracket/brace depth 0 (multi-
+    declarator statements: `double a, b;`)."""
+    parts, depth, start = [], 0, 0
+    for i, c in enumerate(text):
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            depth = max(0, depth - 1)
+        elif c == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return parts
+
+
+def _member_names(stmt):
+    """Declarator names in a member statement (no trailing `;`)."""
+    names = []
+    for chunk in _split_top_commas(stmt):
+        # Truncate at initializer / array extent.
+        for stop in ("=", "{", "["):
+            pos = chunk.find(stop)
+            if pos != -1:
+                chunk = chunk[:pos]
+        idents = _IDENT.findall(chunk)
+        idents = [t for t in idents if t not in _TYPE_KEYWORDS
+                  and not t.startswith("TAPAS_")]
+        if idents:
+            names.append(idents[-1])
+    return names
+
+
+def _parse_body(rel, text, offsets, body_start, body_end, classes,
+                class_name):
+    """Walk one class body [body_start, body_end), collecting members
+    into the last entry of `classes` and recursing into nested
+    types."""
+    info = classes[-1]
+    i = body_start
+    stmt_start = body_start
+    while i < body_end:
+        c = text[i]
+        if c == ";":
+            _consume_stmt(rel, text, offsets, stmt_start, i, info)
+            i += 1
+            stmt_start = i
+            continue
+        if c == "{":
+            stmt = text[stmt_start:i]
+            head = re.match(
+                r"\s*(?:template\s*<[^;{]*>\s*)?"
+                r"(?:public\s*:|private\s*:|protected\s*:|\s)*"
+                r"(class|struct|enum|union)\b", stmt)
+            if head:
+                # Nested type definition: recurse (it may declare its
+                # own walk), then keep scanning — `} instance;` after
+                # the brace still declares a member of the outer.
+                close = _match_brace(text, i)
+                m = _CLASS_HEAD.search(stmt)
+                if m and head.group(1) in ("class", "struct"):
+                    nested = ClassInfo(
+                        rel, m.group(2),
+                        _line_of(offsets, stmt_start + m.start()) + 1)
+                    classes.append(nested)
+                    _parse_body(rel, text, offsets, i + 1, close - 1,
+                                classes, m.group(2))
+                # Replace the braced definition with its bare name so
+                # `struct Cold { ... } cold;` yields member `cold`.
+                i = close
+                stmt_start = i
+                # Anything up to the next `;` is the declarator list.
+                semi = text.find(";", i)
+                if semi == -1 or semi >= body_end:
+                    break
+                tail = text[i:semi]
+                for name in _member_names(tail):
+                    info.members.append(
+                        (name, _line_of(offsets, i) + 1))
+                i = semi + 1
+                stmt_start = i
+                continue
+            paren = _first_paren_outside_angles(stmt)
+            eq = stmt.find("=")
+            if paren != -1 and (eq == -1 or paren < eq):
+                # Function definition with inline body.
+                close = _match_brace(text, i)
+                if "checkpointState" in stmt:
+                    info.declares_walk = True
+                    info.inline_walk = text[i:close]
+                    info.walk_rel = rel
+                i = close
+                stmt_start = i
+                continue
+            # Brace initializer (`bool flag{false};`): skip the
+            # braces, keep accumulating the statement.
+            i = _match_brace(text, i)
+            continue
+        i += 1
+    _consume_stmt(rel, text, offsets, stmt_start, body_end, info)
+
+
+def _consume_stmt(rel, text, offsets, start, end, info):
+    stmt = text[start:end]
+    if not stmt.strip():
+        return
+    # Strip access-specifier labels glued to the front, keeping the
+    # char offset so member lines still attribute correctly.
+    label = re.match(
+        r"[\s]*(?:(?:public|private|protected)\s*:\s*)+", stmt)
+    if label:
+        start += label.end()
+        stmt = stmt[label.end():]
+    if not stmt.strip():
+        return
+    first = _IDENT.search(stmt)
+    if not first:
+        return
+    if "checkpointState" in stmt:
+        info.declares_walk = True
+        return
+    tokens = _IDENT.findall(stmt)
+    if first.group(0) in _NON_MEMBER_KEYWORDS or "static" in tokens:
+        return
+    paren = _first_paren_outside_angles(stmt)
+    eq = stmt.find("=")
+    if paren != -1 and (eq == -1 or paren < eq):
+        return  # function declaration
+    decl_line = _line_of(offsets, start + first.start()) + 1
+    for name in _member_names(stmt):
+        info.members.append((name, decl_line))
+
+
+def parse_classes(rel, stripped):
+    """All class/struct definitions in a stripped header, with their
+    members and walk declarations."""
+    text, offsets = _text_with_linemap(stripped)
+    classes = []
+    pos = 0
+    while True:
+        m = _CLASS_HEAD.search(text, pos)
+        if not m:
+            break
+        # Scan past the base clause for `{` (definition), `;`
+        # (forward declaration), or `(` (something else entirely).
+        i = m.end()
+        while i < len(text) and text[i] not in "{;(":
+            i += 1
+        if i >= len(text) or text[i] != "{":
+            pos = m.end()
+            continue
+        close = _match_brace(text, i)
+        # Skip nested heads in the outer scan: _parse_body recurses.
+        info = ClassInfo(rel, m.group(2),
+                         _line_of(offsets, m.start()) + 1)
+        classes.append(info)
+        _parse_body(rel, text, offsets, i + 1, close - 1, classes,
+                    m.group(2))
+        pos = close
+    return classes
+
+
+def find_walk_body(class_name, stripped_text):
+    """Out-of-line `Class::checkpointState(...) { ... }` body in one
+    file's stripped text, or None."""
+    m = re.search(r"\b%s\s*::\s*checkpointState\s*\("
+                  % re.escape(class_name), stripped_text)
+    if not m:
+        return None
+    brace = stripped_text.find("{", m.end())
+    if brace == -1:
+        return None
+    return stripped_text[brace:_match_brace(stripped_text, brace)]
+
+
+def member_skip(raw_lines, decl_idx):
+    """The ckpt-skip annotation attached to the member declared at
+    raw_lines[decl_idx] (0-based): ('ok', category, reason),
+    ('malformed', line_idx, text), or None. Same attachment rule as
+    lint-allow: the declaration line itself or the contiguous //
+    block directly above."""
+    def probe(idx):
+        m = CKPT_SKIP.search(raw_lines[idx])
+        if not m:
+            return None
+        category = m.group(1).strip()
+        reason = (m.group(3) or "").strip()
+        if category not in SKIP_CATEGORIES or not reason:
+            return ("malformed", idx, m.group(0))
+        return ("ok", category, reason)
+
+    hit = probe(decl_idx)
+    if hit:
+        return hit
+    j = decl_idx - 1
+    while j >= 0:
+        stripped = raw_lines[j].strip()
+        if not stripped.startswith("//"):
+            break
+        hit = probe(j)
+        if hit:
+            return hit
+        j -= 1
+    return None
+
+
+def run(root, files, read_raw, read_stripped, changed=None):
+    """Run A1. `files` is every source rel under the root; class
+    discovery happens in headers, walk lookup across all files.
+    Returns (violations, stats, class_table)."""
+    headers = [f for f in files if f.endswith((".hh", ".h", ".hpp"))]
+    sources = list(files)
+
+    all_classes = []
+    for rel in headers:
+        stripped = strip_comments_file(read_raw(rel))
+        for info in parse_classes(rel, stripped):
+            if info.declares_walk:
+                all_classes.append(info)
+
+    violations = []
+    table = []
+    stats = {"classes": 0, "members": 0, "skips": 0}
+    stripped_cache = {}
+
+    def stripped_text(rel):
+        if rel not in stripped_cache:
+            stripped_cache[rel] = "\n".join(read_stripped(rel))
+        return stripped_cache[rel]
+
+    for info in all_classes:
+        body = info.inline_walk
+        if body is None:
+            # Prefer the sibling .cc, then any source in the root
+            # (SimMetrics's walk lives in sim/checkpoint.cc).
+            sibling = re.sub(r"\.(hh|h|hpp)$", ".cc", info.rel)
+            order = ([sibling] if sibling in sources else []) + [
+                s for s in sources if s != sibling]
+            for cand in order:
+                body = find_walk_body(info.name, stripped_text(cand))
+                if body is not None:
+                    info.walk_rel = cand
+                    break
+        if changed is not None and info.rel not in changed and \
+                (info.walk_rel is None or
+                 info.walk_rel not in changed):
+            continue
+        stats["classes"] += 1
+        if body is None:
+            violations.append(
+                (info.rel, info.line, PASS_ID,
+                 "class '%s' declares checkpointState but no walk"
+                 " body was found in any source file" % info.name))
+            continue
+        raw = read_raw(info.rel)
+        archived = 0
+        skipped = 0
+        for name, line in info.members:
+            if re.search(r"\b%s\b" % re.escape(name), body):
+                archived += 1
+                continue
+            skip = member_skip(raw, line - 1)
+            if skip is None:
+                if allowed(PASS_ID, raw, line - 1):
+                    skipped += 1
+                    continue
+                violations.append(
+                    (info.rel, line, PASS_ID,
+                     "member '%s' of '%s' is neither archived in its"
+                     " checkpointState walk (%s) nor exempted with"
+                     " // ckpt-skip(derived|scratch|constant):"
+                     " reason"
+                     % (name, info.name, info.walk_rel)))
+            elif skip[0] == "malformed":
+                violations.append(
+                    (info.rel, skip[1] + 1, PASS_ID,
+                     "malformed ckpt-skip annotation '%s' (want"
+                     " // ckpt-skip(derived|scratch|constant):"
+                     " reason)" % skip[2].strip()))
+            else:
+                skipped += 1
+        stats["members"] += len(info.members)
+        stats["skips"] += skipped
+        table.append((info.name, info.rel, info.line,
+                      len(info.members), archived, skipped,
+                      info.walk_rel))
+
+    # Grammar sweep: a malformed ckpt-skip anywhere in scope is a
+    # violation even when it is attached to nothing (a typo'd
+    # annotation must not silently exempt nothing).
+    for rel in headers:
+        raw = read_raw(rel)
+        if changed is not None and rel not in changed:
+            continue
+        for i, line in enumerate(raw):
+            m = CKPT_SKIP.search(line)
+            if not m:
+                continue
+            category = m.group(1).strip()
+            reason = (m.group(3) or "").strip()
+            if category not in SKIP_CATEGORIES or not reason:
+                entry = (rel, i + 1, PASS_ID,
+                         "malformed ckpt-skip annotation '%s' (want"
+                         " // ckpt-skip(derived|scratch|constant):"
+                         " reason)" % m.group(0).strip())
+                if entry not in violations:
+                    violations.append(entry)
+
+    return violations, stats, table

@@ -1,0 +1,181 @@
+"""Pass A2: module layering.
+
+Builds the `#include` graph over src/ and enforces the layer DAG.
+Modules are the directories directly under src/; the allowed
+downward edges are data below (measured from the real tree, richer
+than the coarse common -> middle -> sim arrows: core composes every
+middle layer, workload drives llm, telemetry and llm read dcsim's
+sensor/spec types). Anything not listed — upward edges, cross edges,
+cycles, unknown modules — is a violation.
+
+tests/, bench/, and examples/ may depend on anything; A2 only walks
+src/.
+
+`--dump-graph` emits the observed graph as JSON (modules, edges with
+per-edge file lists, and the allowed matrix) for the docs diagram.
+"""
+
+import json
+import re
+
+from lint.textutil import allowed
+
+PASS_ID = "A2"
+
+# module -> modules it may include (besides itself). Keep this a DAG:
+# run() refuses a cyclic matrix outright (exit 2 upstream) because a
+# cyclic "allowed" table would make the whole pass vacuous.
+ALLOWED_DEPS = {
+    "common": set(),
+    "dcsim": {"common"},
+    "llm": {"common", "dcsim"},
+    "telemetry": {"common", "dcsim"},
+    "workload": {"common", "llm"},
+    "core": {"common", "dcsim", "llm", "telemetry", "workload"},
+    "sim": {"common", "core", "dcsim", "llm", "telemetry",
+            "workload"},
+}
+
+_INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def matrix_cycle():
+    """A cycle in ALLOWED_DEPS itself (config error), or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in ALLOWED_DEPS}
+
+    def dfs(m, path):
+        color[m] = GREY
+        for n in sorted(ALLOWED_DEPS.get(m, ())):
+            if n not in color:
+                continue
+            if color[n] == GREY:
+                return path + [m, n]
+            if color[n] == WHITE:
+                cyc = dfs(n, path + [m])
+                if cyc:
+                    return cyc
+        color[m] = BLACK
+        return None
+
+    for m in sorted(ALLOWED_DEPS):
+        if color[m] == WHITE:
+            cyc = dfs(m, [])
+            if cyc:
+                return cyc
+    return None
+
+
+def module_of(rel):
+    """Module a src-relative path belongs to, or None ('src/sim/x.cc'
+    -> 'sim'; files outside src/ have no module)."""
+    parts = rel.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def run(root, files, read_raw, changed=None):
+    """Run A2 over the src files in `files`. Returns
+    (violations, stats, graph) where graph is the JSON-ready dump."""
+    del root
+    src_files = [f for f in files if module_of(f) is not None]
+    modules = sorted({module_of(f) for f in src_files})
+
+    edges = {}  # (from, to) -> sorted set of including files
+    violations = []
+    include_count = 0
+
+    for rel in src_files:
+        mod = module_of(rel)
+        raw = read_raw(rel)
+        check = changed is None or rel in changed
+        for i, line in enumerate(raw):
+            m = _INCLUDE.match(line)
+            if not m:
+                continue
+            target = m.group(1)
+            tmod = target.split("/")[0] if "/" in target else None
+            if tmod is None or tmod not in ALLOWED_DEPS:
+                # Not a module-qualified repo include (gtest/...,
+                # local "foo.hh" forms) — out of A2's scope.
+                continue
+            include_count += 1
+            edges.setdefault((mod, tmod), set()).add(rel)
+            if not check:
+                continue
+            if mod not in ALLOWED_DEPS:
+                if not allowed(PASS_ID, raw, i):
+                    violations.append(
+                        (rel, i + 1, PASS_ID,
+                         "module '%s' is not in the layer map"
+                         " (known: %s)"
+                         % (mod, ", ".join(sorted(ALLOWED_DEPS)))))
+                continue
+            if tmod == mod or tmod in ALLOWED_DEPS[mod]:
+                continue
+            if allowed(PASS_ID, raw, i):
+                continue
+            kind = ("upward" if mod in ALLOWED_DEPS.get(tmod, set())
+                    else "cross")
+            violations.append(
+                (rel, i + 1, PASS_ID,
+                 "layering: %s edge '%s' -> '%s' (module '%s' may"
+                 " only include: %s)"
+                 % (kind, mod, tmod, mod,
+                    ", ".join(sorted(ALLOWED_DEPS[mod])) or
+                    "nothing")))
+
+    # Observed-graph cycle check (belt and braces: with an acyclic
+    # matrix every cycle already contains a reported edge, but the
+    # matrix is editable data).
+    adj = {}
+    for (a, b), rels in edges.items():
+        if a != b:
+            adj.setdefault(a, set()).add(b)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in modules}
+
+    def dfs(m, path):
+        color[m] = GREY
+        for n in sorted(adj.get(m, ())):
+            if color.get(n, BLACK) == GREY:
+                return path + [m, n]
+            if color.get(n, BLACK) == WHITE:
+                cyc = dfs(n, path + [m])
+                if cyc:
+                    return cyc
+        color[m] = BLACK
+        return None
+
+    for m in modules:
+        if color[m] == WHITE:
+            cyc = dfs(m, [])
+            if cyc:
+                start = cyc[-1]
+                loop = cyc[cyc.index(start):]
+                witness = sorted(edges[(loop[0], loop[1])])[0]
+                violations.append(
+                    (witness, 1, PASS_ID,
+                     "module cycle: %s" % " -> ".join(loop)))
+                break
+
+    graph = {
+        "modules": modules,
+        "edges": [
+            {"from": a, "to": b, "count": len(rels),
+             "files": sorted(rels)}
+            for (a, b) in sorted(edges)
+            for rels in [edges[(a, b)]]
+            if a != b
+        ],
+        "allowed": {m: sorted(d)
+                    for m, d in sorted(ALLOWED_DEPS.items())},
+    }
+    stats = {"modules": len(modules), "includes": include_count,
+             "edges": len(graph["edges"])}
+    return violations, stats, graph
+
+
+def dump_graph(graph):
+    return json.dumps(graph, indent=2, sort_keys=True)

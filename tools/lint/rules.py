@@ -14,6 +14,25 @@ appears on the line itself or in the contiguous `//` comment block
 immediately above it. The escape must name the rule it silences.
 """
 
+# Paths never walked by a default tapas-lint / tapas-analyze run.
+# The fixture mini-roots contain intentional violations of every rule
+# (the tooling suites lint them explicitly with --root); build trees
+# hold generated sources. Single source of truth: the lint engine,
+# the analyze engine, and the CMake test glob (via execute_process)
+# all consume this list, so a new fixture dir cannot drift between
+# them.
+FIXTURE_DIRS = [
+    "tests/tooling/fixtures",
+]
+
+DEFAULT_EXCLUDES = (
+    ["%s/**" % d for d in FIXTURE_DIRS]
+    + [
+        "build*/**",
+        ".git/**",
+    ]
+)
+
 # Scalar per-server/per-call model entry points that survive only for
 # tests, benches, and debug cross-checks. Decision hot loops must use
 # the batched passes (ProfileBank::predict*Batch,

@@ -1,0 +1,224 @@
+"""Shared source-text machinery for tapas-lint and tapas-analyze.
+
+Both engines walk C++ source, blank comments before pattern matching,
+honor `lint-allow(<ID>): reason` escapes, and resolve `--changed-only`
+file sets from git. The logic lives here once so the two tools cannot
+drift (scripts/tapas_lint.py is the rule engine, scripts/
+tapas_analyze.py the semantic passes).
+
+Dependency-free (python3 stdlib only), like everything under tools/.
+"""
+
+import fnmatch
+import os
+import re
+import subprocess
+import sys
+
+SOURCE_EXTS = (".hh", ".cc", ".cpp", ".h", ".hpp")
+
+ALLOW = re.compile(r"lint-allow\(([A-Za-z0-9_,\s]+)\)")
+
+BLOCK_OPEN = re.compile(r"/\*")
+BLOCK_CLOSE = re.compile(r"\*/")
+
+# Hot-region markers, shared by lint rule R3 (textual allocation ban)
+# and analyze pass A3 (binary verification of the same regions).
+HOT_BEGIN = re.compile(r"//\s*tapas-hot\s+begin\b")
+HOT_END = re.compile(r"//\s*tapas-hot\s+end\b")
+
+
+def hot_regions(lines):
+    """[(begin, end)] 1-based inclusive line ranges of // tapas-hot
+    regions. Non-validating: marker hygiene (nesting, unclosed) is
+    R3's job; an unclosed begin extends to end-of-file here so A3
+    errs toward checking too much rather than too little."""
+    regions = []
+    open_at = None
+    for i, line in enumerate(lines):
+        if HOT_BEGIN.search(line):
+            if open_at is None:
+                open_at = i
+        elif HOT_END.search(line):
+            if open_at is not None:
+                regions.append((open_at + 1, i + 1))
+            open_at = None
+    if open_at is not None:
+        regions.append((open_at + 1, len(lines)))
+    return regions
+
+
+def matches_glob(rel, patterns):
+    """fnmatch with `**` meaning any path segment prefix."""
+    for pat in patterns:
+        if fnmatch.fnmatch(rel, pat):
+            return True
+        # "src/**" should also match "src/foo.cc" (fnmatch's "*"
+        # crosses "/" so this mostly works; keep prefix form too).
+        if pat.endswith("/**") and rel.startswith(pat[:-2]):
+            return True
+    return False
+
+
+def strip_comments_file(lines):
+    """Return lines with // and /* */ comments blanked (naive about
+    string literals — acceptable for this codebase). Raw lines keep
+    carrying the lint-allow / tapas-hot / ckpt-skip markers."""
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                m = BLOCK_CLOSE.search(line, i)
+                if not m:
+                    i = len(line)
+                    break
+                i = m.end()
+                in_block = False
+            else:
+                slash = line.find("//", i)
+                block = line.find("/*", i)
+                if slash != -1 and (block == -1 or slash < block):
+                    buf.append(line[i:slash])
+                    i = len(line)
+                elif block != -1:
+                    buf.append(line[i:block])
+                    i = block + 2
+                    in_block = True
+                else:
+                    buf.append(line[i:])
+                    i = len(line)
+        out.append("".join(buf))
+    return out
+
+
+def allowed(rule_id, lines, idx):
+    """True when the violation at lines[idx] carries an escape: a
+    lint-allow naming this rule on the line itself or in the
+    contiguous // comment block directly above it."""
+    def names_rule(text):
+        m = ALLOW.search(text)
+        if not m:
+            return False
+        ids = [t.strip() for t in m.group(1).split(",")]
+        return rule_id in ids
+
+    if names_rule(lines[idx]):
+        return True
+    j = idx - 1
+    while j >= 0:
+        stripped = lines[j].strip()
+        if not stripped.startswith("//"):
+            break
+        if names_rule(stripped):
+            return True
+        j -= 1
+    return False
+
+
+def read_lines(root, rel, tool="tapas-lint"):
+    """Read a source file as a line list; exits 2 on I/O failure
+    (an unreadable file must never silently pass a gate)."""
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            return f.read().splitlines()
+    except OSError as e:
+        print("%s: cannot read %s: %s" % (tool, rel, e),
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def collect_files(root, targets, excludes, tool="tapas-lint"):
+    """Expand files/directories under root to a sorted, deduplicated
+    list of repo-relative source paths, minus excluded globs."""
+    rels = []
+    for target in targets:
+        full = os.path.join(root, target)
+        if os.path.isfile(full):
+            rels.append(os.path.normpath(target))
+            continue
+        if not os.path.isdir(full):
+            print("%s: no such file or directory: %s"
+                  % (tool, target), file=sys.stderr)
+            sys.exit(2)
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name),
+                                      root)
+                rels.append(rel)
+    out = []
+    for rel in rels:
+        rel = rel.replace(os.sep, "/")
+        if matches_glob(rel, excludes):
+            continue
+        out.append(rel)
+    return sorted(set(out))
+
+
+def changed_files(root, base, tool="tapas-lint"):
+    """Repo-relative paths touched since the merge base with @p base
+    (committed work) plus everything dirty or untracked in the
+    working tree — the `--changed-only` file set. Exits 2 when git
+    or the base ref is unavailable (a silently empty set would make
+    the gate vacuous)."""
+    def git(*args):
+        proc = subprocess.run(
+            ["git", "-C", root, *args],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            return None
+        return proc.stdout
+
+    resolved = None
+    candidates = [base] if base else ["origin/main", "main"]
+    for ref in candidates:
+        if git("rev-parse", "--verify", "--quiet",
+               ref + "^{commit}") is not None:
+            resolved = ref
+            break
+    if resolved is None:
+        print("%s: --changed-only: none of %s resolve to a commit"
+              % (tool, ", ".join(candidates)), file=sys.stderr)
+        sys.exit(2)
+
+    listings = [
+        git("diff", "--name-only", resolved + "..."),
+        git("diff", "--name-only", "HEAD"),
+        git("ls-files", "--others", "--exclude-standard"),
+    ]
+    if any(text is None for text in listings):
+        print("%s: --changed-only: git diff against %s failed"
+              % (tool, resolved), file=sys.stderr)
+        sys.exit(2)
+    files = set()
+    for text in listings:
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                files.add(line.replace(os.sep, "/"))
+    return files
+
+
+def emit_violations(violations, jsonl, tool):
+    """Print sorted violations: the pinned `path:line: ID: message`
+    format, or one JSON object per line with --jsonl (machine
+    consumers; the CI problem matcher reads the plain format)."""
+    import json
+
+    for rel, line, rule_id, msg in sorted(violations):
+        if jsonl:
+            print(json.dumps({
+                "tool": tool,
+                "file": rel,
+                "line": line,
+                "rule": rule_id,
+                "message": msg,
+            }, sort_keys=True))
+        else:
+            print("%s:%d: %s: %s" % (rel, line, rule_id, msg))
